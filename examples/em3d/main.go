@@ -1,0 +1,52 @@
+// em3d: the paper's Section 5.4 example — a pointer-chasing graph
+// construction loop that DOALL can never touch. The COMMSET annotations on
+// the shared-seed RNG library (one Group set plus per-routine Self sets —
+// linear specification instead of quadratic pairwise assertions) let
+// PS-DSWP replicate the heavy per-node work while the list traversal stays
+// in the sequential first stage.
+//
+// Run with: go run ./examples/em3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commset "repro"
+	"repro/internal/builtins"
+	"repro/internal/workloads"
+)
+
+func main() {
+	wl := workloads.Em3d()
+	prog, err := commset.Compile(wl.Primary(), func(w *builtins.World) {
+		w.BuildNodeList(160)
+		w.Seed(0xabcdef12345)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := prog.RunSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if prog.ScheduleOf(commset.DOALL, 8) != nil {
+		log.Fatal("unexpected: DOALL should be inapplicable for pointer chasing")
+	}
+	fmt.Println("DOALL: inapplicable (linked-list traversal feeds the loop condition)")
+
+	ps := prog.ScheduleOf(commset.PSDSWP, 8)
+	if ps == nil {
+		log.Fatal("PS-DSWP not generated")
+	}
+	fmt.Printf("PS-DSWP schedule: %s\n", ps)
+	for t := 2; t <= 8; t += 2 {
+		res, err := prog.Run(ps, commset.SyncLib, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d threads: speedup %.2fx\n", t, seq.Speedup(res))
+	}
+	fmt.Println("\npaper: PS-DSWP + Lib 5.9x at 8 threads; non-COMMSET DSWP only 1.2x")
+}

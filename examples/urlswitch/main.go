@@ -1,0 +1,47 @@
+// urlswitch: the paper's Section 5.7 example — URL-based packet switching
+// with two SELF annotations (dequeue and logging). This example compares
+// the synchronization mechanisms the compiler can insert automatically
+// (mutex, spin, TM) for the same DOALL schedule: the choice is a compiler
+// decision, not a program change, which is the point of automatic
+// concurrency control (Section 2).
+//
+// Run with: go run ./examples/urlswitch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commset "repro"
+	"repro/internal/builtins"
+	"repro/internal/workloads"
+)
+
+func main() {
+	wl := workloads.URL()
+	prog, err := commset.Compile(wl.Primary(), func(w *builtins.World) {
+		w.SetupPackets(600)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := prog.RunSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
+	doall := prog.ScheduleOf(commset.DOALL, 8)
+	if doall == nil {
+		log.Fatal("DOALL not applicable")
+	}
+
+	fmt.Println("url switching, DOALL on 8 threads — mechanism comparison")
+	for _, mode := range []commset.SyncMode{commset.SyncMutex, commset.SyncSpin, commset.SyncTM} {
+		res, err := prog.Run(doall, mode, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s speedup %.2fx  (%d packets logged)\n",
+			mode, seq.Speedup(res), len(res.World.LogLines()))
+	}
+	fmt.Println("\npaper: DOALL + Spin 7.7x on eight threads, low lock contention on dequeue")
+}

@@ -1,0 +1,89 @@
+package ast
+
+// Inspect traverses the statement tree rooted at s in depth-first order,
+// calling f for every statement. If f returns false for a statement, its
+// children are not visited. It is the workhorse behind the front end's
+// structured-control-flow checks on commutative blocks.
+func Inspect(s Stmt, f func(Stmt) bool) {
+	if s == nil || !f(s) {
+		return
+	}
+	switch n := s.(type) {
+	case *IfStmt:
+		Inspect(n.Then, f)
+		Inspect(n.Else, f)
+	case *WhileStmt:
+		Inspect(n.Body, f)
+	case *ForStmt:
+		Inspect(n.Init, f)
+		Inspect(n.Post, f)
+		Inspect(n.Body, f)
+	case *BlockStmt:
+		for _, st := range n.Stmts {
+			Inspect(st, f)
+		}
+	}
+}
+
+// InspectExprs walks every expression contained in the statement tree rooted
+// at s, calling f on each expression node (parents before children).
+func InspectExprs(s Stmt, f func(Expr)) {
+	Inspect(s, func(st Stmt) bool {
+		switch n := st.(type) {
+		case *DeclStmt:
+			walkExpr(n.Decl.Init, f)
+		case *AssignStmt:
+			walkExpr(n.Rhs, f)
+		case *ExprStmt:
+			walkExpr(n.X, f)
+		case *IfStmt:
+			walkExpr(n.Cond, f)
+		case *WhileStmt:
+			walkExpr(n.Cond, f)
+		case *ForStmt:
+			walkExpr(n.Cond, f)
+		case *ReturnStmt:
+			walkExpr(n.X, f)
+		}
+		return true
+	})
+}
+
+// WalkExpr walks the expression tree rooted at e (parents before children).
+func WalkExpr(e Expr, f func(Expr)) { walkExpr(e, f) }
+
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch n := e.(type) {
+	case *CallExpr:
+		for _, a := range n.Args {
+			walkExpr(a, f)
+		}
+	case *BinaryExpr:
+		walkExpr(n.X, f)
+		walkExpr(n.Y, f)
+	case *UnaryExpr:
+		walkExpr(n.X, f)
+	case *CondExpr:
+		walkExpr(n.Cond, f)
+		walkExpr(n.Then, f)
+		walkExpr(n.Else, f)
+	}
+}
+
+// Calls returns the names of all functions called anywhere inside s,
+// in first-encounter order without duplicates.
+func Calls(s Stmt) []string {
+	var names []string
+	seen := map[string]bool{}
+	InspectExprs(s, func(e Expr) {
+		if c, ok := e.(*CallExpr); ok && !seen[c.Fun] {
+			seen[c.Fun] = true
+			names = append(names, c.Fun)
+		}
+	})
+	return names
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/transform"
+	"repro/internal/vm/exec"
+	"repro/internal/workloads"
+)
+
+// AblationStep is one point of the annotation-ablation study: a progressively
+// weaker annotation set for md5sum and the best schedule it still enables.
+type AblationStep struct {
+	Label    string
+	Source   string
+	WantKind transform.Kind // strongest schedule expected to survive
+}
+
+// AnnotationAblation builds the md5sum ablation ladder (DESIGN.md §5):
+//
+//  1. fully annotated            → DOALL
+//  2. without SELF on print      → PS-DSWP with sequential print stage
+//  3. without the named-block add → the fread block loses its memberships,
+//     pinning it (and everything fs-dependent) into sequential stages
+//  4. without any annotation     → sequential only
+func AnnotationAblation() []AblationStep {
+	wl := workloads.Md5sum()
+	full := wl.Variant("comm")
+	noAdd := strings.Replace(full,
+		"#pragma commset add mdfile.READB to FSET(i), SSET(i)\n", "", 1)
+	return []AblationStep{
+		{Label: "full annotations", Source: full, WantKind: transform.DOALL},
+		{Label: "no SELF on print (deterministic)", Source: wl.Variant("det"), WantKind: transform.PSDSWP},
+		{Label: "no named-block enablement", Source: noAdd, WantKind: transform.PSDSWP},
+		{Label: "no annotations", Source: workloads.StripPragmas(full), WantKind: transform.Sequential},
+	}
+}
+
+// ablationWorkload wraps an ablation source as a throwaway workload.
+func ablationWorkload(label, src string) *workloads.Workload {
+	base := workloads.Md5sum()
+	return &workloads.Workload{
+		Name:     "md5sum-" + label,
+		Variants: []workloads.Variant{{Name: "comm", Source: src}},
+		Setup:    base.Setup,
+		Validate: base.Validate,
+		LibOK:    true,
+	}
+}
+
+// RunAnnotationAblation measures the best achievable speedup at each
+// ablation step and prints the ladder.
+func RunAnnotationAblation(w io.Writer, threads int) ([]*Measurement, error) {
+	fmt.Fprintf(w, "Annotation ablation (md5sum, %d threads):\n", threads)
+	var out []*Measurement
+	for _, step := range AnnotationAblation() {
+		cp, err := Compile(ablationWorkload(slug(step.Label), step.Source), "comm", threads)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", step.Label, err)
+		}
+		var best *Measurement
+		for _, kind := range parallelKinds {
+			if cp.Schedule(kind) == nil {
+				continue
+			}
+			m, err := cp.Run(kind, exec.SyncLib, threads)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %q %v: %w", step.Label, kind, err)
+			}
+			if best == nil || m.Speedup > best.Speedup {
+				best = m
+			}
+		}
+		if best == nil {
+			best = &Measurement{
+				Workload: cp.WL.Name, Kind: transform.Sequential,
+				Schedule: "Sequential", Speedup: 1, VirtualTime: cp.SeqCost,
+			}
+		}
+		out = append(out, best)
+		fmt.Fprintf(w, "  %-36s best %-24s %6.2fx\n", step.Label, best.Schedule, best.Speedup)
+	}
+	return out, nil
+}
+
+// SyncAblation measures one workload's strongest parallel schedule under
+// every synchronization mechanism at the given thread count.
+func SyncAblation(w io.Writer, wl *workloads.Workload, threads int) (map[exec.SyncMode]*Measurement, error) {
+	cp, err := Compile(wl, "comm", threads)
+	if err != nil {
+		return nil, err
+	}
+	kind := transform.DOALL
+	if cp.Schedule(kind) == nil {
+		kind = transform.PSDSWP
+	}
+	if cp.Schedule(kind) == nil {
+		return nil, fmt.Errorf("sync ablation: %s has no parallel schedule", wl.Name)
+	}
+	out := map[exec.SyncMode]*Measurement{}
+	fmt.Fprintf(w, "Synchronization ablation (%s, %v, %d threads):\n", wl.Name, kind, threads)
+	for _, mode := range []exec.SyncMode{exec.SyncMutex, exec.SyncSpin, exec.SyncTM, exec.SyncLib} {
+		m, err := cp.Run(kind, mode, threads)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = m
+		fmt.Fprintf(w, "  %-6s %6.2fx\n", mode, m.Speedup)
+	}
+	return out, nil
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	s = strings.ReplaceAll(s, "(", "")
+	return strings.ReplaceAll(s, ")", "")
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/transform"
+	"repro/internal/vm/exec"
+	"repro/internal/workloads"
+)
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	var commRow *Table1Row
+	for i := range rows {
+		if rows[i].System == "COMMSET" {
+			commRow = &rows[i]
+		}
+	}
+	if commRow == nil {
+		t.Fatal("COMMSET row missing")
+	}
+	// Table 1's headline: COMMSET is the only system with commuting blocks,
+	// group commutativity, client-state commutativity, and no additional
+	// parallelism extensions, with both pipeline and data parallelism.
+	if !commRow.CommutingBlocks || !commRow.GroupCommutativity ||
+		!commRow.ClientCommutativity || commRow.RequiresExtensions ||
+		!commRow.PipelineParallel || !commRow.DataParallel {
+		t.Errorf("COMMSET row misses claimed features: %+v", commRow)
+	}
+	for _, r := range rows {
+		if r.System == "COMMSET" {
+			continue
+		}
+		if r.CommutingBlocks || r.ClientCommutativity {
+			t.Errorf("%s wrongly claims COMMSET-only features", r.System)
+		}
+	}
+	var b strings.Builder
+	PrintTable1(&b)
+	if !strings.Contains(b.String(), "COMMSET") {
+		t.Error("PrintTable1 output incomplete")
+	}
+}
+
+func TestSchemeLabels(t *testing.T) {
+	cases := []struct {
+		variant string
+		kind    transform.Kind
+		sched   string
+		mode    exec.SyncMode
+		want    string
+	}{
+		{"comm", transform.DOALL, "DOALL", exec.SyncLib, "Comm-DOALL + Lib"},
+		{"det", transform.PSDSWP, "PS-DSWP [S, DOALL, S]", exec.SyncSpin, "Comm-PS-DSWP [S, DOALL, S] + Spin"},
+		{"noannot", transform.DSWP, "DSWP [S, S]", exec.SyncSpin, "DSWP [S, S] + Spin"},
+	}
+	for _, c := range cases {
+		if got := SchemeLabel(c.variant, c.kind, c.sched, c.mode); got != c.want {
+			t.Errorf("SchemeLabel(%s) = %q, want %q", c.variant, got, c.want)
+		}
+	}
+}
+
+func TestCompileRejectsUnknownVariant(t *testing.T) {
+	if _, err := Compile(workloads.Md5sum(), "bogus", 8); err == nil {
+		t.Error("expected error for unknown variant")
+	}
+}
+
+func TestMeasurementSpeedupAndValidation(t *testing.T) {
+	cp, err := Compile(workloads.Kmeans(), "comm", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cp.Run(transform.DOALL, exec.SyncSpin, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Validated || m.Speedup <= 1 || m.World == nil {
+		t.Errorf("measurement incomplete: %+v", m)
+	}
+	if _, err := cp.Run(transform.Sequential, exec.SyncSpin, 1); err != nil {
+		t.Errorf("sequential run via harness: %v", err)
+	}
+}
+
+func TestClaimsWithSyntheticFigures(t *testing.T) {
+	mk := func(name string, series ...*Series) *Figure {
+		return &Figure{WL: workloads.ByName(name), Series: series}
+	}
+	flat := func(variant string, kind transform.Kind, mode exec.SyncMode, v float64) *Series {
+		sp := make([]float64, 8)
+		for i := range sp {
+			sp[i] = v
+		}
+		return &Series{Variant: variant, Kind: kind, Sync: mode, Speedups: sp}
+	}
+	figs := []*Figure{
+		mk("md5sum",
+			flat("comm", transform.DOALL, exec.SyncLib, 7.5),
+			flat("det", transform.PSDSWP, exec.SyncLib, 5.5),
+			flat("noannot", transform.DSWP, exec.SyncSpin, 1.0)),
+		mk("456.hmmer",
+			flat("comm", transform.DOALL, exec.SyncSpin, 6.0),
+			flat("comm", transform.DOALL, exec.SyncMutex, 5.0),
+			flat("comm", transform.DOALL, exec.SyncTM, 4.0)),
+		mk("eclat", flat("comm", transform.DOALL, exec.SyncSpin, 7.0)),
+		mk("em3d",
+			flat("comm", transform.PSDSWP, exec.SyncLib, 5.5),
+			flat("noannot", transform.DSWP, exec.SyncSpin, 1.2)),
+		mk("potrace",
+			flat("comm", transform.DOALL, exec.SyncLib, 5.5),
+			flat("det", transform.PSDSWP, exec.SyncLib, 2.2)),
+		mk("kmeans",
+			flat("comm", transform.PSDSWP, exec.SyncSpin, 5.2),
+			flat("comm", transform.DOALL, exec.SyncSpin, 4.0)),
+		mk("url",
+			flat("comm", transform.DOALL, exec.SyncSpin, 7.7),
+			flat("pipe", transform.PSDSWP, exec.SyncSpin, 3.7)),
+	}
+	claims := CheckClaims(figs)
+	if len(claims) != 8 {
+		t.Fatalf("claims = %d, want 8", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("synthetic paper-shaped data should satisfy %s: %s", c.ID, c.Detail)
+		}
+	}
+	// Degenerate figures: every claim must gracefully evaluate (no panic)
+	// and the missing-series claims must fail, not pass vacuously.
+	empty := CheckClaims([]*Figure{mk("md5sum")})
+	for _, c := range empty {
+		if c.ID == "md5sum-doall-vs-psdswp" && c.Holds {
+			t.Error("claim must not hold with missing series")
+		}
+	}
+	var b strings.Builder
+	PrintClaims(&b, claims)
+	if !strings.Contains(b.String(), "HOLDS") {
+		t.Error("PrintClaims output incomplete")
+	}
+}
+
+func TestAnnotationAblationLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ms, err := RunAnnotationAblation(io.Discard, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("steps = %d", len(ms))
+	}
+	// Monotone degradation: each ablation step can only reduce the best
+	// speedup, ending at sequential.
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Speedup > ms[i-1].Speedup*1.05 {
+			t.Errorf("step %d speedup %.2f exceeds step %d (%.2f)",
+				i, ms[i].Speedup, i-1, ms[i-1].Speedup)
+		}
+	}
+	if ms[0].Kind != transform.DOALL {
+		t.Errorf("full annotations: best kind %v, want DOALL", ms[0].Kind)
+	}
+	// With the precise effect tables a trivial DSWP pipeline still exists
+	// for the unannotated program, but it cannot speed anything up.
+	if last := ms[len(ms)-1]; last.Speedup > 1.2 {
+		t.Errorf("no annotations: speedup %.2f, want ~1", last.Speedup)
+	}
+}
+
+func TestSyncAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := SyncAblation(io.Discard, workloads.Kmeans(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("mechanisms = %d", len(res))
+	}
+	// kmeans (Section 5.6): spin sustains higher throughput than mutex
+	// under the contended center-update lock.
+	if res[exec.SyncSpin].Speedup < res[exec.SyncMutex].Speedup {
+		t.Errorf("spin %.2f < mutex %.2f under contention",
+			res[exec.SyncSpin].Speedup, res[exec.SyncMutex].Speedup)
+	}
+}
+
+func TestEvalWorkloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	row, err := EvalWorkload(workloads.URL(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Best == nil || row.Best.Speedup < 2 {
+		t.Errorf("url best = %+v", row.Best)
+	}
+	if row.Annotations != 2 {
+		t.Errorf("annotations = %d, want 2", row.Annotations)
+	}
+	var b strings.Builder
+	if _, err := Table2(&b, 2); err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if !strings.Contains(b.String(), "geomean") {
+		t.Error("Table2 output incomplete")
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/transform"
+	"repro/internal/vm/exec"
+)
+
+// Claim is one qualitative result from the paper's Section 5 narrative,
+// checked against this reproduction's measurements.
+type Claim struct {
+	ID     string
+	Text   string
+	Holds  bool
+	Detail string
+}
+
+// CheckClaims evaluates the per-program claims of Sections 5.1–5.8 against
+// the Figure 6 measurements (figs must be in workloads.All() order and
+// measured up to 8 threads).
+func CheckClaims(figs []*Figure) []Claim {
+	byName := map[string]*Figure{}
+	for _, f := range figs {
+		byName[f.WL.Name] = f
+	}
+	var claims []Claim
+	add := func(id, text string, holds bool, detail string) {
+		claims = append(claims, Claim{ID: id, Text: text, Holds: holds, Detail: detail})
+	}
+	at8 := func(s *Series) float64 {
+		if s == nil {
+			return 0
+		}
+		return s.At(8)
+	}
+
+	// §2/§5: md5sum — DOALL outperforms the deterministic PS-DSWP schedule.
+	if f := byName["md5sum"]; f != nil {
+		doall := bestOf(f, "comm", transform.DOALL)
+		ps := bestOf(f, "det", transform.PSDSWP)
+		add("md5sum-doall-vs-psdswp",
+			"md5sum: DOALL outperforms the deterministic PS-DSWP schedule",
+			at8(doall) > at8(ps) && at8(doall) > 4,
+			fmt.Sprintf("DOALL %.2fx vs PS-DSWP %.2fx (paper: 7.6x vs 5.8x)", at8(doall), at8(ps)))
+	}
+
+	// §5.1: 456.hmmer — spin beats mutex and TM under RNG contention.
+	if f := byName["456.hmmer"]; f != nil {
+		spin := f.FindSeries("comm", transform.DOALL, exec.SyncSpin)
+		mutex := f.FindSeries("comm", transform.DOALL, exec.SyncMutex)
+		tm := f.FindSeries("comm", transform.DOALL, exec.SyncTM)
+		add("hmmer-spin-best",
+			"456.hmmer: DOALL+Spin beats DOALL+Mutex and DOALL+TM at 8 threads",
+			at8(spin) >= at8(mutex) && at8(spin) >= at8(tm),
+			fmt.Sprintf("spin %.2fx, mutex %.2fx, TM %.2fx (paper: 5.82x spin best)",
+				at8(spin), at8(mutex), at8(tm)))
+	}
+
+	// §5.3: eclat — DOALL achieves high speedup despite pessimistic sync.
+	if f := byName["eclat"]; f != nil {
+		doall := bestOf(f, "comm", transform.DOALL)
+		add("eclat-doall",
+			"eclat: DOALL speedup is high despite pessimistic synchronization",
+			at8(doall) > 5,
+			fmt.Sprintf("DOALL %.2fx (paper: 7.4x)", at8(doall)))
+	}
+
+	// §5.4: em3d — DOALL inapplicable; COMMSET PS-DSWP far exceeds the
+	// non-COMMSET pipeline.
+	if f := byName["em3d"]; f != nil {
+		ps := bestOf(f, "comm", transform.PSDSWP)
+		noann := bestNoAnnot(f)
+		add("em3d-psdswp",
+			"em3d: COMMSET PS-DSWP greatly outperforms the non-COMMSET pipeline",
+			at8(ps) > 3 && at8(ps) > 2*noann,
+			fmt.Sprintf("PS-DSWP %.2fx vs non-COMMSET %.2fx (paper: 5.9x vs 1.2x)", at8(ps), noann))
+	}
+
+	// §5.5: potrace — the sequential-write mode limits the pipeline well
+	// below DOALL.
+	if f := byName["potrace"]; f != nil {
+		doall := bestOf(f, "comm", transform.DOALL)
+		ps := bestOf(f, "det", transform.PSDSWP)
+		add("potrace-writes",
+			"potrace: sequential image writes limit PS-DSWP below DOALL",
+			at8(doall) > at8(ps),
+			fmt.Sprintf("DOALL %.2fx vs PS-DSWP %.2fx (paper: 5.5x vs 2.2x)", at8(doall), at8(ps)))
+	}
+
+	// §5.6: kmeans — DOALL degrades under lock contention; PS-DSWP is best
+	// at eight threads by moving the contended update to a sequential stage.
+	if f := byName["kmeans"]; f != nil {
+		doall := bestOf(f, "comm", transform.DOALL)
+		ps := bestOf(f, "comm", transform.PSDSWP)
+		add("kmeans-psdswp-best",
+			"kmeans: PS-DSWP outperforms DOALL at 8 threads",
+			at8(ps) > at8(doall),
+			fmt.Sprintf("PS-DSWP %.2fx vs DOALL %.2fx (paper: 5.2x vs ~4x degraded)", at8(ps), at8(doall)))
+	}
+
+	// §5.7: url — DOALL outperforms the two-stage PS-DSWP variant.
+	if f := byName["url"]; f != nil {
+		doall := bestOf(f, "comm", transform.DOALL)
+		ps := bestOf(f, "pipe", transform.PSDSWP)
+		add("url-doall-best",
+			"url: DOALL outperforms the two-stage PS-DSWP pipeline",
+			at8(doall) > at8(ps) && at8(doall) > 5,
+			fmt.Sprintf("DOALL %.2fx vs PS-DSWP %.2fx (paper: 7.7x vs 3.7x)", at8(doall), at8(ps)))
+	}
+
+	// §5.8: overall — COMMSET geomean far exceeds the non-COMMSET geomean.
+	commGeo, noannGeo := GeoPairAt(figs, 8)
+	add("geomean",
+		"geomean: COMMSET speedup far exceeds best non-COMMSET parallelization",
+		commGeo > 3.5 && commGeo > 2.5*noannGeo,
+		fmt.Sprintf("COMMSET %.2fx vs non-COMMSET %.2fx (paper: 5.7x vs 1.49x)", commGeo, noannGeo))
+	return claims
+}
+
+// bestOf returns the best series of the given variant and kind.
+func bestOf(f *Figure, variant string, kind transform.Kind) *Series {
+	var best *Series
+	for _, s := range f.Series {
+		if s.Variant == variant && s.Kind == kind {
+			if best == nil || s.At(len(s.Speedups)) > best.At(len(best.Speedups)) {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// bestNoAnnot returns the best non-COMMSET speedup at max threads.
+func bestNoAnnot(f *Figure) float64 {
+	best := 1.0
+	for _, s := range f.Series {
+		if s.Variant == "noannot" && s.At(len(s.Speedups)) > best {
+			best = s.At(len(s.Speedups))
+		}
+	}
+	return best
+}
+
+// GeoPairAt computes the geomean of best COMMSET and best non-COMMSET
+// speedups at the given thread count.
+func GeoPairAt(figs []*Figure, threads int) (comm, noann float64) {
+	comm, noann = 1, 1
+	if len(figs) == 0 {
+		return
+	}
+	var clog, nlog float64
+	for _, f := range figs {
+		cbest, nbest := 1.0, 1.0
+		for _, s := range f.Series {
+			v := s.At(threads)
+			if s.Variant == "noannot" {
+				if v > nbest {
+					nbest = v
+				}
+			} else if v > cbest {
+				cbest = v
+			}
+		}
+		clog += logOf(cbest)
+		nlog += logOf(nbest)
+	}
+	n := float64(len(figs))
+	return expOf(clog / n), expOf(nlog / n)
+}
+
+// PrintClaims renders the claim checklist.
+func PrintClaims(w io.Writer, claims []Claim) {
+	fmt.Fprintln(w, "Section 5 qualitative claims:")
+	for _, c := range claims {
+		status := "HOLDS "
+		if !c.Holds {
+			status = "DIFFERS"
+		}
+		fmt.Fprintf(w, "  [%s] %s\n          %s\n", status, c.Text, c.Detail)
+	}
+}
+
+func logOf(v float64) float64 {
+	if v <= 0 {
+		v = 1
+	}
+	return math.Log(v)
+}
+
+func expOf(v float64) float64 { return math.Exp(v) }

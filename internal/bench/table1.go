@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row is one system comparison row of the paper's Table 1.
+type Table1Row struct {
+	System                 string
+	Predication            bool
+	CommutingBlocks        bool
+	GroupCommutativity     bool
+	RequiresExtensions     bool
+	TaskParallel           bool
+	PipelineParallel       bool
+	DataParallel           bool
+	InterfaceCommutativity bool
+	ClientCommutativity    bool
+	ConcurrencyControl     string
+	Driver                 string
+	Speculative            bool
+}
+
+// Table1 returns the feature comparison of Table 1. The COMMSET row is what
+// this repository implements; capability self-checks in the test suite
+// assert each claimed feature against the implementation.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{System: "Jade", RequiresExtensions: true, TaskParallel: true, PipelineParallel: true,
+			InterfaceCommutativity: true, ConcurrencyControl: "Runtime", Driver: "Runtime", Speculative: false},
+		{System: "Galois", Predication: true, RequiresExtensions: true, DataParallel: true,
+			InterfaceCommutativity: true, ConcurrencyControl: "Runtime", Driver: "Runtime", Speculative: true},
+		{System: "DPJ", RequiresExtensions: true, TaskParallel: true, DataParallel: true,
+			InterfaceCommutativity: true, ConcurrencyControl: "Programmer", Driver: "Programmer"},
+		{System: "Paralax", PipelineParallel: true,
+			InterfaceCommutativity: true, ConcurrencyControl: "Compiler", Driver: "Compiler"},
+		{System: "VELOCITY", PipelineParallel: true,
+			InterfaceCommutativity: true, ConcurrencyControl: "Compiler", Driver: "Compiler", Speculative: true},
+		{System: "COMMSET", Predication: true, CommutingBlocks: true, GroupCommutativity: true,
+			RequiresExtensions: false, PipelineParallel: true, DataParallel: true,
+			InterfaceCommutativity: true, ClientCommutativity: true,
+			ConcurrencyControl: "Compiler", Driver: "Compiler"},
+	}
+}
+
+// PrintTable1 renders the comparison.
+func PrintTable1(w io.Writer) {
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	fmt.Fprintln(w, "Table 1: Comparison between COMMSET and other semantic-commutativity models")
+	fmt.Fprintf(w, "%-9s %-5s %-7s %-6s %-7s %-5s %-5s %-5s %-6s %-7s %-11s %-10s %-5s\n",
+		"System", "Pred", "Blocks", "Group", "NoExt", "Task", "Pipe", "Data", "Iface", "Client", "ConcCtl", "Driver", "Spec")
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%-9s %-5s %-7s %-6s %-7s %-5s %-5s %-5s %-6s %-7s %-11s %-10s %-5s\n",
+			r.System, mark(r.Predication), mark(r.CommutingBlocks), mark(r.GroupCommutativity),
+			mark(!r.RequiresExtensions), mark(r.TaskParallel), mark(r.PipelineParallel),
+			mark(r.DataParallel), mark(r.InterfaceCommutativity), mark(r.ClientCommutativity),
+			r.ConcurrencyControl, r.Driver, mark(r.Speculative))
+	}
+}

@@ -1,0 +1,77 @@
+package callgraph
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func mkProg(edges map[string][]string) *ir.Program {
+	p := &ir.Program{}
+	for name, callees := range edges {
+		f := &ir.Func{Name: name}
+		b := f.NewBlock()
+		for _, c := range callees {
+			b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpCall, Dst: -1, Name: c})
+		}
+		b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet})
+		f.Renumber()
+		p.AddFunc(f)
+	}
+	return p
+}
+
+func TestDirectAndTransitiveCalls(t *testing.T) {
+	g := Build(mkProg(map[string][]string{
+		"main": {"a", "b"},
+		"a":    {"c"},
+		"b":    {},
+		"c":    {"print"}, // print is a builtin leaf
+	}))
+	if !g.Calls("main", "a") || !g.Calls("main", "c") || !g.Calls("main", "print") {
+		t.Error("transitive reachability broken")
+	}
+	if g.Calls("b", "c") || g.Calls("c", "a") {
+		t.Error("false positives")
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	g := Build(mkProg(map[string][]string{
+		"self": {"self"},
+		"a":    {"b"},
+		"b":    {"a"},
+		"leaf": {},
+	}))
+	if !g.Recursive("self") {
+		t.Error("direct recursion missed")
+	}
+	if !g.Recursive("a") || !g.Recursive("b") {
+		t.Error("mutual recursion missed")
+	}
+	if g.Recursive("leaf") {
+		t.Error("leaf is not recursive")
+	}
+}
+
+func TestDuplicateCallSitesDeduplicated(t *testing.T) {
+	g := Build(mkProg(map[string][]string{
+		"f": {"g", "g", "g"},
+		"g": {},
+	}))
+	if n := len(g.Callees["f"]); n != 1 {
+		t.Errorf("callees of f = %d, want 1 (deduplicated)", n)
+	}
+}
+
+func TestReachabilityCached(t *testing.T) {
+	g := Build(mkProg(map[string][]string{
+		"f": {"g"},
+		"g": {"h"},
+		"h": {},
+	}))
+	// Two queries exercise the cache path.
+	if !g.Calls("f", "h") || !g.Calls("f", "h") {
+		t.Error("cached query broken")
+	}
+}

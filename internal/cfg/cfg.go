@@ -1,0 +1,371 @@
+// Package cfg provides control-flow-graph analyses over IR functions:
+// predecessors/successors, dominators, post-dominators, and natural loop
+// detection. These feed the PDG builder (control dependence via
+// post-dominance) and the parallelizing transforms (loop identification,
+// induction variable discovery).
+package cfg
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Graph caches predecessor/successor lists for one function.
+type Graph struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// New builds the CFG for f.
+func New(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{F: f, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for _, b := range f.Blocks {
+		g.Succs[b.ID] = b.Succs()
+	}
+	for id, succs := range g.Succs {
+		for _, s := range succs {
+			g.Preds[s] = append(g.Preds[s], id)
+		}
+	}
+	return g
+}
+
+// ReachableFromEntry returns the set of block IDs reachable from the entry.
+func (g *Graph) ReachableFromEntry() []bool {
+	seen := make([]bool, len(g.Succs))
+	var stack []int
+	stack = append(stack, 0)
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succs[b] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators returns the immediate dominator of each block (idom[entry] ==
+// entry; unreachable blocks get -1), using the Cooper–Harvey–Kennedy
+// iterative algorithm.
+func (g *Graph) Dominators() []int {
+	n := len(g.Succs)
+	order, pos := g.reversePostorder()
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, pos, newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// reversePostorder returns blocks reachable from entry in reverse postorder
+// together with each block's position in that order.
+func (g *Graph) reversePostorder() (order []int, pos []int) {
+	n := len(g.Succs)
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range g.Succs[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	order = make([]int, len(post))
+	for i := range post {
+		order[i] = post[len(post)-1-i]
+	}
+	pos = make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range order {
+		pos[b] = i
+	}
+	return order, pos
+}
+
+func intersect(idom, pos []int, a, b int) int {
+	for a != b {
+		for pos[a] > pos[b] {
+			a = idom[a]
+		}
+		for pos[b] > pos[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// DomTree answers dominance queries over a dominator (or post-dominator)
+// tree given as an immediate-dominator array. The root is the node whose
+// idom is itself.
+type DomTree struct {
+	idom []int
+	root int
+}
+
+// NewDomTree builds a dominance-query structure from Dominators output
+// (root = entry block 0).
+func NewDomTree(idom []int) *DomTree { return &DomTree{idom: idom, root: 0} }
+
+// NewDomTreeP builds a query structure for PostDominators output, whose
+// root is the virtual exit node (the entry with idom[n] == n).
+func NewDomTreeP(ipdom []int) *DomTree {
+	root := len(ipdom) - 1
+	for i, d := range ipdom {
+		if d == i {
+			root = i
+			break
+		}
+	}
+	return &DomTree{idom: ipdom, root: root}
+}
+
+// Dominates reports whether node a dominates node b (reflexive). Nodes
+// outside the tree (idom -1) are dominated only by themselves.
+func (t *DomTree) Dominates(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b != t.root && b >= 0 && b < len(t.idom) && t.idom[b] != -1 {
+		b = t.idom[b]
+		if b == a {
+			return true
+		}
+		if b == t.root {
+			break
+		}
+	}
+	return a == t.root && b == t.root
+}
+
+// PostDominators computes the immediate post-dominator of each block on the
+// reversed CFG with a virtual exit node (index len(blocks)) joined to every
+// Ret block. Blocks that cannot reach the exit get -1. The virtual exit's
+// entry in the result is its own index.
+func (g *Graph) PostDominators() []int {
+	n := len(g.Succs)
+	exit := n
+	// Reversed graph: successors become predecessors, plus exit edges.
+	rsucc := make([][]int, n+1) // rsucc[b] = preds of b in reverse graph = succs in original
+	rpred := make([][]int, n+1)
+	for b := 0; b < n; b++ {
+		for _, s := range g.Succs[b] {
+			rsucc[s] = append(rsucc[s], b) // edge s->b in reversed graph
+			rpred[b] = append(rpred[b], s)
+		}
+	}
+	for _, blk := range g.F.Blocks {
+		if t := blk.Terminator(); t != nil && t.Op == ir.OpRet {
+			rsucc[exit] = append(rsucc[exit], blk.ID)
+			rpred[blk.ID] = append(rpred[blk.ID], exit)
+		}
+	}
+	// Reverse postorder from exit over reversed edges.
+	visited := make([]bool, n+1)
+	var post []int
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range rsucc[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(exit)
+	order := make([]int, len(post))
+	for i := range post {
+		order[i] = post[len(post)-1-i]
+	}
+	pos := make([]int, n+1)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range order {
+		pos[b] = i
+	}
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == exit {
+				continue
+			}
+			newIdom := -1
+			for _, p := range rpred[b] {
+				if ipdom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(ipdom, pos, newIdom, p)
+				}
+			}
+			if newIdom != -1 && ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header  int
+	Blocks  map[int]bool
+	Latches []int // blocks with back edges to the header
+	Exits   []int // blocks outside the loop targeted from inside
+	Depth   int   // nesting depth, 1 = outermost
+	Parent  *Loop
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// BlockIDs returns the loop's blocks in ascending order.
+func (l *Loop) BlockIDs() []int {
+	ids := make([]int, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Loops finds all natural loops (merging loops that share a header) and
+// computes nesting. The result is ordered by header block ID.
+func (g *Graph) Loops() []*Loop {
+	idom := g.Dominators()
+	dt := NewDomTree(idom)
+	reach := g.ReachableFromEntry()
+	byHeader := map[int]*Loop{}
+	for b := range g.Succs {
+		if !reach[b] {
+			continue
+		}
+		for _, h := range g.Succs[b] {
+			if !dt.Dominates(h, b) {
+				continue
+			}
+			// Back edge b -> h.
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}}
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Natural loop body: nodes reaching b without passing h.
+			var stack []int
+			if !l.Blocks[b] {
+				l.Blocks[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range g.Preds[x] {
+					if reach[p] && !l.Blocks[p] {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	// Exits.
+	for _, l := range loops {
+		seen := map[int]bool{}
+		for b := range l.Blocks {
+			for _, s := range g.Succs[b] {
+				if !l.Blocks[s] && !seen[s] {
+					seen[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		sort.Ints(l.Exits)
+		sort.Ints(l.Latches)
+	}
+	// Nesting: parent is the smallest strictly-containing loop.
+	for _, l := range loops {
+		for _, cand := range loops {
+			if cand == l || !containsAll(cand.Blocks, l.Blocks) {
+				continue
+			}
+			if l.Parent == nil || containsAll(l.Parent.Blocks, cand.Blocks) {
+				l.Parent = cand
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+func containsAll(outer, inner map[int]bool) bool {
+	if len(outer) <= len(inner) {
+		return false
+	}
+	for b := range inner {
+		if !outer[b] {
+			return false
+		}
+	}
+	return true
+}

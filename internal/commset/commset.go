@@ -1,0 +1,189 @@
+// Package commset maintains the whole-program model of commutative sets
+// after lowering: which functions are members of which sets, the COMMSET
+// graph, well-formedness checks, and the global rank order used by the
+// synchronization engine for deadlock-free lock acquisition (paper
+// Sections 3.1, 4.2, and 4.6).
+package commset
+
+import (
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/lower"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// Model is the program-wide commutative-set model.
+type Model struct {
+	Info *types.Info
+	Low  *lower.Result
+
+	// Sets lists every set in deterministic order; Rank maps each set to
+	// its position, the global lock-acquisition order.
+	Sets []*types.Set
+	Rank map[*types.Set]int
+
+	// Members maps each set to the names of its member functions (region
+	// functions and interface-annotated functions), sorted.
+	Members map[*types.Set][]string
+
+	// SetsOf maps a member function name to its sets, in rank order.
+	SetsOf map[string][]*types.Set
+}
+
+// BuildModel derives the set model from semantic info and lowering output.
+func BuildModel(info *types.Info, low *lower.Result) *Model {
+	m := &Model{
+		Info:    info,
+		Low:     low,
+		Rank:    map[*types.Set]int{},
+		Members: map[*types.Set][]string{},
+		SetsOf:  map[string][]*types.Set{},
+	}
+	m.Sets = info.AllSets()
+	for i, s := range m.Sets {
+		m.Rank[s] = i
+	}
+
+	memberSeen := map[*types.Set]map[string]bool{}
+	addMember := func(s *types.Set, fn string) {
+		if memberSeen[s] == nil {
+			memberSeen[s] = map[string]bool{}
+		}
+		if !memberSeen[s][fn] {
+			memberSeen[s][fn] = true
+			m.Members[s] = append(m.Members[s], fn)
+		}
+	}
+	for instr, refs := range low.CallMembs {
+		for _, ref := range refs {
+			addMember(ref.Set, instr.Name)
+		}
+	}
+	for fn, refs := range low.FuncMembs {
+		for _, ref := range refs {
+			addMember(ref.Set, fn)
+		}
+	}
+	for _, s := range m.Sets {
+		sort.Strings(m.Members[s])
+		for _, fn := range m.Members[s] {
+			m.SetsOf[fn] = append(m.SetsOf[fn], s)
+		}
+	}
+	for fn := range m.SetsOf {
+		sets := m.SetsOf[fn]
+		sort.Slice(sets, func(i, j int) bool { return m.Rank[sets[i]] < m.Rank[sets[j]] })
+	}
+	return m
+}
+
+// NeedsSync reports whether calls to fn require compiler-inserted
+// synchronization: it is a member of at least one set without
+// COMMSETNOSYNC.
+func (m *Model) NeedsSync(fn string) bool {
+	for _, s := range m.SetsOf[fn] {
+		if !s.NoSync {
+			return true
+		}
+	}
+	return false
+}
+
+// LockSets returns the sets whose locks a call to fn must hold, in global
+// rank order (the deadlock-freedom order of Section 4.6).
+func (m *Model) LockSets(fn string) []*types.Set {
+	var out []*types.Set
+	for _, s := range m.SetsOf[fn] {
+		if !s.NoSync {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CheckWellFormed verifies the paper's well-formedness conditions:
+//
+//	(b) no transitive call from one member of a set to another member of
+//	    the same set (including member recursion), and
+//	the COMMSET graph — an edge S1→S2 when a member of S1 transitively
+//	calls a member of S2 — is acyclic.
+//
+// Violations are reported into diags against file.
+func (m *Model) CheckWellFormed(cg *callgraph.Graph, diags *source.DiagList, file string) {
+	for _, s := range m.Sets {
+		members := m.Members[s]
+		for _, m1 := range members {
+			for _, m2 := range members {
+				if cg.Calls(m1, m2) {
+					diags.Errorf(file, s.DeclPos,
+						"commset %s is not well-defined: member %s transitively calls member %s",
+						s.Name, m1, m2)
+				}
+			}
+		}
+	}
+
+	// COMMSET graph and cycle detection.
+	adj := map[*types.Set][]*types.Set{}
+	for _, s1 := range m.Sets {
+		for _, s2 := range m.Sets {
+			if s1 == s2 {
+				continue
+			}
+			edge := false
+			for _, m1 := range m.Members[s1] {
+				for _, m2 := range m.Members[s2] {
+					if m1 != m2 && cg.Calls(m1, m2) {
+						edge = true
+						break
+					}
+				}
+				if edge {
+					break
+				}
+			}
+			if edge {
+				adj[s1] = append(adj[s1], s2)
+			}
+		}
+	}
+	// DFS cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*types.Set]int{}
+	var visit func(s *types.Set) bool
+	visit = func(s *types.Set) bool {
+		color[s] = gray
+		for _, t := range adj[s] {
+			switch color[t] {
+			case gray:
+				diags.Errorf(file, s.DeclPos,
+					"commset graph has a cycle involving %s and %s; the set of commsets is not well-formed",
+					s.Name, t.Name)
+				return false
+			case white:
+				if !visit(t) {
+					return false
+				}
+			}
+		}
+		color[s] = black
+		return true
+	}
+	for _, s := range m.Sets {
+		if color[s] == white {
+			if !visit(s) {
+				return
+			}
+		}
+	}
+}
+
+// MemberCalls reports, for the given function name, whether it is a member
+// of any commutative set.
+func (m *Model) MemberCalls(fn string) bool { return len(m.SetsOf[fn]) > 0 }

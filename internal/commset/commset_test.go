@@ -1,0 +1,129 @@
+package commset_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/commset"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func buildModel(t *testing.T, src string) (*commset.Model, *callgraph.Graph, *source.DiagList) {
+	t.Helper()
+	sigs := map[string]*types.Sig{
+		"emit": {Name: "emit", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+	}
+	var diags source.DiagList
+	prog := parser.Parse(source.NewFile("t.mc", src), &diags)
+	info := types.Check(prog, sigs, &diags)
+	res := lower.Lower(info, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("compile:\n%s", diags.String())
+	}
+	cg := callgraph.Build(res.Prog)
+	return commset.BuildModel(info, res), cg, &diags
+}
+
+const modelSrc = `
+#pragma commset decl ASET
+#pragma commset decl BSET
+#pragma commset nosync BSET
+
+#pragma commset member ASET, BSET
+void f(int x) { emit(x); }
+
+#pragma commset member BSET
+void g(int x) { emit(x + 1); }
+
+void main() {
+	for (int i = 0; i < 3; i++) {
+		f(i);
+		g(i);
+		#pragma commset member ASET, SELF
+		{ emit(i * 10); }
+	}
+}
+`
+
+func TestModelMembersAndRanks(t *testing.T) {
+	m, _, _ := buildModel(t, modelSrc)
+	// Named sets sorted first: ASET rank 0, BSET rank 1, anon SELF last.
+	if len(m.Sets) != 3 {
+		t.Fatalf("sets = %d", len(m.Sets))
+	}
+	if m.Sets[0].Name != "ASET" || m.Rank[m.Sets[0]] != 0 {
+		t.Errorf("set 0 = %s rank %d", m.Sets[0].Name, m.Rank[m.Sets[0]])
+	}
+	if m.Sets[1].Name != "BSET" || m.Rank[m.Sets[1]] != 1 {
+		t.Errorf("set 1 = %s", m.Sets[1].Name)
+	}
+	if !m.Sets[2].Anon {
+		t.Errorf("set 2 should be the anonymous SELF set")
+	}
+
+	aset := m.Sets[0]
+	members := m.Members[aset]
+	if len(members) != 2 || members[0] != "f" || members[1] != "main$r1" {
+		t.Errorf("ASET members = %v", members)
+	}
+	if got := m.Members[m.Sets[1]]; len(got) != 2 || got[0] != "f" || got[1] != "g" {
+		t.Errorf("BSET members = %v", got)
+	}
+}
+
+func TestLockSetsRespectNoSyncAndRankOrder(t *testing.T) {
+	m, _, _ := buildModel(t, modelSrc)
+	// f is in ASET (locked) and BSET (nosync): one lock.
+	locks := m.LockSets("f")
+	if len(locks) != 1 || locks[0].Name != "ASET" {
+		t.Errorf("LockSets(f) = %v", locks)
+	}
+	if !m.NeedsSync("f") {
+		t.Error("f needs sync via ASET")
+	}
+	// g is only in the nosync BSET: no locks, no sync.
+	if len(m.LockSets("g")) != 0 || m.NeedsSync("g") {
+		t.Error("g must not need compiler-inserted sync")
+	}
+	if m.MemberCalls("g") != true {
+		t.Error("g is still a member")
+	}
+	if m.MemberCalls("main") {
+		t.Error("main is not a member")
+	}
+	// The region is in ASET and its own SELF set, acquired in rank order.
+	region := m.SetsOf["main$r1"]
+	if len(region) != 2 || m.Rank[region[0]] >= m.Rank[region[1]] {
+		t.Errorf("region sets out of rank order: %v", region)
+	}
+}
+
+func TestWellFormedOK(t *testing.T) {
+	m, cg, diags := buildModel(t, modelSrc)
+	m.CheckWellFormed(cg, diags, "t.mc")
+	if diags.HasErrors() {
+		t.Errorf("unexpected well-formedness errors:\n%s", diags.String())
+	}
+}
+
+func TestWellFormedMemberCallsMember(t *testing.T) {
+	m, cg, diags := buildModel(t, `
+#pragma commset decl G
+
+#pragma commset member G
+void inner(int x) { emit(x); }
+
+#pragma commset member G
+void outer(int x) { inner(x); }
+
+void main() { outer(1); }
+`)
+	m.CheckWellFormed(cg, diags, "t.mc")
+	if !diags.HasErrors() {
+		t.Error("expected member-calls-member violation")
+	}
+}

@@ -1,0 +1,387 @@
+package depend_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/effects"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func sigs() map[string]*types.Sig {
+	return map[string]*types.Sig{
+		"fopen_i":   {Name: "fopen_i", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+		"fread":     {Name: "fread", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+		"fclose":    {Name: "fclose", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"print_int": {Name: "print_int", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"consume":   {Name: "consume", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+	}
+}
+
+func effTable() effects.Table {
+	fs := effects.TagLoc("fs")
+	console := effects.TagLoc("io.console")
+	sink := effects.TagLoc("sink")
+	return effects.Table{
+		"fopen_i":   {Reads: []effects.Loc{fs}, Writes: []effects.Loc{fs}},
+		"fread":     {Reads: []effects.Loc{fs}, Writes: []effects.Loc{fs}},
+		"fclose":    {Reads: []effects.Loc{fs}, Writes: []effects.Loc{fs}},
+		"print_int": {Writes: []effects.Loc{console}},
+		"consume":   {Writes: []effects.Loc{sink}},
+	}
+}
+
+// analyze compiles src and returns the annotated PDG of main's first loop.
+func analyze(t *testing.T, src string) *pipeline.LoopAnalysis {
+	t.Helper()
+	c, err := pipeline.Compile(pipeline.Options{
+		File:    source.NewFile("t.mc", src),
+		Sigs:    sigs(),
+		Effects: effTable(),
+	})
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, c.Diags.String())
+	}
+	loops := c.Loops("main")
+	if len(loops) == 0 {
+		t.Fatal("no loop in main")
+	}
+	la, err := c.AnalyzeLoop("main", loops[0].Header)
+	if err != nil {
+		t.Fatalf("AnalyzeLoop: %v", err)
+	}
+	return la
+}
+
+// callNode finds the single call instruction to the named function within
+// the loop.
+func callNode(t *testing.T, la *pipeline.LoopAnalysis, name string) int {
+	t.Helper()
+	id := -1
+	for _, n := range la.PDG.Nodes {
+		in := la.PDG.Instrs[n]
+		if in.Op == ir.OpCall && in.Name == name {
+			if id != -1 {
+				t.Fatalf("multiple calls to %s in loop", name)
+			}
+			id = n
+		}
+	}
+	if id == -1 {
+		t.Fatalf("no call to %s in loop", name)
+	}
+	return id
+}
+
+// edgesBetween returns the edges from a to b, with endpoints mapped through
+// the representative relation (argument loads fold into their member call).
+func edgesBetween(la *pipeline.LoopAnalysis, a, b int) []*pdg.Edge {
+	var out []*pdg.Edge
+	for _, e := range la.PDG.Edges {
+		if la.Dep.Of(e.From) == a && la.Dep.Of(e.To) == b {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+const md5Shape = `
+#pragma commset decl FSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+void main() {
+	int total = 0;
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member FSET(i), SELF
+		{
+			int fp = fopen_i(i);
+			total += fread(fp);
+			fclose(fp);
+		}
+		#pragma commset member FSET(i)
+		{
+			print_int(total);
+		}
+	}
+	consume(total);
+}
+`
+
+func TestMd5ShapeSelfBlockRelaxed(t *testing.T) {
+	la := analyze(t, md5Shape)
+	fileCall := callNode(t, la, "main$r1")
+
+	// The file block's loop-carried self-dependences (t:fs and slot total)
+	// must be relaxed to uco via its anonymous SELF set.
+	for _, e := range edgesBetween(la, fileCall, fileCall) {
+		if !e.LoopCarried || e.Kind == pdg.DepControl {
+			continue
+		}
+		if e.Comm != pdg.CommUCO {
+			t.Errorf("file-block self edge not relaxed: %+v", e)
+		}
+	}
+}
+
+func TestMd5ShapePrintRemainsSequential(t *testing.T) {
+	la := analyze(t, md5Shape)
+	printCall := callNode(t, la, "main$r2")
+
+	// The print block has only Group membership (no SELF): its loop-carried
+	// self-dependence on the console must remain.
+	found := false
+	for _, e := range edgesBetween(la, printCall, printCall) {
+		if e.LoopCarried && e.Kind != pdg.DepControl && e.Comm == pdg.CommNone {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("print-block self dependence was relaxed; Group sets must not self-commute")
+	}
+}
+
+func TestMd5ShapeCrossBlockRelaxed(t *testing.T) {
+	la := analyze(t, md5Shape)
+	fileCall := callNode(t, la, "main$r1")
+	printCall := callNode(t, la, "main$r2")
+
+	// Loop-carried dependence file-block -> print-block (slot total) is
+	// between distinct members of predicated FSET: provable on separate
+	// iterations. print does not dominate the file block, so ico.
+	var sawLC bool
+	for _, e := range edgesBetween(la, fileCall, printCall) {
+		if e.Kind == pdg.DepControl {
+			continue
+		}
+		if e.LoopCarried {
+			sawLC = true
+			if e.Comm == pdg.CommNone {
+				t.Errorf("loop-carried cross edge not relaxed: %+v", e)
+			}
+			if e.Comm == pdg.CommUCO {
+				t.Errorf("loop-carried cross edge should be ico (dst does not dominate src): %+v", e)
+			}
+		} else if e.Comm != pdg.CommNone {
+			// Intra-iteration: i1 == i2 falsifies the predicate; the
+			// within-iteration order (digest before print) must hold.
+			t.Errorf("intra-iteration cross edge wrongly relaxed: %+v", e)
+		}
+	}
+	if !sawLC {
+		t.Error("expected a loop-carried dependence between the blocks (slot total)")
+	}
+}
+
+func TestMd5ShapeLCReverseUco(t *testing.T) {
+	la := analyze(t, md5Shape)
+	fileCall := callNode(t, la, "main$r1")
+	printCall := callNode(t, la, "main$r2")
+
+	// Reverse loop-carried edges print -> file-block: the destination
+	// (file block) dominates the source (print), so relaxation is uco.
+	for _, e := range edgesBetween(la, printCall, fileCall) {
+		if e.Kind == pdg.DepControl || !e.LoopCarried {
+			continue
+		}
+		if e.Comm != pdg.CommUCO {
+			t.Errorf("reverse loop-carried edge should be uco: %+v", e)
+		}
+	}
+}
+
+func TestUnpredicatedGroupRelaxesPairsOnly(t *testing.T) {
+	la := analyze(t, `
+#pragma commset decl G
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member G
+		{ print_int(i); }
+		#pragma commset member G
+		{ print_int(i + 1); }
+	}
+}`)
+	a := callNode(t, la, "main$r1")
+	b := callNode(t, la, "main$r2")
+	// Cross edges relaxed unconditionally (uco).
+	for _, e := range edgesBetween(la, a, b) {
+		if e.Kind == pdg.DepControl {
+			continue
+		}
+		if e.Comm != pdg.CommUCO {
+			t.Errorf("cross edge in unpredicated group not uco: %+v", e)
+		}
+	}
+	// Self edges not relaxed.
+	for _, e := range edgesBetween(la, a, a) {
+		if e.Kind != pdg.DepControl && e.LoopCarried && e.Comm != pdg.CommNone {
+			t.Errorf("group self edge relaxed: %+v", e)
+		}
+	}
+}
+
+func TestPredicateOnVaryingDataNotProvable(t *testing.T) {
+	// The predicate argument is data-dependent (not affine in the IV), so
+	// the symbolic interpreter cannot prove commutativity.
+	la := analyze(t, `
+#pragma commset decl K
+#pragma commset predicate K (a)(b) : a != b
+void main() {
+	int x = 0;
+	for (int i = 0; i < 4; i++) {
+		x = fread(x);
+		#pragma commset member K(x), SELF
+		{ consume(x); }
+		#pragma commset member K(x)
+		{ print_int(x); }
+	}
+}`)
+	// Find the two region calls; the cross edges must remain CommNone: the
+	// predicate binds to x, which is loop-varying and not affine.
+	a := callNode(t, la, "main$r1")
+	b := callNode(t, la, "main$r2")
+	relaxed := false
+	for _, e := range edgesBetween(la, a, b) {
+		if e.Kind != pdg.DepControl && e.Comm != pdg.CommNone {
+			relaxed = true
+		}
+	}
+	// a and b conflict only through slot x (read by both): reads don't
+	// conflict, so there may be no edges at all — but if there are, none
+	// may be relaxed.
+	if relaxed {
+		t.Error("edge with unprovable predicate was relaxed")
+	}
+}
+
+func TestLoopInvariantArgNotRelaxed(t *testing.T) {
+	// Predicate args bind to a loop-invariant variable: the two instances
+	// see the same value, so p != q is definitely false — no relaxation.
+	la := analyze(t, `
+#pragma commset decl self S
+#pragma commset predicate S (p)(q) : p != q
+void main() {
+	int k = 7;
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member S(k)
+		{ print_int(k); }
+	}
+}`)
+	call := callNode(t, la, "main$r1")
+	for _, e := range edgesBetween(la, call, call) {
+		if e.Kind != pdg.DepControl && e.LoopCarried && e.Comm != pdg.CommNone {
+			t.Errorf("invariant-arg self edge relaxed: %+v", e)
+		}
+	}
+}
+
+func TestPredicatedSelfSetOnIV(t *testing.T) {
+	// A declared self set predicated on the IV relaxes loop-carried self
+	// dependences (different iterations ⇒ predicate true).
+	la := analyze(t, `
+#pragma commset decl self S
+#pragma commset predicate S (p)(q) : p != q
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member S(i)
+		{ print_int(i); }
+	}
+}`)
+	call := callNode(t, la, "main$r1")
+	sawLC := false
+	for _, e := range edgesBetween(la, call, call) {
+		if e.Kind == pdg.DepControl || !e.LoopCarried {
+			continue
+		}
+		sawLC = true
+		if e.Comm == pdg.CommNone {
+			t.Errorf("IV-predicated self edge not relaxed: %+v", e)
+		}
+	}
+	if !sawLC {
+		t.Error("expected loop-carried console self dependence")
+	}
+}
+
+func TestInterfaceMembershipRelaxation(t *testing.T) {
+	// Function-level membership: calls to rng commute with themselves.
+	la := analyze(t, `
+#pragma commset member SELF
+int rng(int x) { return fread(x); }
+void main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		s += rng(i);
+		print_int(s);
+	}
+}`)
+	call := callNode(t, la, "rng")
+	for _, e := range edgesBetween(la, call, call) {
+		if e.Kind == pdg.DepControl || !e.LoopCarried {
+			continue
+		}
+		if e.Comm != pdg.CommUCO {
+			t.Errorf("rng self edge not uco: %+v", e)
+		}
+	}
+}
+
+func TestWellFormednessRejectsMemberCallingMember(t *testing.T) {
+	_, err := pipeline.Compile(pipeline.Options{
+		File: source.NewFile("t.mc", `
+#pragma commset decl G
+#pragma commset member G
+int helper(int x) { return x + 1; }
+#pragma commset member G
+int outer(int x) { return helper(x); }
+void main() { consume(outer(1)); }
+`),
+		Sigs:    sigs(),
+		Effects: effTable(),
+	})
+	if err == nil {
+		t.Fatal("expected well-formedness error for member calling member")
+	}
+}
+
+func TestWellFormednessRejectsCyclicCommsetGraph(t *testing.T) {
+	_, err := pipeline.Compile(pipeline.Options{
+		File: source.NewFile("t.mc", `
+#pragma commset decl A
+#pragma commset decl B
+#pragma commset member A
+int f(int x) { return g(x) + 1; }
+#pragma commset member B
+int g(int x) {
+	if (x <= 0) { return 0; }
+	return f(x - 1);
+}
+void main() { consume(f(3)); }
+`),
+		Sigs:    sigs(),
+		Effects: effTable(),
+	})
+	if err == nil {
+		t.Fatal("expected commset-graph cycle error")
+	}
+}
+
+func TestRecursiveMemberRejected(t *testing.T) {
+	_, err := pipeline.Compile(pipeline.Options{
+		File: source.NewFile("t.mc", `
+#pragma commset member SELF
+int f(int x) {
+	if (x <= 0) { return 0; }
+	return f(x - 1);
+}
+void main() { consume(f(3)); }
+`),
+		Sigs:    sigs(),
+		Effects: effTable(),
+	})
+	if err == nil {
+		t.Fatal("expected error for recursive commset member")
+	}
+}

@@ -1,0 +1,171 @@
+// Package effects provides the memory-dependence abstraction of the COMMSET
+// compiler.
+//
+// The paper's LLVM implementation uses alias analysis over real memory; the
+// parallelism-inhibiting dependences it cares about are those on externally
+// visible state — file systems, consoles, RNG seeds, shared containers. We
+// model memory as a set of abstract locations:
+//
+//   - one location per MiniC global variable ("g:<name>"),
+//   - one location per substrate effect tag ("t:<tag>"), declared by each
+//     builtin (e.g. the filesystem, the console, an RNG seed, a histogram),
+//   - local variable slots of the function under analysis, handled directly
+//     by the PDG builder via slot identity.
+//
+// Every builtin declares the tags it reads and writes; Summarize propagates
+// effects bottom-up through the call graph (with a fixpoint for recursion)
+// so that any call instruction's abstract reads/writes are known.
+package effects
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Loc is an abstract memory location.
+type Loc string
+
+// GlobalLoc returns the location of a MiniC global variable.
+func GlobalLoc(name string) Loc { return Loc("g:" + name) }
+
+// TagLoc returns the location of a substrate effect tag.
+func TagLoc(tag string) Loc { return Loc("t:" + tag) }
+
+// Decl lists the abstract locations an operation reads and writes.
+type Decl struct {
+	Reads  []Loc
+	Writes []Loc
+}
+
+// Table maps builtin names to their declared effects.
+type Table map[string]Decl
+
+// Set is a deduplicated set of locations.
+type Set map[Loc]bool
+
+// Add inserts locations, reporting whether the set grew.
+func (s Set) Add(locs ...Loc) bool {
+	grew := false
+	for _, l := range locs {
+		if !s[l] {
+			s[l] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// AddSet merges another set, reporting growth.
+func (s Set) AddSet(o Set) bool {
+	grew := false
+	for l := range o {
+		if !s[l] {
+			s[l] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Sorted returns the locations in deterministic order.
+func (s Set) Sorted() []Loc {
+	out := make([]Loc, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Intersects reports whether two sets share a location.
+func (s Set) Intersects(o Set) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for l := range small {
+		if big[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// FnEffects summarizes one function's transitive reads and writes.
+type FnEffects struct {
+	Reads  Set
+	Writes Set
+}
+
+// Summary holds effect summaries for every function in a program.
+type Summary struct {
+	Fns      map[string]*FnEffects
+	Builtins Table
+}
+
+// Summarize computes, for each user function, the set of abstract locations
+// transitively read and written: its own global accesses, its builtins'
+// declared tags, and its callees' summaries, iterated to a fixpoint to
+// handle recursion.
+func Summarize(prog *ir.Program, builtins Table) *Summary {
+	s := &Summary{Fns: map[string]*FnEffects{}, Builtins: builtins}
+	for _, name := range prog.Order {
+		s.Fns[name] = &FnEffects{Reads: Set{}, Writes: Set{}}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, name := range prog.Order {
+			f := prog.Funcs[name]
+			fe := s.Fns[name]
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					switch in.Op {
+					case ir.OpLoadGlobal:
+						if fe.Reads.Add(GlobalLoc(in.Name)) {
+							changed = true
+						}
+					case ir.OpStoreGlobal:
+						if fe.Writes.Add(GlobalLoc(in.Name)) {
+							changed = true
+						}
+					case ir.OpCall:
+						if callee, ok := s.Fns[in.Name]; ok {
+							if fe.Reads.AddSet(callee.Reads) {
+								changed = true
+							}
+							if fe.Writes.AddSet(callee.Writes) {
+								changed = true
+							}
+						} else if decl, ok := builtins[in.Name]; ok {
+							if fe.Reads.Add(decl.Reads...) {
+								changed = true
+							}
+							if fe.Writes.Add(decl.Writes...) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// CallEffects returns the abstract reads/writes of a call to name: the
+// summary for user functions, the declared effects for builtins, and empty
+// sets for unknown names.
+func (s *Summary) CallEffects(name string) (reads, writes Set) {
+	if fe, ok := s.Fns[name]; ok {
+		return fe.Reads, fe.Writes
+	}
+	if decl, ok := s.Builtins[name]; ok {
+		r, w := Set{}, Set{}
+		r.Add(decl.Reads...)
+		w.Add(decl.Writes...)
+		return r, w
+	}
+	return Set{}, Set{}
+}

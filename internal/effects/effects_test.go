@@ -1,0 +1,121 @@
+package effects
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func callInstr(name string) *ir.Instr {
+	return &ir.Instr{Op: ir.OpCall, Dst: -1, Name: name}
+}
+
+// buildProg wires: leaf (builtin io) <- mid <- top, plus recursive pair
+// a <-> b where b also stores a global.
+func buildProg() *ir.Program {
+	p := &ir.Program{}
+	mk := func(name string, body ...*ir.Instr) {
+		f := &ir.Func{Name: name}
+		b := f.NewBlock()
+		b.Instrs = append(b.Instrs, body...)
+		b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet})
+		f.Renumber()
+		p.AddFunc(f)
+	}
+	mk("mid", callInstr("io_write"))
+	mk("top",
+		callInstr("mid"),
+		&ir.Instr{Op: ir.OpLoadGlobal, Dst: 0, Name: "counter"},
+	)
+	mk("a", callInstr("b"))
+	mk("b",
+		callInstr("a"),
+		&ir.Instr{Op: ir.OpStoreGlobal, Name: "shared", A: 0},
+	)
+	return p
+}
+
+func testTable() Table {
+	return Table{
+		"io_write": {Writes: []Loc{TagLoc("io")}},
+		"io_read":  {Reads: []Loc{TagLoc("io")}},
+	}
+}
+
+func TestSummarizeTransitive(t *testing.T) {
+	s := Summarize(buildProg(), testTable())
+	mid := s.Fns["mid"]
+	if !mid.Writes[TagLoc("io")] {
+		t.Error("mid must write io")
+	}
+	top := s.Fns["top"]
+	if !top.Writes[TagLoc("io")] {
+		t.Error("top must inherit mid's io write")
+	}
+	if !top.Reads[GlobalLoc("counter")] {
+		t.Error("top must read g:counter")
+	}
+}
+
+func TestSummarizeRecursionFixpoint(t *testing.T) {
+	s := Summarize(buildProg(), testTable())
+	for _, fn := range []string{"a", "b"} {
+		if !s.Fns[fn].Writes[GlobalLoc("shared")] {
+			t.Errorf("%s must write g:shared through the recursive cycle", fn)
+		}
+	}
+}
+
+func TestCallEffects(t *testing.T) {
+	s := Summarize(buildProg(), testTable())
+	r, w := s.CallEffects("top")
+	if !w[TagLoc("io")] || !r[GlobalLoc("counter")] {
+		t.Errorf("top effects r=%v w=%v", r.Sorted(), w.Sorted())
+	}
+	r, w = s.CallEffects("io_read")
+	if !r[TagLoc("io")] || len(w) != 0 {
+		t.Errorf("builtin effects r=%v w=%v", r.Sorted(), w.Sorted())
+	}
+	r, w = s.CallEffects("unknown")
+	if len(r) != 0 || len(w) != 0 {
+		t.Error("unknown callee must have empty effects")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := Set{}
+	if !s.Add(TagLoc("a"), TagLoc("b")) {
+		t.Error("Add should report growth")
+	}
+	if s.Add(TagLoc("a")) {
+		t.Error("re-adding should not grow")
+	}
+	o := Set{}
+	o.Add(TagLoc("b"), TagLoc("c"))
+	if !s.Intersects(o) {
+		t.Error("sets share b")
+	}
+	only := Set{}
+	only.Add(TagLoc("z"))
+	if s.Intersects(only) {
+		t.Error("disjoint sets must not intersect")
+	}
+	if !s.AddSet(o) || s.AddSet(o) {
+		t.Error("AddSet growth reporting wrong")
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Errorf("Sorted not ordered: %v", sorted)
+		}
+	}
+}
+
+func TestLocConstructors(t *testing.T) {
+	if GlobalLoc("x") != Loc("g:x") {
+		t.Error("GlobalLoc format")
+	}
+	if TagLoc("fs") != Loc("t:fs") {
+		t.Error("TagLoc format")
+	}
+}

@@ -1,0 +1,425 @@
+// Package lexer converts MiniC source text into a token stream.
+//
+// Besides the ordinary C-like tokens, the lexer recognizes `#pragma` lines
+// and emits them as single token.PRAGMA tokens whose literal is the pragma
+// body (everything after `#pragma`, trimmed). This mirrors the paper's
+// front end, in which COMMSET directives are pragma lines that a standard
+// C compiler may ignore: eliding PRAGMA tokens yields a valid sequential
+// MiniC token stream.
+package lexer
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is one lexed token: its kind, literal text, and start position.
+type Token struct {
+	Kind token.Kind
+	Lit  string
+	Pos  source.Pos
+}
+
+// String renders the token for diagnostics and tests.
+func (t Token) String() string {
+	if t.Lit != "" && t.Kind != token.EOF {
+		return t.Kind.String() + "(" + t.Lit + ")"
+	}
+	return t.Kind.String()
+}
+
+// Lexer scans one source file. Create with New; call Next until EOF.
+type Lexer struct {
+	file   *source.File
+	src    string
+	offset int // current byte offset
+	diags  *source.DiagList
+}
+
+// New returns a lexer over file, reporting problems into diags.
+func New(file *source.File, diags *source.DiagList) *Lexer {
+	return &Lexer{file: file, src: file.Content, diags: diags}
+}
+
+// ScanAll lexes the whole file, returning every token up to and including
+// EOF. Comments are dropped; pragma lines are kept as PRAGMA tokens.
+func ScanAll(file *source.File, diags *source.DiagList) []Token {
+	lx := New(file, diags)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.diags.Errorf(l.file.Name, l.file.PosFor(off), format, args...)
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.offset >= len(l.src) {
+		return 0
+	}
+	return l.src[l.offset]
+}
+
+func (l *Lexer) peekByteAt(n int) byte {
+	if l.offset+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.offset+n]
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.offset < len(l.src) {
+		c := l.src[l.offset]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.offset++
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.offset < len(l.src) && l.src[l.offset] != '\n' {
+				l.offset++
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.offset
+			l.offset += 2
+			closed := false
+			for l.offset+1 < len(l.src) {
+				if l.src[l.offset] == '*' && l.src[l.offset+1] == '/' {
+					l.offset += 2
+					closed = true
+					break
+				}
+				l.offset++
+			}
+			if !closed {
+				l.offset = len(l.src)
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. After EOF it keeps returning EOF.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	startOff := l.offset
+	pos := l.file.PosFor(startOff)
+	if l.offset >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+
+	c := l.src[l.offset]
+	switch {
+	case c == '#':
+		return l.scanPragma(startOff, pos)
+	case isIdentStart(rune(c)):
+		return l.scanIdent(pos)
+	case c >= '0' && c <= '9':
+		return l.scanNumber(pos)
+	case c == '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9':
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	}
+	return l.scanOperator(startOff, pos)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) scanIdent(pos source.Pos) Token {
+	start := l.offset
+	for l.offset < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.offset:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.offset += size
+	}
+	lit := l.src[start:l.offset]
+	return Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos source.Pos) Token {
+	start := l.offset
+	kind := token.INT
+	// Hex literal.
+	if l.peekByte() == '0' && (l.peekByteAt(1) == 'x' || l.peekByteAt(1) == 'X') {
+		l.offset += 2
+		for isHexDigit(l.peekByte()) {
+			l.offset++
+		}
+		if l.offset == start+2 {
+			l.errorf(start, "malformed hex literal")
+		}
+		return Token{Kind: token.INT, Lit: l.src[start:l.offset], Pos: pos}
+	}
+	for l.peekByte() >= '0' && l.peekByte() <= '9' {
+		l.offset++
+	}
+	if l.peekByte() == '.' && l.peekByteAt(1) >= '0' && l.peekByteAt(1) <= '9' {
+		kind = token.FLOAT
+		l.offset++ // '.'
+		for l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.offset++
+		}
+	} else if l.peekByte() == '.' {
+		kind = token.FLOAT
+		l.offset++
+	}
+	if b := l.peekByte(); b == 'e' || b == 'E' {
+		save := l.offset
+		l.offset++
+		if b := l.peekByte(); b == '+' || b == '-' {
+			l.offset++
+		}
+		if l.peekByte() >= '0' && l.peekByte() <= '9' {
+			kind = token.FLOAT
+			for l.peekByte() >= '0' && l.peekByte() <= '9' {
+				l.offset++
+			}
+		} else {
+			l.offset = save // not an exponent after all
+		}
+	}
+	return Token{Kind: kind, Lit: l.src[start:l.offset], Pos: pos}
+}
+
+func isHexDigit(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}
+
+// scanString scans a double-quoted string literal with C-style escapes. The
+// returned literal is the *decoded* string contents (without quotes).
+func (l *Lexer) scanString(pos source.Pos) Token {
+	start := l.offset
+	l.offset++ // opening quote
+	var b strings.Builder
+	for l.offset < len(l.src) {
+		c := l.src[l.offset]
+		if c == '"' {
+			l.offset++
+			return Token{Kind: token.STRING, Lit: b.String(), Pos: pos}
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' {
+			l.offset++
+			b.WriteByte(l.unescape(start))
+			continue
+		}
+		b.WriteByte(c)
+		l.offset++
+	}
+	l.errorf(start, "unterminated string literal")
+	return Token{Kind: token.STRING, Lit: b.String(), Pos: pos}
+}
+
+func (l *Lexer) unescape(start int) byte {
+	if l.offset >= len(l.src) {
+		l.errorf(start, "unterminated escape sequence")
+		return 0
+	}
+	c := l.src[l.offset]
+	l.offset++
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	l.errorf(start, "unknown escape sequence \\%c", c)
+	return c
+}
+
+// scanChar scans a character literal; it is surfaced as an INT token holding
+// the decimal value of the rune, since MiniC has no distinct char type.
+func (l *Lexer) scanChar(pos source.Pos) Token {
+	start := l.offset
+	l.offset++ // opening quote
+	var val byte
+	if l.peekByte() == '\\' {
+		l.offset++
+		val = l.unescape(start)
+	} else if l.offset < len(l.src) && l.src[l.offset] != '\'' && l.src[l.offset] != '\n' {
+		val = l.src[l.offset]
+		l.offset++
+	} else {
+		l.errorf(start, "empty character literal")
+	}
+	if l.peekByte() == '\'' {
+		l.offset++
+	} else {
+		l.errorf(start, "unterminated character literal")
+	}
+	return Token{Kind: token.INT, Lit: intLit(val), Pos: pos}
+}
+
+func intLit(b byte) string {
+	if b == 0 {
+		return "0"
+	}
+	var buf [3]byte
+	i := len(buf)
+	for v := int(b); v > 0; v /= 10 {
+		i--
+		buf[i] = byte('0' + v%10)
+	}
+	return string(buf[i:])
+}
+
+// scanPragma consumes a full `#pragma ...` line. Unknown `#` directives are
+// reported and skipped to end of line (MiniC has no preprocessor).
+func (l *Lexer) scanPragma(startOff int, pos source.Pos) Token {
+	lineEnd := strings.IndexByte(l.src[l.offset:], '\n')
+	if lineEnd < 0 {
+		lineEnd = len(l.src) - l.offset
+	}
+	line := l.src[l.offset : l.offset+lineEnd]
+	l.offset += lineEnd // leave the '\n' for skipSpace
+	body, ok := strings.CutPrefix(strings.TrimSpace(line), "#pragma")
+	if !ok {
+		l.errorf(startOff, "unsupported preprocessor directive %q (MiniC supports only #pragma)", strings.Fields(line)[0])
+		return Token{Kind: token.ILLEGAL, Lit: line, Pos: pos}
+	}
+	return Token{Kind: token.PRAGMA, Lit: strings.TrimSpace(body), Pos: pos}
+}
+
+func (l *Lexer) scanOperator(startOff int, pos source.Pos) Token {
+	c := l.src[l.offset]
+	two := func(k token.Kind) Token {
+		lit := l.src[l.offset : l.offset+2]
+		l.offset += 2
+		return Token{Kind: k, Lit: lit, Pos: pos}
+	}
+	one := func(k token.Kind) Token {
+		lit := l.src[l.offset : l.offset+1]
+		l.offset++
+		return Token{Kind: k, Lit: lit, Pos: pos}
+	}
+	n := l.peekByteAt(1)
+	switch c {
+	case '+':
+		if n == '+' {
+			return two(token.INC)
+		}
+		if n == '=' {
+			return two(token.ADDASSIGN)
+		}
+		return one(token.ADD)
+	case '-':
+		if n == '-' {
+			return two(token.DEC)
+		}
+		if n == '=' {
+			return two(token.SUBASSIGN)
+		}
+		return one(token.SUB)
+	case '*':
+		if n == '=' {
+			return two(token.MULASSIGN)
+		}
+		return one(token.MUL)
+	case '/':
+		if n == '=' {
+			return two(token.QUOASSIGN)
+		}
+		return one(token.QUO)
+	case '%':
+		if n == '=' {
+			return two(token.REMASSIGN)
+		}
+		return one(token.REM)
+	case '&':
+		if n == '&' {
+			return two(token.AND)
+		}
+		return one(token.BAND)
+	case '|':
+		if n == '|' {
+			return two(token.OR)
+		}
+		return one(token.BOR)
+	case '^':
+		return one(token.BXOR)
+	case '!':
+		if n == '=' {
+			return two(token.NEQ)
+		}
+		return one(token.NOT)
+	case '=':
+		if n == '=' {
+			return two(token.EQL)
+		}
+		return one(token.ASSIGN)
+	case '<':
+		if n == '=' {
+			return two(token.LEQ)
+		}
+		if n == '<' {
+			return two(token.SHL)
+		}
+		return one(token.LSS)
+	case '>':
+		if n == '=' {
+			return two(token.GEQ)
+		}
+		if n == '>' {
+			return two(token.SHR)
+		}
+		return one(token.GTR)
+	case '(':
+		return one(token.LPAREN)
+	case ')':
+		return one(token.RPAREN)
+	case '{':
+		return one(token.LBRACE)
+	case '}':
+		return one(token.RBRACE)
+	case '[':
+		return one(token.LBRACKET)
+	case ']':
+		return one(token.RBRACKET)
+	case ',':
+		return one(token.COMMA)
+	case ';':
+		return one(token.SEMICOLON)
+	case ':':
+		return one(token.COLON)
+	case '.':
+		return one(token.DOT)
+	case '?':
+		return one(token.QUESTION)
+	}
+	l.errorf(startOff, "illegal character %q", rune(c))
+	l.offset++
+	return Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}

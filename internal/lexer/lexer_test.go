@@ -1,0 +1,165 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func lexOK(t *testing.T, src string) []Token {
+	t.Helper()
+	var diags source.DiagList
+	toks := ScanAll(source.NewFile("test.mc", src), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected lex errors:\n%s", diags.String())
+	}
+	return toks
+}
+
+func kinds(toks []Token) []token.Kind {
+	ks := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestScanBasicTokens(t *testing.T) {
+	toks := lexOK(t, `int main() { return 0; }`)
+	want := []token.Kind{
+		token.KwInt, token.IDENT, token.LPAREN, token.RPAREN, token.LBRACE,
+		token.KwReturn, token.INT, token.SEMICOLON, token.RBRACE, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	cases := map[string]token.Kind{
+		"+": token.ADD, "-": token.SUB, "*": token.MUL, "/": token.QUO, "%": token.REM,
+		"&&": token.AND, "||": token.OR, "!": token.NOT, "&": token.BAND, "|": token.BOR,
+		"^": token.BXOR, "<<": token.SHL, ">>": token.SHR,
+		"==": token.EQL, "!=": token.NEQ, "<": token.LSS, ">": token.GTR,
+		"<=": token.LEQ, ">=": token.GEQ,
+		"=": token.ASSIGN, "+=": token.ADDASSIGN, "-=": token.SUBASSIGN,
+		"*=": token.MULASSIGN, "/=": token.QUOASSIGN, "%=": token.REMASSIGN,
+		"++": token.INC, "--": token.DEC,
+		"?": token.QUESTION, ":": token.COLON, ".": token.DOT,
+	}
+	for src, want := range cases {
+		toks := lexOK(t, src)
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %v, want %v", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestScanNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"0", token.INT, "0"},
+		{"12345", token.INT, "12345"},
+		{"0x1F", token.INT, "0x1F"},
+		{"3.14", token.FLOAT, "3.14"},
+		{"2.", token.FLOAT, "2."},
+		{"1e9", token.FLOAT, "1e9"},
+		{"2.5e-3", token.FLOAT, "2.5e-3"},
+	}
+	for _, c := range cases {
+		toks := lexOK(t, c.src)
+		if toks[0].Kind != c.kind || toks[0].Lit != c.lit {
+			t.Errorf("%q: got %v(%q), want %v(%q)", c.src, toks[0].Kind, toks[0].Lit, c.kind, c.lit)
+		}
+	}
+}
+
+func TestScanStringEscapes(t *testing.T) {
+	toks := lexOK(t, `"a\tb\nc\"d"`)
+	if toks[0].Kind != token.STRING {
+		t.Fatalf("got %v, want STRING", toks[0].Kind)
+	}
+	if toks[0].Lit != "a\tb\nc\"d" {
+		t.Errorf("got %q", toks[0].Lit)
+	}
+}
+
+func TestScanCharLiteral(t *testing.T) {
+	toks := lexOK(t, `'a' '\n'`)
+	if toks[0].Kind != token.INT || toks[0].Lit != "97" {
+		t.Errorf("'a': got %v(%q)", toks[0].Kind, toks[0].Lit)
+	}
+	if toks[1].Kind != token.INT || toks[1].Lit != "10" {
+		t.Errorf("'\\n': got %v(%q)", toks[1].Kind, toks[1].Lit)
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	toks := lexOK(t, "int x; // line comment\n/* block\ncomment */ int y;")
+	var idents []string
+	for _, tok := range toks {
+		if tok.Kind == token.IDENT {
+			idents = append(idents, tok.Lit)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "x" || idents[1] != "y" {
+		t.Errorf("idents = %v, want [x y]", idents)
+	}
+}
+
+func TestScanPragma(t *testing.T) {
+	toks := lexOK(t, "#pragma commset decl FSET\nint x;")
+	if toks[0].Kind != token.PRAGMA {
+		t.Fatalf("got %v, want PRAGMA", toks[0].Kind)
+	}
+	if toks[0].Lit != "commset decl FSET" {
+		t.Errorf("pragma body = %q", toks[0].Lit)
+	}
+	if toks[1].Kind != token.KwInt {
+		t.Errorf("token after pragma = %v, want int", toks[1].Kind)
+	}
+}
+
+func TestScanPragmaPositions(t *testing.T) {
+	toks := lexOK(t, "\n\n  #pragma commset decl A\n")
+	if toks[0].Pos.Line != 3 {
+		t.Errorf("pragma line = %d, want 3", toks[0].Pos.Line)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`/* unterminated`,
+		"#include <stdio.h>",
+		"@",
+	}
+	for _, src := range cases {
+		var diags source.DiagList
+		ScanAll(source.NewFile("t.mc", src), &diags)
+		if !diags.HasErrors() {
+			t.Errorf("%q: expected a lex error", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lexOK(t, "int x;\nint yy;")
+	// tokens: int x ; int yy ; EOF
+	if p := toks[3].Pos; p.Line != 2 || p.Col != 1 {
+		t.Errorf("second int at %v, want 2:1", p)
+	}
+	if p := toks[4].Pos; p.Line != 2 || p.Col != 5 {
+		t.Errorf("yy at %v, want 2:5", p)
+	}
+}

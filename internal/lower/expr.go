@@ -1,0 +1,137 @@
+package lower
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+	"repro/internal/vm/value"
+)
+
+// expr lowers an expression into the current block, returning the register
+// holding its value. Short-circuit operators and the ternary operator route
+// their results through temporary local slots so that registers stay
+// block-local.
+func (l *fnLowerer) expr(e ast.Expr) int {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Val: value.Int(n.Value), Pos: n.Pos()})
+		return r
+	case *ast.FloatLit:
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Val: value.Float(n.Value), Pos: n.Pos()})
+		return r
+	case *ast.StringLit:
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Val: value.Str(n.Value), Pos: n.Pos()})
+		return r
+	case *ast.BoolLit:
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Val: value.Bool(n.Value), Pos: n.Pos()})
+		return r
+	case *ast.Ident:
+		return l.loadVar(n.Name, n.Pos())
+	case *ast.CallExpr:
+		return l.call(n)
+	case *ast.UnaryExpr:
+		x := l.expr(n.X)
+		r := l.newReg()
+		op := "-"
+		if n.Op == token.NOT {
+			op = "!"
+		}
+		l.emit(&ir.Instr{Op: ir.OpUn, Dst: r, A: x, BinOp: op, Pos: n.Pos()})
+		return r
+	case *ast.BinaryExpr:
+		if n.Op == token.AND || n.Op == token.OR {
+			return l.shortCircuit(n)
+		}
+		x := l.expr(n.X)
+		y := l.expr(n.Y)
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpBin, Dst: r, A: x, B: y, BinOp: n.Op.String(), Pos: n.Pos()})
+		return r
+	case *ast.CondExpr:
+		return l.ternary(n)
+	}
+	// Unreachable for a checked AST.
+	r := l.newReg()
+	l.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Val: value.Int(0)})
+	return r
+}
+
+// shortCircuit lowers && and || with a temporary slot carrying the result
+// across the control split.
+func (l *fnLowerer) shortCircuit(n *ast.BinaryExpr) int {
+	tmp := l.f.AddLocal("$sc", ast.TBool)
+	x := l.expr(n.X)
+	l.emit(&ir.Instr{Op: ir.OpStoreLocal, Slot: tmp, A: x, Pos: n.Pos()})
+	evalY := l.f.NewBlock()
+	end := l.f.NewBlock()
+	if n.Op == token.AND {
+		// x true -> evaluate y; x false -> done (false).
+		l.emit(&ir.Instr{Op: ir.OpCondBr, A: x, Targets: [2]int{evalY.ID, end.ID}, Pos: n.Pos()})
+	} else {
+		// x true -> done (true); x false -> evaluate y.
+		l.emit(&ir.Instr{Op: ir.OpCondBr, A: x, Targets: [2]int{end.ID, evalY.ID}, Pos: n.Pos()})
+	}
+	l.setCur(evalY)
+	y := l.expr(n.Y)
+	l.emit(&ir.Instr{Op: ir.OpStoreLocal, Slot: tmp, A: y, Pos: n.Pos()})
+	l.br(end)
+	l.setCur(end)
+	r := l.newReg()
+	l.emit(&ir.Instr{Op: ir.OpLoadLocal, Dst: r, Slot: tmp, Pos: n.Pos()})
+	return r
+}
+
+func (l *fnLowerer) ternary(n *ast.CondExpr) int {
+	t := l.m.info.ExprTypes[n]
+	tmp := l.f.AddLocal("$sel", t)
+	cond := l.expr(n.Cond)
+	thenB := l.f.NewBlock()
+	elseB := l.f.NewBlock()
+	end := l.f.NewBlock()
+	l.emit(&ir.Instr{Op: ir.OpCondBr, A: cond, Targets: [2]int{thenB.ID, elseB.ID}, Pos: n.Pos()})
+	l.setCur(thenB)
+	tv := l.expr(n.Then)
+	l.emit(&ir.Instr{Op: ir.OpStoreLocal, Slot: tmp, A: tv, Pos: n.Pos()})
+	l.br(end)
+	l.setCur(elseB)
+	ev := l.expr(n.Else)
+	l.emit(&ir.Instr{Op: ir.OpStoreLocal, Slot: tmp, A: ev, Pos: n.Pos()})
+	l.br(end)
+	l.setCur(end)
+	r := l.newReg()
+	l.emit(&ir.Instr{Op: ir.OpLoadLocal, Dst: r, Slot: tmp, Pos: n.Pos()})
+	return r
+}
+
+func (l *fnLowerer) call(n *ast.CallExpr) int {
+	args := make([]int, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = l.expr(a)
+	}
+	sig := l.m.info.SigOf(n.Fun)
+	dst := -1
+	if sig != nil && sig.Result != ast.TVoid {
+		dst = l.newReg()
+	}
+	l.emit(&ir.Instr{Op: ir.OpCall, Dst: dst, Name: n.Fun, Args: args, Pos: n.Pos()})
+	return dst
+}
+
+// emitMembArgLoads materializes predicate argument values in registers just
+// before a region call and returns the membership references.
+func (l *fnLowerer) emitMembArgLoads(membs []*types.Membership) []MembRef {
+	refs := make([]MembRef, 0, len(membs))
+	for _, memb := range membs {
+		ref := MembRef{Set: memb.Set}
+		for _, a := range memb.Args {
+			ref.ArgRegs = append(ref.ArgRegs, l.loadVar(a, memb.Pos))
+		}
+		refs = append(refs, ref)
+	}
+	return refs
+}

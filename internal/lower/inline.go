@@ -1,0 +1,247 @@
+package lower
+
+import (
+	"repro/internal/ir"
+)
+
+// inlineAdds clones enabling call paths for every COMMSETNAMEDARGADD: the
+// callee is inlined at the enabling call site, and the named block's region
+// call inside the inlined body receives the client's memberships, with
+// predicate arguments bound to client program state (paper Section 4.2:
+// "Call sites enabling optionally commutative named code blocks are inlined
+// to clone the call path from the enabling function call to the
+// COMMSETNAMEDBLOCK declaration").
+func (m *module) inlineAdds() {
+	// Several COMMSETNAMEDARGADD directives may enable different named
+	// blocks of the same call; the call is inlined once and every enabled
+	// block receives its memberships from the clone.
+	var order []*ir.Instr
+	groups := map[*ir.Instr][]*loweredAdd{}
+	for _, la := range m.loweredAdds {
+		if groups[la.callInst] == nil {
+			order = append(order, la.callInst)
+		}
+		groups[la.callInst] = append(groups[la.callInst], la)
+	}
+	for _, call := range order {
+		m.inlineOne(groups[call])
+	}
+}
+
+func (m *module) inlineOne(group []*loweredAdd) {
+	la := group[0]
+	caller := la.caller
+	callee := m.res.Prog.Funcs[la.add.Func]
+	if callee == nil {
+		m.errorf(la.add.Pos, "internal: callee %s not lowered", la.add.Func)
+		return
+	}
+
+	// Locate the call instruction in the caller.
+	var homeBlock *ir.Block
+	callIdx := -1
+	for _, b := range caller.Blocks {
+		for i, in := range b.Instrs {
+			if in == la.callInst {
+				homeBlock, callIdx = b, i
+				break
+			}
+		}
+		if homeBlock != nil {
+			break
+		}
+	}
+	if homeBlock == nil {
+		m.errorf(la.add.Pos, "internal: enabling call vanished before inlining")
+		return
+	}
+
+	slotOff := len(caller.Locals)
+	regOff := caller.NumRegs
+	caller.NumRegs += callee.NumRegs
+	for _, loc := range callee.Locals {
+		caller.AddLocal("inl$"+loc.Name, loc.Type)
+	}
+
+	// Result delivery slot.
+	retSlot := -1
+	if la.callInst.Dst >= 0 && len(callee.Results) > 0 {
+		retSlot = caller.AddLocal("$ret$"+callee.Name, callee.Results[0])
+	}
+
+	// added collects every instruction created by this inline, so loop-unit
+	// records can swap the call instruction for its expansion.
+	var added []*ir.Instr
+
+	// Continuation block receives everything after the call; the cloned
+	// callee blocks follow it, so their IDs start at cont.ID+1.
+	cont := caller.NewBlock()
+	blockOff := cont.ID + 1
+	cont.Instrs = append(cont.Instrs, homeBlock.Instrs[callIdx+1:]...)
+	if la.callInst.Dst >= 0 {
+		head := []*ir.Instr{{Op: ir.OpLoadLocal, Dst: la.callInst.Dst, Slot: retSlot, Pos: la.callInst.Pos}}
+		cont.Instrs = append(head, cont.Instrs...)
+		added = append(added, head[0])
+	}
+
+	// The home block now stores arguments into parameter slots and jumps to
+	// the cloned entry.
+	homeBlock.Instrs = homeBlock.Instrs[:callIdx]
+	for j, argReg := range la.callInst.Args {
+		st := &ir.Instr{Op: ir.OpStoreLocal, Slot: slotOff + j, A: argReg, Pos: la.callInst.Pos}
+		homeBlock.Instrs = append(homeBlock.Instrs, st)
+		added = append(added, st)
+	}
+	enter := &ir.Instr{Op: ir.OpBr, Targets: [2]int{blockOff, blockOff}, Pos: la.callInst.Pos}
+	homeBlock.Instrs = append(homeBlock.Instrs, enter)
+	added = append(added, enter)
+
+	// Clone callee blocks, remembering the clone of every named-block
+	// region call an add in the group enables.
+	enabled := map[string]*ir.Instr{}
+	wanted := map[string]bool{}
+	for _, g := range group {
+		wanted[g.add.Func+"$"+g.add.Block] = true
+	}
+	for _, cb := range callee.Blocks {
+		nb := caller.NewBlock()
+		if nb.ID != blockOff+cb.ID {
+			// Block IDs are dense; NewBlock after cont gives sequential IDs.
+			// This should always line up.
+			m.errorf(la.add.Pos, "internal: inline block numbering skewed")
+		}
+		for _, in := range cb.Instrs {
+			clone := m.cloneInstr(in, regOff, slotOff, blockOff, cont.ID, retSlot)
+			nb.Instrs = append(nb.Instrs, clone...)
+			added = append(added, clone...)
+			for _, ci := range clone {
+				if ci.Op == ir.OpCall && wanted[ci.Name] {
+					enabled[ci.Name] = ci
+				}
+			}
+		}
+	}
+
+	// Attach each add's client memberships to its enabled region call,
+	// loading the client-state predicate arguments immediately before it.
+	for _, g := range group {
+		regionCallName := g.add.Func + "$" + g.add.Block
+		enabledCall := enabled[regionCallName]
+		if enabledCall == nil {
+			m.errorf(g.add.Pos, "internal: named block region %s not found while inlining", regionCallName)
+			continue
+		}
+		ecBlock := caller.BlockOfInstr(enabledCall)
+		refs := make([]MembRef, 0, len(g.add.Membs))
+		for mi, memb := range g.add.Membs {
+			ref := MembRef{Set: memb.Set}
+			for _, loc := range g.argLocs[mi] {
+				r := caller.NumRegs
+				caller.NumRegs++
+				var load *ir.Instr
+				if loc.global {
+					load = &ir.Instr{Op: ir.OpLoadGlobal, Dst: r, Name: loc.name, Pos: g.add.Pos}
+				} else {
+					load = &ir.Instr{Op: ir.OpLoadLocal, Dst: r, Slot: loc.slot, Pos: g.add.Pos}
+				}
+				insertBefore(ecBlock, enabledCall, load)
+				added = append(added, load)
+				ref.ArgRegs = append(ref.ArgRegs, r)
+			}
+			refs = append(refs, ref)
+		}
+		m.res.CallMembs[enabledCall] = append(m.res.CallMembs[enabledCall], refs...)
+	}
+	m.fixupUnits(la.callInst, added)
+}
+
+// fixupUnits replaces the inlined call instruction with its expansion in any
+// loop-unit record that contained it, keeping unit membership exact.
+func (m *module) fixupUnits(old *ir.Instr, added []*ir.Instr) {
+	for _, lu := range m.res.Loops {
+		for ui, unit := range lu.Units {
+			for ii, in := range unit {
+				if in == old {
+					repl := make([]*ir.Instr, 0, len(unit)-1+len(added))
+					repl = append(repl, unit[:ii]...)
+					repl = append(repl, added...)
+					repl = append(repl, unit[ii+1:]...)
+					lu.Units[ui] = repl
+					break
+				}
+			}
+		}
+	}
+}
+
+// cloneInstr clones one callee instruction with remapped registers, slots,
+// and block targets. OpRet becomes a store of the return value (when the
+// call expects one) followed by a branch to the continuation block.
+func (m *module) cloneInstr(in *ir.Instr, regOff, slotOff, blockOff, contID, retSlot int) []*ir.Instr {
+	mapReg := func(r int) int {
+		if r < 0 {
+			return r
+		}
+		return r + regOff
+	}
+	if in.Op == ir.OpRet {
+		var out []*ir.Instr
+		if retSlot >= 0 && len(in.Args) > 0 {
+			out = append(out, &ir.Instr{Op: ir.OpStoreLocal, Slot: retSlot, A: mapReg(in.Args[0]), Pos: in.Pos})
+		}
+		out = append(out, &ir.Instr{Op: ir.OpBr, Targets: [2]int{contID, contID}, Pos: in.Pos})
+		return out
+	}
+	c := &ir.Instr{
+		Op:    in.Op,
+		Dst:   mapReg(in.Dst),
+		A:     mapReg(in.A),
+		B:     mapReg(in.B),
+		Slot:  in.Slot,
+		Name:  in.Name,
+		Val:   in.Val,
+		BinOp: in.BinOp,
+		Pos:   in.Pos,
+	}
+	switch in.Op {
+	case ir.OpLoadLocal, ir.OpStoreLocal:
+		c.Slot = in.Slot + slotOff
+	case ir.OpBr, ir.OpCondBr:
+		c.Targets = [2]int{in.Targets[0] + blockOff, in.Targets[1] + blockOff}
+	}
+	if in.Args != nil {
+		c.Args = make([]int, len(in.Args))
+		for i, a := range in.Args {
+			c.Args[i] = mapReg(a)
+		}
+	}
+	if in.OutSlots != nil {
+		c.OutSlots = make([]int, len(in.OutSlots))
+		for i, s := range in.OutSlots {
+			c.OutSlots[i] = s + slotOff
+		}
+	}
+	// Preserve memberships recorded on the original instruction (e.g. a
+	// member block inside the inlined callee).
+	if membs, ok := m.res.CallMembs[in]; ok {
+		cloned := make([]MembRef, len(membs))
+		for i, ref := range membs {
+			cr := MembRef{Set: ref.Set, ArgRegs: make([]int, len(ref.ArgRegs))}
+			for j, r := range ref.ArgRegs {
+				cr.ArgRegs[j] = mapReg(r)
+			}
+			cloned[i] = cr
+		}
+		m.res.CallMembs[c] = cloned
+	}
+	return []*ir.Instr{c}
+}
+
+func insertBefore(b *ir.Block, target *ir.Instr, in *ir.Instr) {
+	for i, x := range b.Instrs {
+		if x == target {
+			b.Instrs = append(b.Instrs[:i], append([]*ir.Instr{in}, b.Instrs[i:]...)...)
+			return
+		}
+	}
+}

@@ -1,0 +1,560 @@
+package lower
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/types"
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// testWorld provides print/arith builtins capturing output for assertions.
+type testWorld struct {
+	out strings.Builder
+}
+
+func (w *testWorld) sigs() map[string]*types.Sig {
+	return map[string]*types.Sig{
+		"print_int":   {Name: "print_int", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"print_str":   {Name: "print_str", Params: []ast.Type{ast.TString}, Result: ast.TVoid},
+		"side_effect": {Name: "side_effect", Params: []ast.Type{ast.TInt}, Result: ast.TBool},
+		"abs":         {Name: "abs", Params: []ast.Type{ast.TInt}, Result: ast.TInt, Pure: true},
+		"work":        {Name: "work", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+	}
+}
+
+func (w *testWorld) builtins() map[string]interp.BuiltinFn {
+	return map[string]interp.BuiltinFn{
+		"print_int": func(args []value.Value) (value.Value, int64, error) {
+			fmt.Fprintf(&w.out, "%d\n", args[0].AsInt())
+			return value.Void(), 1, nil
+		},
+		"print_str": func(args []value.Value) (value.Value, int64, error) {
+			fmt.Fprintf(&w.out, "%s\n", args[0].AsString())
+			return value.Void(), 1, nil
+		},
+		"side_effect": func(args []value.Value) (value.Value, int64, error) {
+			fmt.Fprintf(&w.out, "se(%d)\n", args[0].AsInt())
+			return value.Bool(args[0].AsInt() > 0), 1, nil
+		},
+		"abs": func(args []value.Value) (value.Value, int64, error) {
+			v := args[0].AsInt()
+			if v < 0 {
+				v = -v
+			}
+			return value.Int(v), 1, nil
+		},
+		"work": func(args []value.Value) (value.Value, int64, error) {
+			return value.Int(args[0].AsInt() * 2), 10, nil
+		},
+	}
+}
+
+// compile parses, checks, and lowers src; it fails the test on any error.
+func compile(t *testing.T, src string) (*Result, *testWorld) {
+	t.Helper()
+	w := &testWorld{}
+	var diags source.DiagList
+	prog := parser.Parse(source.NewFile("t.mc", src), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	info := types.Check(prog, w.sigs(), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("check errors:\n%s", diags.String())
+	}
+	res := Lower(info, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("lower errors:\n%s", diags.String())
+	}
+	return res, w
+}
+
+// run executes main and returns captured output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	res, w := compile(t, src)
+	env := interp.NewEnv(res.Prog, w.builtins())
+	th := interp.NewThread(env)
+	if err := th.RunMain(); err != nil {
+		t.Fatalf("runtime error: %v", err)
+	}
+	return w.out.String()
+}
+
+func wantOutput(t *testing.T, src, want string) {
+	t.Helper()
+	got := run(t, src)
+	if got != want {
+		t.Errorf("output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	print_int(1 + 2 * 3);
+	print_int((1 + 2) * 3);
+	print_int(10 / 3);
+	print_int(10 % 3);
+	print_int(-4);
+	print_int(7 & 3);
+	print_int(1 << 4);
+	print_int(255 >> 4);
+	print_int(5 ^ 1);
+}`, "7\n9\n3\n1\n-4\n3\n16\n15\n4\n")
+}
+
+func TestRunControlFlow(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int s = 0;
+	for (int i = 0; i < 10; i++) {
+		if (i == 3) { continue; }
+		if (i == 7) { break; }
+		s += i;
+	}
+	print_int(s);
+	int n = 0;
+	while (n < 5) { n++; }
+	print_int(n);
+}`, "18\n5\n")
+}
+
+func TestRunFunctionsAndRecursion(t *testing.T) {
+	wantOutput(t, `
+int fact(int n) {
+	if (n <= 1) { return 1; }
+	return n * fact(n - 1);
+}
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+void main() {
+	print_int(fact(10));
+	print_int(fib(15));
+}`, "3628800\n610\n")
+}
+
+func TestRunGlobals(t *testing.T) {
+	wantOutput(t, `
+int counter = 100;
+void bump() { counter += 5; }
+void main() {
+	bump();
+	bump();
+	print_int(counter);
+}`, "110\n")
+}
+
+func TestRunShortCircuit(t *testing.T) {
+	// RHS must not evaluate when LHS decides.
+	wantOutput(t, `
+void main() {
+	bool a = side_effect(1) || side_effect(2);
+	bool b = side_effect(0) && side_effect(3);
+	if (a && !b) { print_int(42); }
+}`, "se(1)\nse(0)\n42\n")
+}
+
+func TestRunTernary(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int x = 5;
+	print_int(x > 3 ? 100 : 200);
+	print_int(x < 3 ? 100 : 200);
+	string s = x == 5 ? "five" : "other";
+	print_str(s);
+}`, "100\n200\nfive\n")
+}
+
+func TestRunStrings(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	string a = "foo" + "bar";
+	print_str(a);
+	if (a == "foobar") { print_int(1); }
+	if ("abc" < "abd") { print_int(2); }
+}`, "foobar\n1\n2\n")
+}
+
+func TestRunDivideByZero(t *testing.T) {
+	res, w := compile(t, `
+void main() {
+	int z = 0;
+	print_int(10 / z);
+}`)
+	env := interp.NewEnv(res.Prog, w.builtins())
+	if err := interp.NewThread(env).RunMain(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero", err)
+	}
+}
+
+func TestRegionExtraction(t *testing.T) {
+	res, w := compile(t, `
+#pragma commset decl FSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+void main() {
+	int total = 0;
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member FSET(i), SELF
+		{
+			int doubled = work(i);
+			total += doubled;
+		}
+	}
+	print_int(total);
+}`)
+	// One region function extracted.
+	var region *ir.Func
+	for _, name := range res.Prog.Order {
+		if f := res.Prog.Funcs[name]; f.IsRegion {
+			if region != nil {
+				t.Fatalf("multiple regions extracted")
+			}
+			region = f
+		}
+	}
+	if region == nil {
+		t.Fatal("no region function extracted")
+	}
+	if region.SrcFunc != "main" {
+		t.Errorf("region.SrcFunc = %q", region.SrcFunc)
+	}
+	// The region reads i and total, writes total.
+	if region.Params != 2 {
+		t.Errorf("region params = %d, want 2 (i, total)", region.Params)
+	}
+	if len(region.Results) != 1 {
+		t.Errorf("region results = %d, want 1 (total)", len(region.Results))
+	}
+	// Membership recorded on the region call with two sets.
+	var membs []MembRef
+	for _, ms := range res.CallMembs {
+		membs = ms
+	}
+	if len(res.CallMembs) != 1 || len(membs) != 2 {
+		t.Fatalf("CallMembs = %v", res.CallMembs)
+	}
+	if membs[0].Set.Name != "FSET" || len(membs[0].ArgRegs) != 1 {
+		t.Errorf("memb 0 = %+v", membs[0])
+	}
+	if !membs[1].Set.Anon {
+		t.Errorf("memb 1 = %+v", membs[1])
+	}
+	// Execution is unchanged by extraction: work doubles, sum of 0,2,4,6.
+	env := interp.NewEnv(res.Prog, w.builtins())
+	if err := interp.NewThread(env).RunMain(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := w.out.String(); got != "12\n" {
+		t.Errorf("output = %q, want 12", got)
+	}
+}
+
+func TestRegionNestedAndShadowing(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int x = 10;
+	int acc = 0;
+	for (int i = 0; i < 3; i++) {
+		#pragma commset member SELF
+		{
+			int x = i * 100;
+			acc += x;
+		}
+	}
+	print_int(acc);
+	print_int(x);
+}`, "300\n10\n")
+}
+
+func TestRegionWritesMultipleOuts(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int a = 0;
+	int b = 0;
+	#pragma commset member SELF
+	{
+		a = 7;
+		b = a + 1;
+	}
+	print_int(a);
+	print_int(b);
+}`, "7\n8\n")
+}
+
+func TestRegionLoopInside(t *testing.T) {
+	wantOutput(t, `
+void main() {
+	int total = 0;
+	#pragma commset member SELF
+	{
+		for (int j = 0; j < 5; j++) {
+			if (j == 3) { break; }
+			total += j;
+		}
+	}
+	print_int(total);
+}`, "3\n")
+}
+
+func TestFuncMembership(t *testing.T) {
+	res, _ := compile(t, `
+#pragma commset decl KSET
+#pragma commset predicate KSET (k1)(k2) : k1 != k2
+#pragma commset member KSET(key), SELF
+void touch(int handle, int key) { work(handle + key); }
+void main() { touch(1, 2); }`)
+	refs := res.FuncMembs["touch"]
+	if len(refs) != 2 {
+		t.Fatalf("FuncMembs = %+v", refs)
+	}
+	if refs[0].Set.Name != "KSET" || len(refs[0].ParamIdx) != 1 || refs[0].ParamIdx[0] != 1 {
+		t.Errorf("ref 0 = %+v (want param index 1 for key)", refs[0])
+	}
+	if !refs[1].Set.Anon {
+		t.Errorf("ref 1 = %+v", refs[1])
+	}
+}
+
+func TestNamedBlockInlining(t *testing.T) {
+	res, w := compile(t, `
+#pragma commset decl self SSET
+#pragma commset predicate SSET (a)(b) : a != b
+#pragma commset namedarg READB
+int mdfile(int fp) {
+	int sum = 0;
+	#pragma commset namedblock READB
+	{
+		sum = work(fp);
+	}
+	return sum + 1;
+}
+void main() {
+	int total = 0;
+	for (int i = 0; i < 3; i++) {
+		#pragma commset add mdfile.READB to SSET(i)
+		total += mdfile(i);
+	}
+	// A second client without the option keeps sequential semantics.
+	total += mdfile(10);
+	print_int(total);
+}`)
+	// Region function for the named block exists.
+	region := res.Prog.Funcs["mdfile$READB"]
+	if region == nil || !region.IsRegion {
+		t.Fatal("mdfile$READB region missing")
+	}
+	// Exactly one call instruction carries the SSET membership (the inlined
+	// clone in main).
+	found := 0
+	for call, membs := range res.CallMembs {
+		for _, mref := range membs {
+			if mref.Set.Name == "SSET" {
+				found++
+				if call.Name != "mdfile$READB" {
+					t.Errorf("membership attached to %s", call.Name)
+				}
+				if len(mref.ArgRegs) != 1 {
+					t.Errorf("argregs = %v", mref.ArgRegs)
+				}
+			}
+		}
+	}
+	if found != 1 {
+		t.Fatalf("SSET memberships = %d, want 1", found)
+	}
+	// Semantics preserved: work doubles; mdfile(i) = 2i+1.
+	// i=0,1,2 -> 1,3,5; mdfile(10)=21; total = 30.
+	env := interp.NewEnv(res.Prog, w.builtins())
+	if err := interp.NewThread(env).RunMain(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := w.out.String(); got != "30\n" {
+		t.Errorf("output = %q, want 30", got)
+	}
+}
+
+func TestInliningPreservesResultRegister(t *testing.T) {
+	// The enabling call's result feeds further computation in the same
+	// statement; inlining must deliver the value to the original register.
+	wantOutput(t, `
+#pragma commset namedarg B
+int g(int x) {
+	int r = 0;
+	#pragma commset namedblock B
+	{
+		r = x * 10;
+	}
+	return r;
+}
+void main() {
+	int t = 0;
+	#pragma commset add g.B to SELF
+	t = g(4) + 2;
+	print_int(t);
+}`, "42\n")
+}
+
+func TestRegisterBlockLocality(t *testing.T) {
+	// Registers must be block-local: every register used by an instruction
+	// is defined earlier in the same block.
+	res, _ := compile(t, `
+int helper(int v) { return v > 0 ? v : -v; }
+void main() {
+	int s = 0;
+	for (int i = 0; i < 4; i++) {
+		bool p = i % 2 == 0 && helper(i) > 0;
+		if (p || i == 3) { s += i; }
+		#pragma commset member SELF
+		{ s += helper(i); }
+	}
+	print_int(s);
+}`)
+	for _, name := range res.Prog.Order {
+		f := res.Prog.Funcs[name]
+		for _, b := range f.Blocks {
+			defined := map[int]bool{}
+			for _, in := range b.Instrs {
+				for _, r := range regUses(in) {
+					if !defined[r] {
+						t.Errorf("%s b%d %v: register r%d used before block-local def", name, b.ID, in, r)
+					}
+				}
+				if in.Dst >= 0 {
+					defined[in.Dst] = true
+				}
+			}
+		}
+	}
+}
+
+func regUses(in *ir.Instr) []int {
+	var uses []int
+	switch in.Op {
+	case ir.OpStoreLocal, ir.OpStoreGlobal, ir.OpUn, ir.OpCondBr:
+		uses = append(uses, in.A)
+	case ir.OpBin:
+		uses = append(uses, in.A, in.B)
+	case ir.OpCall, ir.OpRet:
+		uses = append(uses, in.Args...)
+	}
+	return uses
+}
+
+func TestLoweredProgramRenumbered(t *testing.T) {
+	res, _ := compile(t, `
+void main() {
+	for (int i = 0; i < 3; i++) {
+		#pragma commset member SELF
+		{ work(i); }
+	}
+}`)
+	for _, name := range res.Prog.Order {
+		f := res.Prog.Funcs[name]
+		want := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.ID != want {
+					t.Fatalf("%s: instruction IDs not dense (%d != %d)", name, in.ID, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+func TestMultipleNamedBlocksPerFunction(t *testing.T) {
+	// A function exporting two optional blocks; the client enables both.
+	res, w := compile(t, `
+#pragma commset decl self ASET
+#pragma commset predicate ASET (a)(b) : a != b
+
+#pragma commset namedarg RB, WB
+int phase(int x) {
+	int r = 0;
+	#pragma commset namedblock RB
+	{
+		r = work(x);
+	}
+	int s = 0;
+	#pragma commset namedblock WB
+	{
+		s = work(r);
+	}
+	return s;
+}
+void main() {
+	int total = 0;
+	for (int i = 0; i < 3; i++) {
+		#pragma commset add phase.RB to ASET(i)
+		#pragma commset add phase.WB to SELF
+		total += phase(i);
+	}
+	print_int(total);
+}`)
+	// Both region functions exist and both inlined clones carry memberships.
+	if res.Prog.Funcs["phase$RB"] == nil || res.Prog.Funcs["phase$WB"] == nil {
+		t.Fatal("named block regions missing")
+	}
+	var sawRB, sawWB bool
+	for call, membs := range res.CallMembs {
+		switch call.Name {
+		case "phase$RB":
+			for _, m := range membs {
+				if m.Set.Name == "ASET" {
+					sawRB = true
+				}
+			}
+		case "phase$WB":
+			for _, m := range membs {
+				if m.Set.Anon {
+					sawWB = true
+				}
+			}
+		}
+	}
+	if !sawRB || !sawWB {
+		t.Errorf("memberships missing: RB=%v WB=%v", sawRB, sawWB)
+	}
+	// Semantics preserved: work doubles. phase(i) = 4i; total = 0+4+8 = 12.
+	env := interp.NewEnv(res.Prog, w.builtins())
+	if err := interp.NewThread(env).RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "12\n" {
+		t.Errorf("output = %q, want 12", got)
+	}
+}
+
+func TestMemberPragmaAppendsAcrossLines(t *testing.T) {
+	// Two member pragmas on the same block merge their set lists.
+	res, _ := compile(t, `
+#pragma commset decl A
+#pragma commset decl B
+void main() {
+	for (int i = 0; i < 2; i++) {
+		#pragma commset member A
+		#pragma commset member B, SELF
+		{
+			work(i);
+		}
+	}
+}`)
+	for _, membs := range res.CallMembs {
+		if len(membs) != 3 {
+			t.Errorf("memberships = %d, want 3 (A, B, SELF)", len(membs))
+		}
+	}
+	if len(res.CallMembs) != 1 {
+		t.Errorf("one region call expected, got %d", len(res.CallMembs))
+	}
+}

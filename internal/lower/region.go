@@ -1,0 +1,255 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// freeVars is the result of analyzing a commutative block's variable usage
+// against the enclosing function's scopes.
+type freeVars struct {
+	// ins: outer locals whose incoming value may be read (read before a
+	// definite write). They become region parameters.
+	ins []freeVar
+	// extras: outer locals written (never reading the incoming value); the
+	// region gets fresh local slots for them.
+	extras []freeVar
+	// outs: outer locals written inside the block, in first-write order;
+	// their final values are returned to the caller.
+	outs []freeVar
+}
+
+type freeVar struct {
+	name string
+	slot int // slot in the enclosing function
+	typ  ast.Type
+}
+
+// analyzeFreeVars walks the block, resolving identifiers against the
+// lowerer's current scopes. Variables declared within the block are
+// internal; globals are accessed directly from within the region and do
+// not appear. A read counts as needing the incoming value only when it is
+// not preceded by a definite write (an unconditional assignment at the
+// block's top level), which separates read-modify-write accumulators
+// (live-in and live-out) from write-only outputs.
+func (l *fnLowerer) analyzeFreeVars(block *ast.BlockStmt) freeVars {
+	var fv freeVars
+	type varInfo struct {
+		fv       freeVar
+		needsIn  bool
+		written  bool
+		definite bool // definitely assigned at this point of the walk
+	}
+	infos := map[string]*varInfo{}
+	var order []string
+
+	// internal tracks block-local declarations with proper nesting.
+	var internal []map[string]bool
+	isInternal := func(name string) bool {
+		for i := len(internal) - 1; i >= 0; i-- {
+			if internal[i][name] {
+				return true
+			}
+		}
+		return false
+	}
+	info := func(name string) *varInfo {
+		if isInternal(name) {
+			return nil
+		}
+		slot, global := l.lookup(name)
+		if global {
+			return nil
+		}
+		vi := infos[name]
+		if vi == nil {
+			vi = &varInfo{fv: freeVar{name: name, slot: slot, typ: l.f.Locals[slot].Type}}
+			infos[name] = vi
+			order = append(order, name)
+		}
+		return vi
+	}
+	touchRead := func(name string) {
+		if vi := info(name); vi != nil && !vi.definite {
+			vi.needsIn = true
+		}
+	}
+	touchWrite := func(name string, definite bool) {
+		if vi := info(name); vi != nil {
+			vi.written = true
+			if definite {
+				vi.definite = true
+			}
+		}
+	}
+
+	var walkStmt func(s ast.Stmt, conditional bool)
+	var walkExpr func(e ast.Expr)
+	walkExpr = func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) {
+			if id, ok := x.(*ast.Ident); ok {
+				touchRead(id.Name)
+			}
+		})
+	}
+	walkStmt = func(s ast.Stmt, conditional bool) {
+		switch n := s.(type) {
+		case *ast.DeclStmt:
+			if n.Decl.Init != nil {
+				walkExpr(n.Decl.Init)
+			}
+			internal[len(internal)-1][n.Decl.Name] = true
+		case *ast.AssignStmt:
+			walkExpr(n.Rhs)
+			if n.Op != token.ASSIGN {
+				touchRead(n.Lhs) // compound assignment reads the target
+			}
+			touchWrite(n.Lhs, !conditional)
+		case *ast.IncDecStmt:
+			touchRead(n.Name)
+			touchWrite(n.Name, !conditional)
+		case *ast.ExprStmt:
+			walkExpr(n.X)
+		case *ast.IfStmt:
+			walkExpr(n.Cond)
+			walkStmt(n.Then, true)
+			if n.Else != nil {
+				walkStmt(n.Else, true)
+			}
+		case *ast.WhileStmt:
+			walkExpr(n.Cond)
+			walkStmt(n.Body, true)
+		case *ast.ForStmt:
+			internal = append(internal, map[string]bool{})
+			if n.Init != nil {
+				walkStmt(n.Init, true)
+			}
+			if n.Cond != nil {
+				walkExpr(n.Cond)
+			}
+			if n.Post != nil {
+				walkStmt(n.Post, true)
+			}
+			walkStmt(n.Body, true)
+			internal = internal[:len(internal)-1]
+		case *ast.ReturnStmt:
+			if n.X != nil {
+				walkExpr(n.X)
+			}
+		case *ast.BlockStmt:
+			internal = append(internal, map[string]bool{})
+			for _, st := range n.Stmts {
+				walkStmt(st, conditional)
+			}
+			internal = internal[:len(internal)-1]
+		}
+	}
+	internal = append(internal, map[string]bool{})
+	for _, st := range block.Stmts {
+		walkStmt(st, false)
+	}
+
+	for _, name := range order {
+		vi := infos[name]
+		if vi.needsIn {
+			fv.ins = append(fv.ins, vi.fv)
+		} else if vi.written {
+			fv.extras = append(fv.extras, vi.fv)
+		}
+		if vi.written {
+			fv.outs = append(fv.outs, vi.fv)
+		}
+	}
+	return fv
+}
+
+// extractRegion canonicalizes a commutative compound statement into its own
+// region function and emits the region call in the enclosing function,
+// reproducing the Metadata Manager's first pass (Section 4.2). After this,
+// every member of a COMMSET is a function.
+func (l *fnLowerer) extractRegion(block *ast.BlockStmt, inst *types.Instance, named string) {
+	fv := l.analyzeFreeVars(block)
+
+	var name string
+	if named != "" {
+		name = l.srcFn.Name + "$" + named
+	} else {
+		l.m.regionID++
+		name = fmt.Sprintf("%s$r%d", l.srcFn.Name, l.m.regionID)
+	}
+
+	rf := &ir.Func{
+		Name:     name,
+		Params:   len(fv.ins),
+		IsRegion: true,
+		SrcFunc:  l.srcFn.Name,
+		Pos:      block.Pos(),
+	}
+	for _, in := range fv.ins {
+		rf.AddLocal(in.name, in.typ)
+	}
+	for _, out := range fv.outs {
+		rf.Results = append(rf.Results, out.typ)
+	}
+
+	// Lower the region body in its own lowerer. The region shares the
+	// source function for named-block resolution of nested blocks.
+	rl := &fnLowerer{m: l.m, f: rf, srcFn: l.srcFn}
+	rl.scopes = []map[string]int{{}}
+	for i, in := range fv.ins {
+		rl.scopes[0][in.name] = i
+	}
+	// Write-only outer locals get fresh region slots (their incoming value
+	// is never read, so they are not parameters).
+	for _, ex := range fv.extras {
+		rl.scopes[0][ex.name] = rf.AddLocal(ex.name, ex.typ)
+	}
+	rl.cur = rf.NewBlock()
+	rl.pushScope()
+	for _, s := range block.Stmts {
+		rl.stmt(s)
+	}
+	rl.popScope()
+	// Return the live-outs.
+	var retRegs []int
+	for _, out := range fv.outs {
+		r := rl.newReg()
+		slot := rl.scopes[0][out.name]
+		rl.emit(&ir.Instr{Op: ir.OpLoadLocal, Dst: r, Slot: slot, Pos: block.Pos()})
+		retRegs = append(retRegs, r)
+	}
+	rl.emit(&ir.Instr{Op: ir.OpRet, Args: retRegs, Pos: block.Pos()})
+	l.m.res.Prog.AddFunc(rf)
+	l.m.res.RegionFuncs[name] = block.Pos()
+
+	// Emit the region call in the enclosing function.
+	var membs []MembRef
+	if inst != nil {
+		membs = l.emitMembArgLoads(inst.Membs)
+	}
+	args := make([]int, len(fv.ins))
+	for i, in := range fv.ins {
+		r := l.newReg()
+		l.emit(&ir.Instr{Op: ir.OpLoadLocal, Dst: r, Slot: in.slot, Pos: block.Pos()})
+		args[i] = r
+	}
+	outSlots := make([]int, len(fv.outs))
+	for i, out := range fv.outs {
+		outSlots[i] = out.slot
+	}
+	call := l.emit(&ir.Instr{
+		Op:       ir.OpCall,
+		Dst:      -1,
+		Name:     name,
+		Args:     args,
+		OutSlots: outSlots,
+		Pos:      block.Pos(),
+	})
+	if len(membs) > 0 {
+		l.m.res.CallMembs[call] = membs
+	}
+}

@@ -1,0 +1,320 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/pragma"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := ParseSource("test.mc", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	prog := parseOK(t, "")
+	if len(prog.Funcs) != 0 || len(prog.Globals) != 0 {
+		t.Errorf("expected empty program")
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	prog := parseOK(t, `
+int add(int a, int b) {
+	return a + b;
+}`)
+	if len(prog.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	fn := prog.Funcs[0]
+	if fn.Name != "add" || fn.Result != ast.TInt || len(fn.Params) != 2 {
+		t.Errorf("fn = %+v", fn)
+	}
+	if len(fn.Body.Stmts) != 1 {
+		t.Fatalf("body stmts = %d", len(fn.Body.Stmts))
+	}
+	ret, ok := fn.Body.Stmts[0].(*ast.ReturnStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", fn.Body.Stmts[0])
+	}
+	bin, ok := ret.X.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		t.Errorf("return expr = %#v", ret.X)
+	}
+}
+
+func TestParseGlobals(t *testing.T) {
+	prog := parseOK(t, `
+int limit = 100;
+float ratio;
+string name = "abc";
+`)
+	if len(prog.Globals) != 3 {
+		t.Fatalf("globals = %d", len(prog.Globals))
+	}
+	if prog.Globals[0].Name != "limit" || prog.Globals[0].Init == nil {
+		t.Errorf("global 0 = %+v", prog.Globals[0])
+	}
+	if prog.Globals[1].Type != ast.TFloat || prog.Globals[1].Init != nil {
+		t.Errorf("global 1 = %+v", prog.Globals[1])
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	prog := parseOK(t, `
+void f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		if (i % 2 == 0) {
+			s += i;
+		} else {
+			continue;
+		}
+		while (s > 100) {
+			s = s - 10;
+			break;
+		}
+	}
+	return;
+}`)
+	fn := prog.Funcs[0]
+	if len(fn.Body.Stmts) != 3 {
+		t.Fatalf("body stmts = %d", len(fn.Body.Stmts))
+	}
+	forStmt, ok := fn.Body.Stmts[1].(*ast.ForStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", fn.Body.Stmts[1])
+	}
+	if forStmt.Init == nil || forStmt.Cond == nil || forStmt.Post == nil {
+		t.Errorf("for header incomplete: %+v", forStmt)
+	}
+	if _, ok := forStmt.Post.(*ast.IncDecStmt); !ok {
+		t.Errorf("for post is %T", forStmt.Post)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	prog := parseOK(t, `int f() { return 1 + 2 * 3 == 7 && !false || 4 < 5 ? 1 : 0; }`)
+	ret := prog.Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	cond, ok := ret.X.(*ast.CondExpr)
+	if !ok {
+		t.Fatalf("top is %T, want CondExpr", ret.X)
+	}
+	or, ok := cond.Cond.(*ast.BinaryExpr)
+	if !ok || or.Op != token.OR {
+		t.Fatalf("cond is %#v, want ||", cond.Cond)
+	}
+	and, ok := or.X.(*ast.BinaryExpr)
+	if !ok || and.Op != token.AND {
+		t.Fatalf("lhs of || is %#v, want &&", or.X)
+	}
+	eq, ok := and.X.(*ast.BinaryExpr)
+	if !ok || eq.Op != token.EQL {
+		t.Fatalf("lhs of && is %#v, want ==", and.X)
+	}
+	add, ok := eq.X.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		t.Fatalf("lhs of == is %#v, want +", eq.X)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.MUL {
+		t.Fatalf("rhs of + is %#v, want *", add.Y)
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	prog := parseOK(t, `void f() { g(); h(1, x + 2, "s"); }`)
+	body := prog.Funcs[0].Body
+	c0 := body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if c0.Fun != "g" || len(c0.Args) != 0 {
+		t.Errorf("call 0 = %+v", c0)
+	}
+	c1 := body.Stmts[1].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if c1.Fun != "h" || len(c1.Args) != 3 {
+		t.Errorf("call 1 = %+v", c1)
+	}
+}
+
+func TestParseAssignOps(t *testing.T) {
+	prog := parseOK(t, `void f() { int x = 0; x = 1; x += 2; x -= 3; x *= 4; x /= 5; x %= 6; x++; x--; }`)
+	body := prog.Funcs[0].Body
+	wantOps := []token.Kind{
+		token.ASSIGN, token.ADDASSIGN, token.SUBASSIGN,
+		token.MULASSIGN, token.QUOASSIGN, token.REMASSIGN,
+	}
+	for i, op := range wantOps {
+		s, ok := body.Stmts[i+1].(*ast.AssignStmt)
+		if !ok || s.Op != op {
+			t.Errorf("stmt %d: %#v, want assign %v", i+1, body.Stmts[i+1], op)
+		}
+	}
+	if s, ok := body.Stmts[7].(*ast.IncDecStmt); !ok || s.Op != token.INC {
+		t.Errorf("stmt 7 = %#v", body.Stmts[7])
+	}
+	if s, ok := body.Stmts[8].(*ast.IncDecStmt); !ok || s.Op != token.DEC {
+		t.Errorf("stmt 8 = %#v", body.Stmts[8])
+	}
+}
+
+func TestParseGlobalPragmas(t *testing.T) {
+	prog := parseOK(t, `
+#pragma commset decl FSET
+#pragma commset decl self SSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+#pragma commset nosync FSET
+int main() { return 0; }
+`)
+	if len(prog.Pragmas) != 4 {
+		t.Fatalf("file-scope pragmas = %d, want 4", len(prog.Pragmas))
+	}
+	if _, ok := prog.Pragmas[0].Dir.(*pragma.Decl); !ok {
+		t.Errorf("pragma 0 = %T", prog.Pragmas[0].Dir)
+	}
+	if _, ok := prog.Pragmas[2].Dir.(*pragma.Predicate); !ok {
+		t.Errorf("pragma 2 = %T", prog.Pragmas[2].Dir)
+	}
+	if len(prog.Funcs[0].Pragmas) != 0 {
+		t.Errorf("function got %d pragmas, want 0", len(prog.Funcs[0].Pragmas))
+	}
+}
+
+func TestParseMemberPragmaOnBlock(t *testing.T) {
+	prog := parseOK(t, `
+#pragma commset decl FSET
+void f(int i) {
+	#pragma commset member FSET(i), SELF
+	{
+		g(i);
+	}
+}
+`)
+	blk := prog.Funcs[0].Body.Stmts[0].(*ast.BlockStmt)
+	if len(blk.Pragmas) != 1 {
+		t.Fatalf("block pragmas = %d", len(blk.Pragmas))
+	}
+	m := blk.Pragmas[0].Dir.(*pragma.Member)
+	if len(m.Sets) != 2 || m.Sets[0].Name != "FSET" || !m.Sets[1].Self {
+		t.Errorf("member = %+v", m)
+	}
+}
+
+func TestParseMemberPragmaOnFunction(t *testing.T) {
+	prog := parseOK(t, `
+#pragma commset member SELF
+void rng() { }
+`)
+	fn := prog.Funcs[0]
+	if len(fn.Pragmas) != 1 {
+		t.Fatalf("fn pragmas = %d", len(fn.Pragmas))
+	}
+	if _, ok := fn.Pragmas[0].Dir.(*pragma.Member); !ok {
+		t.Errorf("dir = %T", fn.Pragmas[0].Dir)
+	}
+}
+
+func TestParseNamedBlockAndArg(t *testing.T) {
+	prog := parseOK(t, `
+#pragma commset namedarg READB
+int mdfile(int fp) {
+	#pragma commset namedblock READB
+	{
+		fread(fp);
+	}
+	return 0;
+}
+void client(int i) {
+	#pragma commset add mdfile.READB to SELF
+	mdfile(i);
+}
+`)
+	fn := prog.Funcs[0]
+	na := fn.Pragmas[0].Dir.(*pragma.NamedArg)
+	if na.Names[0] != "READB" {
+		t.Errorf("namedarg = %+v", na)
+	}
+	blk := fn.Body.Stmts[0].(*ast.BlockStmt)
+	nb := blk.Pragmas[0].Dir.(*pragma.NamedBlock)
+	if nb.Name != "READB" {
+		t.Errorf("namedblock = %+v", nb)
+	}
+	client := prog.Funcs[1]
+	call := client.Body.Stmts[0].(*ast.ExprStmt)
+	add := call.Pragmas[0].Dir.(*pragma.NamedArgAdd)
+	if add.Func != "mdfile" || add.Block != "READB" {
+		t.Errorf("add = %+v", add)
+	}
+}
+
+func TestParseDanglingPragmaError(t *testing.T) {
+	_, err := ParseSource("t.mc", "#pragma commset member SELF\n")
+	if err == nil {
+		t.Error("expected error for dangling member pragma")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int",
+		"int f(",
+		"int f() { return }",
+		"int f() { x = ; }",
+		"void f() { if (x { } }",
+		"void f() { for (;;) }",
+		"int f() { return 0; ",
+		"void v; ",         // void variable
+		"int f(void v) {}", // void param
+	}
+	for _, src := range bad {
+		if _, err := ParseSource("t.mc", src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseTernaryNesting(t *testing.T) {
+	prog := parseOK(t, `int f(int a) { return a > 0 ? a > 10 ? 2 : 1 : 0; }`)
+	ret := prog.Funcs[0].Body.Stmts[0].(*ast.ReturnStmt)
+	outer := ret.X.(*ast.CondExpr)
+	if _, ok := outer.Then.(*ast.CondExpr); !ok {
+		t.Errorf("then branch = %T, want nested CondExpr", outer.Then)
+	}
+}
+
+func TestParseExprString(t *testing.T) {
+	var diags source.DiagList
+	e, err := ParseExprString("i1 != i2", &diags)
+	if err != nil {
+		t.Fatalf("ParseExprString: %v", err)
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		t.Errorf("expr = %#v", e)
+	}
+	if _, err := ParseExprString("i1 !=", &diags); err == nil {
+		t.Error("expected error for truncated expression")
+	}
+	if _, err := ParseExprString("a b", &diags); err == nil {
+		t.Error("expected error for trailing tokens")
+	}
+}
+
+func TestASTWalkCalls(t *testing.T) {
+	prog := parseOK(t, `void f() { g(h(1)); if (p()) { q(); } g(2); }`)
+	got := ast.Calls(prog.Funcs[0].Body)
+	want := []string{"g", "h", "p", "q"}
+	if len(got) != len(want) {
+		t.Fatalf("calls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("calls[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package pipeline wires the COMMSET compiler stages together, following
+// the parallelization workflow of Figure 5: parse → semantic analysis →
+// lowering with region extraction and call-path inlining → commset model +
+// well-formedness → effect summaries → per-loop PDG construction →
+// Algorithm 1 dependence annotation. The parallelizing transforms consume
+// the resulting LoopAnalysis.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/commset"
+	"repro/internal/depend"
+	"repro/internal/effects"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/pdg"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// Options configures compilation: the source file plus the substrate's
+// signatures and effect declarations.
+type Options struct {
+	File    *source.File
+	Sigs    map[string]*types.Sig
+	Effects effects.Table
+}
+
+// Compiled is a fully analyzed program, ready for per-loop parallelization.
+type Compiled struct {
+	File    *source.File
+	Info    *types.Info
+	Low     *lower.Result
+	Model   *commset.Model
+	CG      *callgraph.Graph
+	Summary *effects.Summary
+	Diags   source.DiagList
+}
+
+// Compile runs the front end through the commset model. It returns an error
+// when any stage reports diagnostics.
+func Compile(opts Options) (*Compiled, error) {
+	c := &Compiled{File: opts.File}
+	prog := parser.Parse(opts.File, &c.Diags)
+	if err := c.Diags.Err(); err != nil {
+		return c, err
+	}
+	c.Info = types.Check(prog, opts.Sigs, &c.Diags)
+	if err := c.Diags.Err(); err != nil {
+		return c, err
+	}
+	c.Low = lower.Lower(c.Info, &c.Diags)
+	if err := c.Diags.Err(); err != nil {
+		return c, err
+	}
+	c.CG = callgraph.Build(c.Low.Prog)
+	c.Model = commset.BuildModel(c.Info, c.Low)
+	c.Model.CheckWellFormed(c.CG, &c.Diags, opts.File.Name)
+	if err := c.Diags.Err(); err != nil {
+		return c, err
+	}
+	c.Summary = effects.Summarize(c.Low.Prog, opts.Effects)
+	return c, nil
+}
+
+// LoopAnalysis bundles the artifacts for one target loop: its CFG context,
+// unit structure, and commutativity-annotated PDG.
+type LoopAnalysis struct {
+	Fn    *ir.Func
+	G     *cfg.Graph
+	Loop  *cfg.Loop
+	Units *lower.LoopUnits
+	PDG   *pdg.PDG
+	Dep   *depend.Result
+}
+
+// AnalyzeLoop builds and annotates the PDG for the loop with the given
+// header block in the named function.
+func (c *Compiled) AnalyzeLoop(fnName string, header int) (*LoopAnalysis, error) {
+	f := c.Low.Prog.Funcs[fnName]
+	if f == nil {
+		return nil, fmt.Errorf("pipeline: no function %s", fnName)
+	}
+	g := cfg.New(f)
+	var loop *cfg.Loop
+	for _, l := range g.Loops() {
+		if l.Header == header {
+			loop = l
+			break
+		}
+	}
+	if loop == nil {
+		return nil, fmt.Errorf("pipeline: no loop with header b%d in %s", header, fnName)
+	}
+	var units *lower.LoopUnits
+	for _, lu := range c.Low.Loops {
+		if lu.Func == fnName && lu.Header == header {
+			units = lu
+			break
+		}
+	}
+	var controlIDs map[int]bool
+	if units != nil {
+		controlIDs = map[int]bool{}
+		for _, in := range units.Cond {
+			controlIDs[in.ID] = true
+		}
+		for _, in := range units.Post {
+			controlIDs[in.ID] = true
+		}
+	}
+	p := pdg.Build(f, loop, g, c.Summary, controlIDs)
+	dep := depend.Analyze(p, c.Low, c.Summary)
+	return &LoopAnalysis{Fn: f, G: g, Loop: loop, Units: units, PDG: p, Dep: dep}, nil
+}
+
+// Loops returns every recorded loop of the named function, outermost first
+// (by unit-record order, which follows source order).
+func (c *Compiled) Loops(fnName string) []*lower.LoopUnits {
+	var out []*lower.LoopUnits
+	for _, lu := range c.Low.Loops {
+		if lu.Func == fnName {
+			out = append(out, lu)
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package pipeline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/effects"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func opts(src string) pipeline.Options {
+	return pipeline.Options{
+		File: source.NewFile("t.mc", src),
+		Sigs: map[string]*types.Sig{
+			"emit": {Name: "emit", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		},
+		Effects: effects.Table{
+			"emit": {Writes: []effects.Loc{effects.TagLoc("sink")}},
+		},
+	}
+}
+
+func TestCompileStagesReportErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"parse", `void main( {`, "expected"},
+		{"check", `void main() { x = 1; }`, "undeclared"},
+		{"wellformed", `
+#pragma commset member SELF
+int f(int x) {
+	if (x <= 0) { return 0; }
+	return f(x - 1);
+}
+void main() { emit(f(3)); }`, "well-defined"},
+	}
+	for _, c := range cases {
+		_, err := pipeline.Compile(opts(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAnalyzeLoopErrors(t *testing.T) {
+	c, err := pipeline.Compile(opts(`
+void main() {
+	for (int i = 0; i < 4; i++) { emit(i); }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnalyzeLoop("nosuch", 0); err == nil {
+		t.Error("expected error for unknown function")
+	}
+	if _, err := c.AnalyzeLoop("main", 999); err == nil {
+		t.Error("expected error for unknown loop header")
+	}
+	loops := c.Loops("main")
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	la, err := c.AnalyzeLoop("main", loops[0].Header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Units == nil || la.PDG == nil || la.Dep == nil {
+		t.Error("incomplete analysis")
+	}
+}
+
+func TestLoopsListsNested(t *testing.T) {
+	c, err := pipeline.Compile(opts(`
+void main() {
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 3; j++) {
+			emit(i * j);
+		}
+	}
+	while (false) { emit(0); }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := c.Loops("main")
+	if len(loops) != 3 {
+		t.Errorf("recorded %d loops, want 3 (outer, inner, while)", len(loops))
+	}
+	for _, lu := range loops {
+		if _, err := c.AnalyzeLoop("main", lu.Header); err != nil {
+			t.Errorf("AnalyzeLoop(b%d): %v", lu.Header, err)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+// Package pragma parses COMMSET directive text — the body of
+// `#pragma commset ...` lines — into structured directives.
+//
+// The concrete directive grammar reproduces the primitives of the paper's
+// Section 3.2 (Figure 4):
+//
+//	commset decl NAME                      COMMSETDECL   (Group set)
+//	commset decl self NAME                 COMMSETDECL   (explicitly-typed Self set, predicable)
+//	commset predicate NAME (p...)(q...) : expr
+//	                                       COMMSETPREDICATE
+//	commset nosync NAME                    COMMSETNOSYNC
+//	commset member M (, M)*                COMMSET instance declaration,
+//	                                       M := SELF | NAME [ (arg, ...) ]
+//	commset namedblock NAME                COMMSETNAMEDBLOCK
+//	commset namedarg NAME (, NAME)*        COMMSETNAMEDARG
+//	commset add FUNC.BLOCK to M (, M)*     COMMSETNAMEDARGADD
+//
+// A member list may reference the bare keyword SELF, which enrolls the
+// annotated block in its own anonymous singleton Self set, exactly as in the
+// paper's Figure 1 (annotations 5, 7, 8 list `FSET(i), SELF`).
+package pragma
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// DirKind discriminates Directive implementations.
+type DirKind int
+
+// Directive kinds.
+const (
+	KindDecl DirKind = iota
+	KindPredicate
+	KindNoSync
+	KindMember
+	KindNamedBlock
+	KindNamedArg
+	KindNamedArgAdd
+)
+
+// String names the directive kind using the paper's primitive names.
+func (k DirKind) String() string {
+	switch k {
+	case KindDecl:
+		return "COMMSETDECL"
+	case KindPredicate:
+		return "COMMSETPREDICATE"
+	case KindNoSync:
+		return "COMMSETNOSYNC"
+	case KindMember:
+		return "COMMSET"
+	case KindNamedBlock:
+		return "COMMSETNAMEDBLOCK"
+	case KindNamedArg:
+		return "COMMSETNAMEDARG"
+	case KindNamedArgAdd:
+		return "COMMSETNAMEDARGADD"
+	}
+	return "COMMSET?"
+}
+
+// Directive is one parsed COMMSET directive.
+type Directive interface {
+	Kind() DirKind
+	String() string
+}
+
+// SetRef names a commutative set in a member list, optionally with actual
+// arguments for the set's predicate. Self marks the anonymous SELF keyword.
+type SetRef struct {
+	Name string   // set name; "" when Self
+	Self bool     // bare SELF keyword
+	Args []string // actual argument variable names for a predicated set
+}
+
+// String renders the reference as it appears in source.
+func (r SetRef) String() string {
+	if r.Self {
+		return "SELF"
+	}
+	if len(r.Args) == 0 {
+		return r.Name
+	}
+	return r.Name + "(" + strings.Join(r.Args, ", ") + ")"
+}
+
+// Decl declares a named commutative set at global scope (COMMSETDECL).
+// Self selects Self-set semantics (a block commutes with dynamic instances
+// of itself); otherwise the set is a Group set (distinct members commute
+// pairwise, but no member commutes with itself).
+type Decl struct {
+	Name string
+	Self bool
+}
+
+// Kind implements Directive.
+func (*Decl) Kind() DirKind { return KindDecl }
+
+// String implements Directive.
+func (d *Decl) String() string {
+	if d.Self {
+		return "commset decl self " + d.Name
+	}
+	return "commset decl " + d.Name
+}
+
+// Predicate associates a commutativity predicate with a set
+// (COMMSETPREDICATE). Params1 and Params2 bind to the actual arguments of
+// the two member instances being compared; ExprText is the MiniC boolean
+// expression over those parameters, parsed later by the type checker.
+type Predicate struct {
+	Set      string
+	Params1  []string
+	Params2  []string
+	ExprText string
+}
+
+// Kind implements Directive.
+func (*Predicate) Kind() DirKind { return KindPredicate }
+
+// String implements Directive.
+func (p *Predicate) String() string {
+	return fmt.Sprintf("commset predicate %s (%s)(%s) : %s",
+		p.Set, strings.Join(p.Params1, ", "), strings.Join(p.Params2, ", "), p.ExprText)
+}
+
+// NoSync marks a set whose members need no compiler-inserted
+// synchronization (COMMSETNOSYNC) — e.g. thread-safe library calls.
+type NoSync struct {
+	Set string
+}
+
+// Kind implements Directive.
+func (*NoSync) Kind() DirKind { return KindNoSync }
+
+// String implements Directive.
+func (n *NoSync) String() string { return "commset nosync " + n.Set }
+
+// Member is a COMMSET instance declaration attaching the next code block or
+// function to each referenced set.
+type Member struct {
+	Sets []SetRef
+}
+
+// Kind implements Directive.
+func (*Member) Kind() DirKind { return KindMember }
+
+// String implements Directive.
+func (m *Member) String() string {
+	parts := make([]string, len(m.Sets))
+	for i, s := range m.Sets {
+		parts[i] = s.String()
+	}
+	return "commset member " + strings.Join(parts, ", ")
+}
+
+// NamedBlock names the next compound statement so that its commuting
+// behaviour can be exported at the enclosing function's interface
+// (COMMSETNAMEDBLOCK).
+type NamedBlock struct {
+	Name string
+}
+
+// Kind implements Directive.
+func (*NamedBlock) Kind() DirKind { return KindNamedBlock }
+
+// String implements Directive.
+func (n *NamedBlock) String() string { return "commset namedblock " + n.Name }
+
+// NamedArg, on a function declaration, exports the listed named blocks as
+// optional commutativity arguments of the interface (COMMSETNAMEDARG).
+type NamedArg struct {
+	Names []string
+}
+
+// Kind implements Directive.
+func (*NamedArg) Kind() DirKind { return KindNamedArg }
+
+// String implements Directive.
+func (n *NamedArg) String() string {
+	return "commset namedarg " + strings.Join(n.Names, ", ")
+}
+
+// NamedArgAdd, at a call site, enables the named block exported by Func and
+// adds it to the referenced sets (COMMSETNAMEDARGADD).
+type NamedArgAdd struct {
+	Func  string
+	Block string
+	Sets  []SetRef
+}
+
+// Kind implements Directive.
+func (*NamedArgAdd) Kind() DirKind { return KindNamedArgAdd }
+
+// String implements Directive.
+func (a *NamedArgAdd) String() string {
+	parts := make([]string, len(a.Sets))
+	for i, s := range a.Sets {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("commset add %s.%s to %s", a.Func, a.Block, strings.Join(parts, ", "))
+}
+
+// Parse parses the body of a `#pragma` line (the text after "#pragma").
+// Non-commset pragmas return (nil, nil) so callers can ignore foreign
+// pragmas, as a standard C compiler would ignore COMMSET ones.
+func Parse(text string) (Directive, error) {
+	p := &dirParser{in: text}
+	p.skipSpace()
+	if !p.eatWord("commset") {
+		return nil, nil // foreign pragma; ignore
+	}
+	verb := p.word()
+	switch verb {
+	case "decl":
+		return p.parseDecl()
+	case "predicate":
+		return p.parsePredicate()
+	case "nosync":
+		name := p.word()
+		if name == "" {
+			return nil, p.fail("nosync requires a set name")
+		}
+		if err := p.expectEnd(); err != nil {
+			return nil, err
+		}
+		return &NoSync{Set: name}, nil
+	case "member":
+		sets, err := p.parseSetRefs()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEnd(); err != nil {
+			return nil, err
+		}
+		return &Member{Sets: sets}, nil
+	case "namedblock":
+		name := p.word()
+		if name == "" {
+			return nil, p.fail("namedblock requires a block name")
+		}
+		if err := p.expectEnd(); err != nil {
+			return nil, err
+		}
+		return &NamedBlock{Name: name}, nil
+	case "namedarg":
+		return p.parseNamedArg()
+	case "add":
+		return p.parseNamedArgAdd()
+	case "":
+		return nil, p.fail("missing commset directive verb")
+	}
+	return nil, fmt.Errorf("unknown commset directive %q", verb)
+}
+
+// dirParser is a tiny cursor-based scanner over a directive body.
+type dirParser struct {
+	in  string
+	pos int
+}
+
+func (p *dirParser) fail(format string, args ...any) error {
+	return fmt.Errorf("commset pragma: "+format, args...)
+}
+
+func (p *dirParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *dirParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *dirParser) eat(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// word scans an identifier-like word; returns "" at end or non-word input.
+func (p *dirParser) word() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := rune(p.in[p.pos])
+		if c == '_' || unicode.IsLetter(c) || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+// eatWord consumes the given word if it is next.
+func (p *dirParser) eatWord(w string) bool {
+	save := p.pos
+	if p.word() == w {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+func (p *dirParser) expectEnd() error {
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return p.fail("unexpected trailing text %q", p.in[p.pos:])
+	}
+	return nil
+}
+
+func (p *dirParser) parseDecl() (Directive, error) {
+	self := false
+	save := p.pos
+	first := p.word()
+	if first == "self" {
+		self = true
+	} else {
+		p.pos = save
+	}
+	name := p.word()
+	if name == "" {
+		return nil, p.fail("decl requires a set name")
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return &Decl{Name: name, Self: self}, nil
+}
+
+// parseParamList parses "( ident (, ident)* )".
+func (p *dirParser) parseParamList() ([]string, error) {
+	if !p.eat('(') {
+		return nil, p.fail("expected '(' to begin a parameter list")
+	}
+	var params []string
+	for {
+		w := p.word()
+		if w == "" {
+			return nil, p.fail("expected parameter name in predicate parameter list")
+		}
+		params = append(params, w)
+		if p.eat(',') {
+			continue
+		}
+		break
+	}
+	if !p.eat(')') {
+		return nil, p.fail("expected ')' to close a parameter list")
+	}
+	return params, nil
+}
+
+func (p *dirParser) parsePredicate() (Directive, error) {
+	set := p.word()
+	if set == "" {
+		return nil, p.fail("predicate requires a set name")
+	}
+	p1, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	p2, err := p.parseParamList()
+	if err != nil {
+		return nil, err
+	}
+	if len(p1) != len(p2) {
+		return nil, p.fail("predicate parameter lists have different lengths (%d vs %d)", len(p1), len(p2))
+	}
+	if !p.eat(':') {
+		return nil, p.fail("expected ':' before predicate expression")
+	}
+	expr := strings.TrimSpace(p.in[p.pos:])
+	if expr == "" {
+		return nil, p.fail("predicate requires an expression after ':'")
+	}
+	p.pos = len(p.in)
+	return &Predicate{Set: set, Params1: p1, Params2: p2, ExprText: expr}, nil
+}
+
+// parseSetRefs parses "M (, M)*" where M := SELF | NAME [(args)].
+func (p *dirParser) parseSetRefs() ([]SetRef, error) {
+	var refs []SetRef
+	for {
+		name := p.word()
+		if name == "" {
+			return nil, p.fail("expected a set name or SELF in member list")
+		}
+		if name == "SELF" {
+			refs = append(refs, SetRef{Self: true})
+		} else {
+			ref := SetRef{Name: name}
+			if p.eat('(') {
+				for {
+					a := p.word()
+					if a == "" {
+						return nil, p.fail("expected argument name in %s(...)", name)
+					}
+					ref.Args = append(ref.Args, a)
+					if p.eat(',') {
+						continue
+					}
+					break
+				}
+				if !p.eat(')') {
+					return nil, p.fail("expected ')' after arguments of %s", name)
+				}
+			}
+			refs = append(refs, ref)
+		}
+		if p.eat(',') {
+			continue
+		}
+		return refs, nil
+	}
+}
+
+func (p *dirParser) parseNamedArg() (Directive, error) {
+	var names []string
+	for {
+		n := p.word()
+		if n == "" {
+			return nil, p.fail("namedarg requires at least one block name")
+		}
+		names = append(names, n)
+		if p.eat(',') {
+			continue
+		}
+		break
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return &NamedArg{Names: names}, nil
+}
+
+func (p *dirParser) parseNamedArgAdd() (Directive, error) {
+	fn := p.word()
+	if fn == "" {
+		return nil, p.fail("add requires FUNC.BLOCK")
+	}
+	if !p.eat('.') {
+		return nil, p.fail("add requires FUNC.BLOCK (missing '.')")
+	}
+	block := p.word()
+	if block == "" {
+		return nil, p.fail("add requires FUNC.BLOCK (missing block name)")
+	}
+	if !p.eatWord("to") {
+		return nil, p.fail("add requires 'to' before the set list")
+	}
+	sets, err := p.parseSetRefs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEnd(); err != nil {
+		return nil, err
+	}
+	return &NamedArgAdd{Func: fn, Block: block, Sets: sets}, nil
+}

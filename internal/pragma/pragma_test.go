@@ -1,0 +1,190 @@
+package pragma
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, text string) Directive {
+	t.Helper()
+	d, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	if d == nil {
+		t.Fatalf("Parse(%q): directive ignored", text)
+	}
+	return d
+}
+
+func TestParseDecl(t *testing.T) {
+	d := parseOK(t, "commset decl FSET").(*Decl)
+	if d.Name != "FSET" || d.Self {
+		t.Errorf("got %+v", d)
+	}
+	d = parseOK(t, "commset decl self SSET").(*Decl)
+	if d.Name != "SSET" || !d.Self {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	d := parseOK(t, "commset predicate FSET (i1)(i2) : i1 != i2").(*Predicate)
+	if d.Set != "FSET" {
+		t.Errorf("set = %q", d.Set)
+	}
+	if len(d.Params1) != 1 || d.Params1[0] != "i1" {
+		t.Errorf("params1 = %v", d.Params1)
+	}
+	if len(d.Params2) != 1 || d.Params2[0] != "i2" {
+		t.Errorf("params2 = %v", d.Params2)
+	}
+	if d.ExprText != "i1 != i2" {
+		t.Errorf("expr = %q", d.ExprText)
+	}
+}
+
+func TestParsePredicateMultiParam(t *testing.T) {
+	d := parseOK(t, "commset predicate KSET (k1, v1)(k2, v2) : k1 != k2 || v1 == v2").(*Predicate)
+	if len(d.Params1) != 2 || len(d.Params2) != 2 {
+		t.Fatalf("params = %v / %v", d.Params1, d.Params2)
+	}
+	if !strings.Contains(d.ExprText, "||") {
+		t.Errorf("expr = %q", d.ExprText)
+	}
+}
+
+func TestParsePredicateArityMismatch(t *testing.T) {
+	if _, err := Parse("commset predicate S (a, b)(c) : a != c"); err == nil {
+		t.Error("expected arity mismatch error")
+	}
+}
+
+func TestParseNoSync(t *testing.T) {
+	d := parseOK(t, "commset nosync LIBSET").(*NoSync)
+	if d.Set != "LIBSET" {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestParseMember(t *testing.T) {
+	d := parseOK(t, "commset member FSET(i), SELF").(*Member)
+	if len(d.Sets) != 2 {
+		t.Fatalf("sets = %v", d.Sets)
+	}
+	if d.Sets[0].Name != "FSET" || len(d.Sets[0].Args) != 1 || d.Sets[0].Args[0] != "i" {
+		t.Errorf("set0 = %+v", d.Sets[0])
+	}
+	if !d.Sets[1].Self {
+		t.Errorf("set1 = %+v", d.Sets[1])
+	}
+}
+
+func TestParseMemberUnpredicated(t *testing.T) {
+	d := parseOK(t, "commset member GSET").(*Member)
+	if d.Sets[0].Name != "GSET" || len(d.Sets[0].Args) != 0 {
+		t.Errorf("got %+v", d.Sets[0])
+	}
+}
+
+func TestParseNamedBlock(t *testing.T) {
+	d := parseOK(t, "commset namedblock READB").(*NamedBlock)
+	if d.Name != "READB" {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestParseNamedArg(t *testing.T) {
+	d := parseOK(t, "commset namedarg READB, WRITEB").(*NamedArg)
+	if len(d.Names) != 2 || d.Names[0] != "READB" || d.Names[1] != "WRITEB" {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestParseNamedArgAdd(t *testing.T) {
+	d := parseOK(t, "commset add mdfile.READB to SSET(i)").(*NamedArgAdd)
+	if d.Func != "mdfile" || d.Block != "READB" {
+		t.Errorf("got %+v", d)
+	}
+	if len(d.Sets) != 1 || d.Sets[0].Name != "SSET" || d.Sets[0].Args[0] != "i" {
+		t.Errorf("sets = %v", d.Sets)
+	}
+}
+
+func TestParseNamedArgAddSelf(t *testing.T) {
+	d := parseOK(t, "commset add mdfile.READB to SELF").(*NamedArgAdd)
+	if !d.Sets[0].Self {
+		t.Errorf("got %+v", d.Sets)
+	}
+}
+
+func TestForeignPragmaIgnored(t *testing.T) {
+	d, err := Parse("omp parallel for")
+	if err != nil || d != nil {
+		t.Errorf("foreign pragma: d=%v err=%v", d, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"commset",
+		"commset decl",
+		"commset bogus X",
+		"commset predicate S (a)(b)",       // missing expr
+		"commset predicate S (a) : a",      // one param list
+		"commset member",                   // empty member list
+		"commset member FSET(",             // unclosed args
+		"commset namedblock",               // missing name
+		"commset add f.B",                  // missing to-list
+		"commset add f to S",               // missing .BLOCK
+		"commset nosync",                   // missing set
+		"commset decl A trailing garbage!", // trailing text
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%q: expected error", text)
+		}
+	}
+}
+
+func TestDirectiveStrings(t *testing.T) {
+	// Round-trip: String() of a parsed directive re-parses to the same kind.
+	inputs := []string{
+		"commset decl FSET",
+		"commset decl self SSET",
+		"commset predicate FSET (i1)(i2) : i1 != i2",
+		"commset nosync L",
+		"commset member FSET(i), SELF",
+		"commset namedblock B",
+		"commset namedarg B1, B2",
+		"commset add f.B to S(i), SELF",
+	}
+	for _, in := range inputs {
+		d := parseOK(t, in)
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Errorf("round-trip %q -> %q: %v", in, d.String(), err)
+			continue
+		}
+		if d2.Kind() != d.Kind() {
+			t.Errorf("round-trip %q changed kind %v -> %v", in, d.Kind(), d2.Kind())
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[DirKind]string{
+		KindDecl:        "COMMSETDECL",
+		KindPredicate:   "COMMSETPREDICATE",
+		KindNoSync:      "COMMSETNOSYNC",
+		KindMember:      "COMMSET",
+		KindNamedBlock:  "COMMSETNAMEDBLOCK",
+		KindNamedArg:    "COMMSETNAMEDARG",
+		KindNamedArgAdd: "COMMSETNAMEDARGADD",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pragma
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// ident produces a valid MiniC identifier from arbitrary quick inputs.
+func ident(seed uint32) string {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	n := int(seed%6) + 1
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		out[i] = letters[int(s)%len(letters)]
+		s = s*1664525 + 1013904223
+	}
+	return string(out)
+}
+
+// TestDirectiveRoundTripQuick: for randomly generated well-formed
+// directives, Parse(String(d)) must reproduce an equivalent directive.
+func TestDirectiveRoundTripQuick(t *testing.T) {
+	check := func(s1, s2, a1, a2 uint32, self bool, which uint8) bool {
+		name1, name2 := ident(s1), ident(s2)
+		arg1, arg2 := ident(a1), ident(a2)
+		if name1 == "SELF" || name2 == "SELF" || name1 == "self" {
+			return true // reserved spellings aren't set names
+		}
+		var d Directive
+		switch which % 5 {
+		case 0:
+			d = &Decl{Name: name1, Self: self}
+		case 1:
+			d = &NoSync{Set: name1}
+		case 2:
+			d = &Member{Sets: []SetRef{{Name: name1, Args: []string{arg1, arg2}}, {Self: true}}}
+		case 3:
+			d = &NamedArg{Names: []string{name1, name2}}
+		case 4:
+			d = &NamedArgAdd{Func: name1, Block: name2, Sets: []SetRef{{Name: "S", Args: []string{arg1}}}}
+		}
+		parsed, err := Parse(d.String())
+		if err != nil || parsed == nil {
+			return false
+		}
+		return parsed.String() == d.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredicateRoundTripQuick: predicates with random parameter names and a
+// simple expression round-trip through their rendered form.
+func TestPredicateRoundTripQuick(t *testing.T) {
+	check := func(s, p1, p2 uint32) bool {
+		set, a, b := ident(s), ident(p1), ident(p2)
+		if set == "SELF" || set == "self" || a == b {
+			return true
+		}
+		d := &Predicate{
+			Set:      set,
+			Params1:  []string{a},
+			Params2:  []string{b},
+			ExprText: fmt.Sprintf("%s != %s", a, b),
+		}
+		parsed, err := Parse(d.String())
+		if err != nil {
+			return false
+		}
+		pd, ok := parsed.(*Predicate)
+		return ok && pd.Set == set && pd.ExprText == d.ExprText &&
+			pd.Params1[0] == a && pd.Params2[0] == b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsQuick: arbitrary directive bodies must yield an error
+// or a directive, never a panic.
+func TestParseNeverPanicsQuick(t *testing.T) {
+	check := func(body string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse("commset " + body)
+		_, _ = Parse(body)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package profile implements the runtime profiling stage of the
+// parallelization workflow (Figure 5): a sequential training run collects
+// per-instruction virtual cost for main, identifies the hottest loop, and
+// supplies the node weights the DSWP family uses to balance pipeline
+// stages.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/vm/interp"
+)
+
+// LoopProfile describes one profiled loop of main.
+type LoopProfile struct {
+	Header int
+	// Weight is the total cost attributed to the loop's instructions,
+	// including callee time.
+	Weight int64
+	// Fraction of main's total cost spent in the loop.
+	Fraction float64
+}
+
+// Result is the outcome of a profiling run.
+type Result struct {
+	// Weights maps instruction IDs of main to their accumulated cost.
+	Weights map[int]int64
+	// Total is main's total cost.
+	Total int64
+	// Loops lists main's loops by decreasing weight.
+	Loops []LoopProfile
+}
+
+// Hottest returns the highest-weight loop header, or -1 when main has no
+// loops.
+func (r *Result) Hottest() int {
+	if len(r.Loops) == 0 {
+		return -1
+	}
+	return r.Loops[0].Header
+}
+
+// Run executes main sequentially with profiling enabled. The supplied
+// builtins must come from a fresh world; the run consumes it.
+func Run(c *pipeline.Compiled, fns map[string]interp.BuiltinFn) (*Result, error) {
+	mainFn := c.Low.Prog.Funcs["main"]
+	if mainFn == nil {
+		return nil, fmt.Errorf("profile: no main function")
+	}
+	env := interp.NewEnv(c.Low.Prog, fns)
+	th := interp.NewThread(env)
+	th.Profile = interp.NewProfile(mainFn)
+	if err := th.RunMain(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Weights: map[int]int64{}, Total: th.Profile.Total}
+	for id, cost := range th.Profile.Cost {
+		if cost > 0 {
+			res.Weights[id] = cost
+		}
+	}
+	for _, lu := range c.Loops("main") {
+		var w int64
+		for _, unit := range lu.Units {
+			for _, in := range unit {
+				w += res.Weights[in.ID]
+			}
+		}
+		for _, in := range lu.Cond {
+			w += res.Weights[in.ID]
+		}
+		for _, in := range lu.Post {
+			w += res.Weights[in.ID]
+		}
+		lp := LoopProfile{Header: lu.Header, Weight: w}
+		if res.Total > 0 {
+			lp.Fraction = float64(w) / float64(res.Total)
+		}
+		res.Loops = append(res.Loops, lp)
+	}
+	// Sort by weight descending (stable by header for determinism).
+	for i := 1; i < len(res.Loops); i++ {
+		for j := i; j > 0; j-- {
+			a, b := res.Loops[j-1], res.Loops[j]
+			if b.Weight > a.Weight || (b.Weight == a.Weight && b.Header < a.Header) {
+				res.Loops[j-1], res.Loops[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package profile_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/effects"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/source"
+	"repro/internal/types"
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+func compileWith(t *testing.T, src string) (*pipeline.Compiled, map[string]interp.BuiltinFn) {
+	t.Helper()
+	sigs := map[string]*types.Sig{
+		"cheap": {Name: "cheap", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+		"pricy": {Name: "pricy", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+	}
+	c, err := pipeline.Compile(pipeline.Options{
+		File:    source.NewFile("t.mc", src),
+		Sigs:    sigs,
+		Effects: effects.Table{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := map[string]interp.BuiltinFn{
+		"cheap": func(args []value.Value) (value.Value, int64, error) {
+			return value.Int(args[0].AsInt()), 10, nil
+		},
+		"pricy": func(args []value.Value) (value.Value, int64, error) {
+			return value.Int(args[0].AsInt()), 10000, nil
+		},
+	}
+	return c, fns
+}
+
+func TestHottestLoopSelection(t *testing.T) {
+	c, fns := compileWith(t, `
+void main() {
+	for (int i = 0; i < 100; i++) { cheap(i); }
+	for (int j = 0; j < 10; j++) { pricy(j); }
+}`)
+	res, err := profile.Run(c, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 2 {
+		t.Fatalf("loops = %d", len(res.Loops))
+	}
+	// The pricy loop (10 * 10000) dominates the cheap loop (100 * 10).
+	hot := res.Hottest()
+	second := c.Loops("main")[1]
+	if hot != second.Header {
+		t.Errorf("hottest = b%d, want pricy loop b%d", hot, second.Header)
+	}
+	if res.Loops[0].Fraction < 0.8 {
+		t.Errorf("hot fraction = %.2f, want > 0.8", res.Loops[0].Fraction)
+	}
+	if res.Total <= 0 {
+		t.Error("total cost missing")
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	c, fns := compileWith(t, `void main() { cheap(1); }`)
+	res, err := profile.Run(c, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hottest() != -1 {
+		t.Errorf("hottest = %d, want -1", res.Hottest())
+	}
+}
+
+func TestWeightsCoverLoopInstrs(t *testing.T) {
+	c, fns := compileWith(t, `
+void main() {
+	for (int i = 0; i < 5; i++) { pricy(i); }
+}`)
+	res, err := profile.Run(c, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu := c.Loops("main")[0]
+	// Every executed unit instruction has a positive weight.
+	for _, unit := range lu.Units {
+		for _, in := range unit {
+			if res.Weights[in.ID] <= 0 {
+				t.Errorf("instr %d has no weight", in.ID)
+			}
+		}
+	}
+}

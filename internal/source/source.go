@@ -1,0 +1,228 @@
+// Package source provides source-file bookkeeping shared by every stage of
+// the COMMSET compiler: positions, spans, and structured diagnostics.
+//
+// A File owns the raw text of one MiniC translation unit and can translate
+// byte offsets into human-readable line/column positions. Diagnostics carry a
+// Pos so every later pass (parser, type checker, commset well-formedness,
+// dependence analysis) reports errors against the original source the
+// programmer annotated, exactly as the paper's clang-based front end does.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position within a File, expressed as 1-based line and column.
+// The zero Pos is "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p denotes an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", or "-" when invalid.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Before reports whether p occurs strictly before q in the file.
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Span is a half-open region of source text from Start up to End.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// String renders the span as "start-end".
+func (s Span) String() string { return s.Start.String() + "-" + s.End.String() }
+
+// File holds the contents of a single MiniC source file together with the
+// offsets of every line start, enabling offset→Pos translation.
+type File struct {
+	Name    string
+	Content string
+
+	lineOffsets []int // byte offset of the start of each line
+}
+
+// NewFile records content under the given name and indexes its line starts.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lineOffsets = append(f.lineOffsets, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lineOffsets = append(f.lineOffsets, i+1)
+		}
+	}
+	return f
+}
+
+// PosFor converts a byte offset into a Pos. Offsets past the end of the file
+// are clamped to the final position.
+func (f *File) PosFor(offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(f.Content) {
+		offset = len(f.Content)
+	}
+	// Find the last line start <= offset.
+	i := sort.Search(len(f.lineOffsets), func(i int) bool {
+		return f.lineOffsets[i] > offset
+	}) - 1
+	return Pos{Line: i + 1, Col: offset - f.lineOffsets[i] + 1}
+}
+
+// Line returns the text of the 1-based line number, without the trailing
+// newline. Out-of-range lines yield "".
+func (f *File) Line(n int) string {
+	if n < 1 || n > len(f.lineOffsets) {
+		return ""
+	}
+	start := f.lineOffsets[n-1]
+	end := len(f.Content)
+	if n < len(f.lineOffsets) {
+		end = f.lineOffsets[n] - 1
+	}
+	return strings.TrimRight(f.Content[start:end], "\r")
+}
+
+// NumLines reports the number of lines in the file.
+func (f *File) NumLines() int { return len(f.lineOffsets) }
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Diagnostic severities, from informational notes to hard errors.
+const (
+	SevNote Severity = iota
+	SevWarning
+	SevError
+)
+
+// String names the severity as it appears in rendered diagnostics.
+func (s Severity) String() string {
+	switch s {
+	case SevNote:
+		return "note"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Diagnostic is one compiler message anchored to a source position.
+type Diagnostic struct {
+	Sev  Severity
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+// Error implements the error interface so a single Diagnostic can be
+// returned directly from compiler entry points.
+func (d *Diagnostic) Error() string {
+	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Sev, d.Msg)
+}
+
+// DiagList accumulates diagnostics across a compilation. The zero value is
+// ready to use.
+type DiagList struct {
+	Diags []Diagnostic
+}
+
+// Errorf appends an error-severity diagnostic.
+func (l *DiagList) Errorf(file string, pos Pos, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Sev: SevError, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warnf appends a warning-severity diagnostic.
+func (l *DiagList) Warnf(file string, pos Pos, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Sev: SevWarning, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Notef appends a note-severity diagnostic.
+func (l *DiagList) Notef(file string, pos Pos, format string, args ...any) {
+	l.Diags = append(l.Diags, Diagnostic{Sev: SevNote, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// HasErrors reports whether any error-severity diagnostic was recorded.
+func (l *DiagList) HasErrors() bool {
+	for i := range l.Diags {
+		if l.Diags[i].Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrCount returns the number of error-severity diagnostics.
+func (l *DiagList) ErrCount() int {
+	n := 0
+	for i := range l.Diags {
+		if l.Diags[i].Sev == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns an error summarizing the list when it contains errors, and nil
+// otherwise. The first error's text is used, with a count suffix when more
+// follow.
+func (l *DiagList) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	var first *Diagnostic
+	for i := range l.Diags {
+		if l.Diags[i].Sev == SevError {
+			first = &l.Diags[i]
+			break
+		}
+	}
+	if n := l.ErrCount(); n > 1 {
+		return fmt.Errorf("%s (and %d more errors)", first.Error(), n-1)
+	}
+	return fmt.Errorf("%s", first.Error())
+}
+
+// String renders every diagnostic, one per line.
+func (l *DiagList) String() string {
+	var b strings.Builder
+	for i := range l.Diags {
+		b.WriteString(l.Diags[i].Error())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sort orders diagnostics by file, then position, then severity (errors
+// first), giving deterministic output for tests and tools.
+func (l *DiagList) Sort() {
+	sort.SliceStable(l.Diags, func(i, j int) bool {
+		a, b := &l.Diags[i], &l.Diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		return a.Sev > b.Sev
+	})
+}

@@ -1,0 +1,112 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosForOffsets(t *testing.T) {
+	f := NewFile("t.mc", "abc\ndef\n\nx")
+	cases := []struct {
+		off  int
+		line int
+		col  int
+	}{
+		{0, 1, 1},
+		{2, 1, 3},
+		{3, 1, 4}, // the newline itself
+		{4, 2, 1},
+		{8, 3, 1},
+		{9, 4, 1},
+		{100, 4, 2}, // clamped past EOF
+		{-5, 1, 1},  // clamped before start
+	}
+	for _, c := range cases {
+		p := f.PosFor(c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("PosFor(%d) = %v, want %d:%d", c.off, p, c.line, c.col)
+		}
+	}
+}
+
+func TestLineAccess(t *testing.T) {
+	f := NewFile("t.mc", "first\r\nsecond\nthird")
+	if f.NumLines() != 3 {
+		t.Errorf("NumLines = %d", f.NumLines())
+	}
+	if f.Line(1) != "first" || f.Line(2) != "second" || f.Line(3) != "third" {
+		t.Errorf("lines = %q %q %q", f.Line(1), f.Line(2), f.Line(3))
+	}
+	if f.Line(0) != "" || f.Line(9) != "" {
+		t.Error("out-of-range lines must be empty")
+	}
+}
+
+func TestPosOrderingAndValidity(t *testing.T) {
+	a := Pos{Line: 1, Col: 5}
+	b := Pos{Line: 2, Col: 1}
+	c := Pos{Line: 1, Col: 9}
+	if !a.Before(b) || !a.Before(c) || b.Before(a) {
+		t.Error("Before ordering wrong")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos must be invalid")
+	}
+	if (Pos{}).String() != "-" {
+		t.Error("invalid Pos renders as -")
+	}
+	if a.String() != "1:5" {
+		t.Errorf("Pos string = %q", a.String())
+	}
+	if (Span{Start: a, End: c}).String() != "1:5-1:9" {
+		t.Error("Span string")
+	}
+}
+
+func TestDiagListErrAndCounts(t *testing.T) {
+	var d DiagList
+	if d.Err() != nil || d.HasErrors() {
+		t.Error("empty list must have no errors")
+	}
+	d.Warnf("f.mc", Pos{Line: 1, Col: 1}, "careful")
+	d.Notef("f.mc", Pos{Line: 1, Col: 2}, "fyi")
+	if d.HasErrors() {
+		t.Error("warnings are not errors")
+	}
+	d.Errorf("f.mc", Pos{Line: 2, Col: 1}, "boom %d", 1)
+	d.Errorf("f.mc", Pos{Line: 3, Col: 1}, "boom 2")
+	if d.ErrCount() != 2 {
+		t.Errorf("ErrCount = %d", d.ErrCount())
+	}
+	err := d.Err()
+	if err == nil || !strings.Contains(err.Error(), "boom 1") || !strings.Contains(err.Error(), "1 more error") {
+		t.Errorf("Err = %v", err)
+	}
+	if !strings.Contains(d.String(), "warning: careful") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestDiagSortDeterministic(t *testing.T) {
+	var d DiagList
+	d.Notef("b.mc", Pos{Line: 1, Col: 1}, "n")
+	d.Errorf("a.mc", Pos{Line: 9, Col: 1}, "e2")
+	d.Errorf("a.mc", Pos{Line: 1, Col: 1}, "e1")
+	d.Warnf("a.mc", Pos{Line: 1, Col: 1}, "w1")
+	d.Sort()
+	if d.Diags[0].Msg != "e1" { // error at a.mc:1:1 sorts before the warning
+		t.Errorf("first after sort = %+v", d.Diags[0])
+	}
+	if d.Diags[1].Msg != "w1" || d.Diags[2].Msg != "e2" || d.Diags[3].File != "b.mc" {
+		t.Errorf("sorted order wrong: %+v", d.Diags)
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	if SevNote.String() != "note" || SevWarning.String() != "warning" || SevError.String() != "error" {
+		t.Error("severity names")
+	}
+	if Severity(42).String() != "unknown" {
+		t.Error("unknown severity")
+	}
+}

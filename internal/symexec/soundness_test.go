@@ -1,0 +1,164 @@
+package symexec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// concreteEval evaluates a predicate expression over concrete int64
+// bindings, mirroring the runtime semantics the symbolic result must be
+// sound against.
+func concreteEval(e ast.Expr, env map[string]int64) (val int64, isBool bool, b bool) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return n.Value, false, false
+	case *ast.BoolLit:
+		return 0, true, n.Value
+	case *ast.Ident:
+		return env[n.Name], false, false
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.NOT:
+			_, _, bv := concreteEval(n.X, env)
+			return 0, true, !bv
+		case token.SUB:
+			v, _, _ := concreteEval(n.X, env)
+			return -v, false, false
+		}
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.AND:
+			_, _, a := concreteEval(n.X, env)
+			_, _, b2 := concreteEval(n.Y, env)
+			return 0, true, a && b2
+		case token.OR:
+			_, _, a := concreteEval(n.X, env)
+			_, _, b2 := concreteEval(n.Y, env)
+			return 0, true, a || b2
+		}
+		x, _, _ := concreteEval(n.X, env)
+		y, _, _ := concreteEval(n.Y, env)
+		switch n.Op {
+		case token.ADD:
+			return x + y, false, false
+		case token.SUB:
+			return x - y, false, false
+		case token.MUL:
+			return x * y, false, false
+		case token.EQL:
+			return 0, true, x == y
+		case token.NEQ:
+			return 0, true, x != y
+		case token.LSS:
+			return 0, true, x < y
+		case token.LEQ:
+			return 0, true, x <= y
+		case token.GTR:
+			return 0, true, x > y
+		case token.GEQ:
+			return 0, true, x >= y
+		}
+	}
+	return 0, true, false
+}
+
+func parse(t *testing.T, text string) ast.Expr {
+	t.Helper()
+	var diags source.DiagList
+	e, err := parser.ParseExprString(text, &diags)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return e
+}
+
+// predicates over p (instance 1, affine a*iv+b) and q (instance 2, same
+// affine form): the soundness property is checked for each.
+var predTexts = []string{
+	"p != q",
+	"p == q",
+	"p + 1 != q + 1",
+	"p != q + 1",
+	"2 * p != 2 * q",
+	"2 * p + 1 != 2 * q",
+	"p != q && p + 1 != q + 1",
+	"p != q || p == q",
+	"p <= q",
+	"!(p == q)",
+}
+
+// TestSymbolicSoundnessQuick: whenever the symbolic interpreter answers
+// True (resp. False) under the different-iteration assumption for affine
+// bindings p = a*iv1 + b1, q = a*iv2 + b2, the concrete evaluation must
+// agree for every pair iv1 != iv2. (Unknown answers are always allowed.)
+func TestSymbolicSoundnessQuick(t *testing.T) {
+	exprs := make([]ast.Expr, len(predTexts))
+	for i, txt := range predTexts {
+		exprs[i] = parse(t, txt)
+	}
+	check := func(a8, b18, b28 int8, iv1, iv2 int16) bool {
+		a, b1, b2 := int64(a8), int64(b18), int64(b28)
+		if iv1 == iv2 {
+			iv2++ // enforce the loop-carried assumption
+		}
+		env := Env{"p": Affine(a, b1, 1), "q": Affine(a, b2, 2)}
+		conc := map[string]int64{
+			"p": a*int64(iv1) + b1,
+			"q": a*int64(iv2) + b2,
+		}
+		for i, e := range exprs {
+			sym := EvalPredicate(e, env, DifferentIteration)
+			_, _, cv := concreteEval(e, conc)
+			if sym == True && !cv {
+				t.Logf("pred %q: symbolic True but concrete false (a=%d b1=%d b2=%d iv1=%d iv2=%d)",
+					predTexts[i], a, b1, b2, iv1, iv2)
+				return false
+			}
+			if sym == False && cv {
+				t.Logf("pred %q: symbolic False but concrete true (a=%d b1=%d b2=%d iv1=%d iv2=%d)",
+					predTexts[i], a, b1, b2, iv1, iv2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymbolicSoundnessSameIteration: under the same-iteration assumption
+// iv1 == iv2, definite answers must match concrete evaluation with a
+// shared iv.
+func TestSymbolicSoundnessSameIteration(t *testing.T) {
+	exprs := make([]ast.Expr, len(predTexts))
+	for i, txt := range predTexts {
+		exprs[i] = parse(t, txt)
+	}
+	check := func(a8, b18, b28 int8, iv int16) bool {
+		a, b1, b2 := int64(a8), int64(b18), int64(b28)
+		env := Env{"p": Affine(a, b1, 1), "q": Affine(a, b2, 2)}
+		conc := map[string]int64{
+			"p": a*int64(iv) + b1,
+			"q": a*int64(iv) + b2,
+		}
+		for i, e := range exprs {
+			sym := EvalPredicate(e, env, SameIteration)
+			_, _, cv := concreteEval(e, conc)
+			if (sym == True && !cv) || (sym == False && cv) {
+				t.Logf("pred %q: symbolic %v vs concrete %v (a=%d b1=%d b2=%d iv=%d)",
+					predTexts[i], sym, cv, a, b1, b2, iv)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

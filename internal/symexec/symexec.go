@@ -1,0 +1,363 @@
+// Package symexec implements the symbolic interpretation of
+// COMMSETPREDICATE expressions used by the dependence analyzer (paper
+// Algorithm 1, SymInterpret).
+//
+// Predicate parameters are bound to symbolic values derived from the call
+// sites of the two member instances being compared:
+//
+//   - Const: a compile-time constant,
+//   - Affine: a*iv + b over the loop's induction variable,
+//   - Invariant: an unknown but loop-invariant value with an identity (two
+//     instances of the same identity are equal in every iteration),
+//   - Unknown: anything else.
+//
+// Evaluation is three-valued. Under the loop-carried assumption the two
+// instances execute in different iterations, so the interpreter may assert
+// iv1 != iv2 ("Assert(i1 != i2) — induction variable"); under the
+// intra-iteration assumption iv1 == iv2. An edge is relaxed only when the
+// predicate evaluates to definitely-True.
+package symexec
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/vm/value"
+)
+
+// Tri is a three-valued boolean.
+type Tri int
+
+// Three-valued logic constants.
+const (
+	False Tri = iota
+	True
+	Unknown
+)
+
+// String renders the truth value.
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	return "unknown"
+}
+
+// Kind discriminates symbolic values.
+type Kind int
+
+// Symbolic value kinds.
+const (
+	KConst Kind = iota
+	KAffine
+	KInvariant
+	KUnknown
+)
+
+// Val is a symbolic value. Inst records which member instance (1 or 2) the
+// value belongs to, which matters for Affine values: instance 1's induction
+// variable and instance 2's differ under the loop-carried assumption.
+type Val struct {
+	Kind Kind
+	C    value.Value // KConst payload
+	A, B int64       // KAffine: A*iv + B
+	ID   string      // KInvariant identity
+	Inst int         // 1 or 2 (for Affine)
+}
+
+// Const wraps a constant.
+func Const(v value.Value) Val { return Val{Kind: KConst, C: v} }
+
+// IntConst wraps an integer constant.
+func IntConst(v int64) Val { return Val{Kind: KConst, C: value.Int(v)} }
+
+// Affine builds a*iv + b for the given instance.
+func Affine(a, b int64, inst int) Val { return Val{Kind: KAffine, A: a, B: b, Inst: inst} }
+
+// Invariant builds a loop-invariant unknown with an identity.
+func Invariant(id string) Val { return Val{Kind: KInvariant, ID: id} }
+
+// UnknownVal is the bottom symbolic value.
+func UnknownVal() Val { return Val{Kind: KUnknown} }
+
+// Assumption states the relation between the two instances' iterations.
+type Assumption int
+
+// Iteration assumptions.
+const (
+	SameIteration Assumption = iota
+	DifferentIteration
+)
+
+// Env binds predicate parameter names to symbolic values.
+type Env map[string]Val
+
+// EvalPredicate symbolically evaluates a boolean predicate expression.
+func EvalPredicate(expr ast.Expr, env Env, assume Assumption) Tri {
+	e := evaluator{env: env, assume: assume}
+	return e.evalBool(expr)
+}
+
+type evaluator struct {
+	env    Env
+	assume Assumption
+}
+
+func (e *evaluator) evalBool(x ast.Expr) Tri {
+	switch n := x.(type) {
+	case *ast.BoolLit:
+		if n.Value {
+			return True
+		}
+		return False
+	case *ast.UnaryExpr:
+		if n.Op == token.NOT {
+			return notT(e.evalBool(n.X))
+		}
+	case *ast.BinaryExpr:
+		switch n.Op {
+		case token.AND:
+			return andT(e.evalBool(n.X), e.evalBool(n.Y))
+		case token.OR:
+			return orT(e.evalBool(n.X), e.evalBool(n.Y))
+		case token.EQL:
+			return e.equal(e.evalVal(n.X), e.evalVal(n.Y))
+		case token.NEQ:
+			return notT(e.equal(e.evalVal(n.X), e.evalVal(n.Y)))
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			return e.ordered(n.Op, e.evalVal(n.X), e.evalVal(n.Y))
+		}
+	case *ast.CondExpr:
+		switch e.evalBool(n.Cond) {
+		case True:
+			return e.evalBool(n.Then)
+		case False:
+			return e.evalBool(n.Else)
+		default:
+			t1, t2 := e.evalBool(n.Then), e.evalBool(n.Else)
+			if t1 == t2 {
+				return t1
+			}
+			return Unknown
+		}
+	case *ast.Ident:
+		v := e.lookup(n.Name)
+		if v.Kind == KConst && v.C.T == ast.TBool {
+			if v.C.B {
+				return True
+			}
+			return False
+		}
+	}
+	return Unknown
+}
+
+func (e *evaluator) lookup(name string) Val {
+	if v, ok := e.env[name]; ok {
+		return v
+	}
+	return UnknownVal()
+}
+
+// evalVal evaluates an arithmetic subexpression to a symbolic value,
+// normalizing integer constants to Affine(0, c) for uniform arithmetic.
+func (e *evaluator) evalVal(x ast.Expr) Val {
+	switch n := x.(type) {
+	case *ast.IntLit:
+		return Affine(0, n.Value, 0)
+	case *ast.FloatLit:
+		return Const(value.Float(n.Value))
+	case *ast.StringLit:
+		return Const(value.Str(n.Value))
+	case *ast.BoolLit:
+		return Const(value.Bool(n.Value))
+	case *ast.Ident:
+		v := e.lookup(n.Name)
+		if v.Kind == KConst && v.C.T == ast.TInt {
+			return Affine(0, v.C.I, v.Inst)
+		}
+		return v
+	case *ast.UnaryExpr:
+		if n.Op == token.SUB {
+			v := e.evalVal(n.X)
+			if v.Kind == KAffine {
+				return Affine(-v.A, -v.B, v.Inst)
+			}
+		}
+		return UnknownVal()
+	case *ast.BinaryExpr:
+		a := e.evalVal(n.X)
+		b := e.evalVal(n.Y)
+		return arith(n.Op, a, b)
+	}
+	return UnknownVal()
+}
+
+// arith combines affine values. Affine values from different instances can
+// only combine when at least one side is a pure constant (A == 0): the two
+// instances' induction variables are distinct symbols.
+func arith(op token.Kind, a, b Val) Val {
+	if a.Kind != KAffine || b.Kind != KAffine {
+		return UnknownVal()
+	}
+	inst := a.Inst
+	if a.A == 0 {
+		inst = b.Inst
+	} else if b.A != 0 && b.Inst != a.Inst {
+		return UnknownVal() // mixes iv1 and iv2
+	}
+	switch op {
+	case token.ADD:
+		return Affine(a.A+b.A, a.B+b.B, inst)
+	case token.SUB:
+		return Affine(a.A-b.A, a.B-b.B, inst)
+	case token.MUL:
+		if a.A == 0 {
+			return Affine(a.B*b.A, a.B*b.B, inst)
+		}
+		if b.A == 0 {
+			return Affine(b.B*a.A, b.B*a.B, inst)
+		}
+	}
+	return UnknownVal()
+}
+
+// equal compares two symbolic values under the iteration assumption.
+func (e *evaluator) equal(a, b Val) Tri {
+	// Constants (non-int; ints are normalized to affine).
+	if a.Kind == KConst && b.Kind == KConst {
+		if a.C.Equal(b.C) {
+			return True
+		}
+		return False
+	}
+	if a.Kind == KInvariant && b.Kind == KInvariant {
+		if a.ID == b.ID {
+			return True // loop-invariant: same value in both instances
+		}
+		return Unknown
+	}
+	if a.Kind == KAffine && b.Kind == KAffine {
+		// Pure constants.
+		if a.A == 0 && b.A == 0 {
+			if a.B == b.B {
+				return True
+			}
+			return False
+		}
+		sameInst := a.Inst == b.Inst || a.A == 0 || b.A == 0
+		ivEqual := e.assume == SameIteration || sameInst
+		if ivEqual {
+			// a.A*iv + a.B == b.A*iv + b.B for the shared iv.
+			if a.A == b.A {
+				if a.B == b.B {
+					return True
+				}
+				return False
+			}
+			return Unknown
+		}
+		// Different iterations: iv1 != iv2 is asserted.
+		if a.A == b.A && a.A != 0 {
+			if a.B == b.B {
+				return False // a*(iv1) + b vs a*(iv2) + b with iv1 != iv2
+			}
+			// a*iv1 + b1 == a*iv2 + b2 requires a | (b2 - b1); otherwise
+			// the two affine values can never coincide (e.g. 2k vs 2k+1).
+			diff := a.B - b.B
+			if diff < 0 {
+				diff = -diff
+			}
+			step := a.A
+			if step < 0 {
+				step = -step
+			}
+			if diff%step != 0 {
+				return False
+			}
+		}
+		return Unknown
+	}
+	return Unknown
+}
+
+// ordered evaluates <, <=, >, >= with a decidable answer only for constant
+// or provably equal operands.
+func (e *evaluator) ordered(op token.Kind, a, b Val) Tri {
+	if a.Kind == KAffine && b.Kind == KAffine && a.A == 0 && b.A == 0 {
+		var r bool
+		switch op {
+		case token.LSS:
+			r = a.B < b.B
+		case token.LEQ:
+			r = a.B <= b.B
+		case token.GTR:
+			r = a.B > b.B
+		case token.GEQ:
+			r = a.B >= b.B
+		}
+		if r {
+			return True
+		}
+		return False
+	}
+	if a.Kind == KConst && b.Kind == KConst && a.C.T == ast.TString && b.C.T == ast.TString {
+		var r bool
+		switch op {
+		case token.LSS:
+			r = a.C.S < b.C.S
+		case token.LEQ:
+			r = a.C.S <= b.C.S
+		case token.GTR:
+			r = a.C.S > b.C.S
+		case token.GEQ:
+			r = a.C.S >= b.C.S
+		}
+		if r {
+			return True
+		}
+		return False
+	}
+	// Equal values answer <= and >= affirmatively.
+	if eq := e.equal(a, b); eq == True {
+		switch op {
+		case token.LEQ, token.GEQ:
+			return True
+		case token.LSS, token.GTR:
+			return False
+		}
+	}
+	return Unknown
+}
+
+func notT(t Tri) Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+func andT(a, b Tri) Tri {
+	if a == False || b == False {
+		return False
+	}
+	if a == True && b == True {
+		return True
+	}
+	return Unknown
+}
+
+func orT(a, b Tri) Tri {
+	if a == True || b == True {
+		return True
+	}
+	if a == False && b == False {
+		return False
+	}
+	return Unknown
+}

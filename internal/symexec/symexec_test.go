@@ -1,0 +1,153 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/vm/value"
+)
+
+func expr(t *testing.T, text string) ast.Expr {
+	t.Helper()
+	var diags source.DiagList
+	e, err := parser.ParseExprString(text, &diags)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return e
+}
+
+func TestIVInequalityLoopCarried(t *testing.T) {
+	// i1 != i2 with both bound to the induction variable of different
+	// iterations must be provably true.
+	env := Env{"i1": Affine(1, 0, 1), "i2": Affine(1, 0, 2)}
+	if got := EvalPredicate(expr(t, "i1 != i2"), env, DifferentIteration); got != True {
+		t.Errorf("loop-carried i1 != i2 = %v, want true", got)
+	}
+	// Same iteration: i1 == i2, so the predicate is definitely false.
+	if got := EvalPredicate(expr(t, "i1 != i2"), env, SameIteration); got != False {
+		t.Errorf("intra-iteration i1 != i2 = %v, want false", got)
+	}
+}
+
+func TestAffineOffsets(t *testing.T) {
+	env := Env{"i1": Affine(1, 0, 1), "i2": Affine(1, 0, 2)}
+	// i1 + 3 != i2 + 3 still provable across iterations.
+	if got := EvalPredicate(expr(t, "i1 + 3 != i2 + 3"), env, DifferentIteration); got != True {
+		t.Errorf("got %v", got)
+	}
+	// i1 != i2 + 1 is NOT provable (iv1 = iv2 + 1 is possible).
+	if got := EvalPredicate(expr(t, "i1 != i2 + 1"), env, DifferentIteration); got != Unknown {
+		t.Errorf("got %v, want unknown", got)
+	}
+	// 2*i1 != 2*i2 provable (same nonzero coefficient).
+	if got := EvalPredicate(expr(t, "2 * i1 != 2 * i2"), env, DifferentIteration); got != True {
+		t.Errorf("got %v", got)
+	}
+	// Same-iteration distinct offsets: i1 != i1 + 1 is true even intra.
+	env2 := Env{"a": Affine(1, 0, 1), "b": Affine(1, 1, 2)}
+	if got := EvalPredicate(expr(t, "a != b"), env2, SameIteration); got != True {
+		t.Errorf("distinct offsets intra = %v, want true", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	env := Env{"x": IntConst(3), "y": IntConst(5)}
+	if got := EvalPredicate(expr(t, "x != y"), env, SameIteration); got != True {
+		t.Errorf("3 != 5 = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "x == y"), env, SameIteration); got != False {
+		t.Errorf("3 == 5 = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "x < y"), env, SameIteration); got != True {
+		t.Errorf("3 < 5 = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "x >= y"), env, SameIteration); got != False {
+		t.Errorf("3 >= 5 = %v", got)
+	}
+}
+
+func TestInvariants(t *testing.T) {
+	// The same loop-invariant value in both instances is equal.
+	env := Env{"k1": Invariant("s:3"), "k2": Invariant("s:3")}
+	if got := EvalPredicate(expr(t, "k1 == k2"), env, DifferentIteration); got != True {
+		t.Errorf("same invariant = %v, want true", got)
+	}
+	if got := EvalPredicate(expr(t, "k1 != k2"), env, DifferentIteration); got != False {
+		t.Errorf("same invariant != = %v, want false", got)
+	}
+	// Distinct invariants are unknown.
+	env2 := Env{"k1": Invariant("s:3"), "k2": Invariant("s:4")}
+	if got := EvalPredicate(expr(t, "k1 != k2"), env2, DifferentIteration); got != Unknown {
+		t.Errorf("distinct invariants = %v, want unknown", got)
+	}
+}
+
+func TestUnknownsPropagate(t *testing.T) {
+	env := Env{"u": UnknownVal(), "i": Affine(1, 0, 1)}
+	if got := EvalPredicate(expr(t, "u != i"), env, DifferentIteration); got != Unknown {
+		t.Errorf("got %v", got)
+	}
+	// But definite parts still decide conjunctions/disjunctions.
+	if got := EvalPredicate(expr(t, "u != i || 1 != 2"), env, SameIteration); got != True {
+		t.Errorf("or with true arm = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "u != i && 1 == 2"), env, SameIteration); got != False {
+		t.Errorf("and with false arm = %v", got)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	env := Env{
+		"i1": Affine(1, 0, 1), "i2": Affine(1, 0, 2),
+		"c1": IntConst(7), "c2": IntConst(7),
+	}
+	if got := EvalPredicate(expr(t, "i1 != i2 && c1 == c2"), env, DifferentIteration); got != True {
+		t.Errorf("conjunction = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "!(i1 == i2)"), env, DifferentIteration); got != True {
+		t.Errorf("negation = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "i1 == i2 || c1 != c2"), env, DifferentIteration); got != False {
+		t.Errorf("disjunction of falses = %v", got)
+	}
+}
+
+func TestStringAndBoolConstants(t *testing.T) {
+	env := Env{
+		"s1": Const(value.Str("a")), "s2": Const(value.Str("b")),
+		"b1": Const(value.Bool(true)),
+	}
+	if got := EvalPredicate(expr(t, "s1 != s2"), env, SameIteration); got != True {
+		t.Errorf("string inequality = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "s1 < s2"), env, SameIteration); got != True {
+		t.Errorf("string order = %v", got)
+	}
+	if got := EvalPredicate(expr(t, "b1"), env, SameIteration); got != True {
+		t.Errorf("bool ident = %v", got)
+	}
+}
+
+func TestTernaryPredicate(t *testing.T) {
+	env := Env{"i1": Affine(1, 0, 1), "i2": Affine(1, 0, 2)}
+	if got := EvalPredicate(expr(t, "1 == 1 ? i1 != i2 : false"), env, DifferentIteration); got != True {
+		t.Errorf("ternary = %v", got)
+	}
+	// Unknown condition with agreeing arms stays decided.
+	env2 := Env{"u": UnknownVal()}
+	if got := EvalPredicate(expr(t, "u == 1 ? true : true"), env2, SameIteration); got != True {
+		t.Errorf("agreeing arms = %v", got)
+	}
+}
+
+func TestMixedInstanceArithmeticIsUnknown(t *testing.T) {
+	// i1 + i2 mixes the two instances' induction variables: any comparison
+	// involving it must be unknown.
+	env := Env{"i1": Affine(1, 0, 1), "i2": Affine(1, 0, 2)}
+	if got := EvalPredicate(expr(t, "i1 + i2 != 4"), env, DifferentIteration); got != Unknown {
+		t.Errorf("mixed-instance arithmetic = %v, want unknown", got)
+	}
+}

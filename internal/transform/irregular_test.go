@@ -1,0 +1,88 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transform"
+)
+
+// irregular loops must fall back to a sequential-only schedule with a note
+// explaining why (paper: control speculation is future work).
+func TestIrregularLoopsSequentialOnly(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		why  string
+	}{
+		{"break", `
+void main() {
+	for (int i = 0; i < 100; i++) {
+		int v = heavy(i);
+		if (v > 50) { break; }
+		print_int(v);
+	}
+}`, "breaks out"},
+		{"continue", `
+void main() {
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) { continue; }
+		print_int(heavy(i));
+	}
+}`, "continues"},
+		{"return", `
+void main() {
+	for (int i = 0; i < 100; i++) {
+		int v = heavy(i);
+		if (v > 50) { return; }
+		print_int(v);
+	}
+}`, "returns"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			la := analyze(t, c.src)
+			scheds := transform.Schedules(la, nil, 8)
+			if len(scheds) != 1 || scheds[0].Kind != transform.Sequential {
+				t.Fatalf("schedules = %v, want sequential only", scheds)
+			}
+			if len(scheds[0].Notes) == 0 || !strings.Contains(scheds[0].Notes[0], c.why) {
+				t.Errorf("notes = %v, want reason containing %q", scheds[0].Notes, c.why)
+			}
+			irregular, why := transform.IrregularIteration(la)
+			if !irregular {
+				t.Error("IrregularIteration should report true")
+			}
+			if !strings.Contains(why, c.why) {
+				t.Errorf("why = %q", why)
+			}
+		})
+	}
+}
+
+// break/continue fully inside an inner loop of the body are regular.
+func TestInnerLoopBreakIsRegular(t *testing.T) {
+	la := analyze(t, `
+void main() {
+	for (int i = 0; i < 10; i++) {
+		int s = 0;
+		for (int j = 0; j < 10; j++) {
+			if (j == 5) { break; }
+			s = s + j;
+		}
+		print_int(heavy(s));
+	}
+}`)
+	if irregular, why := transform.IrregularIteration(la); irregular {
+		t.Errorf("inner-loop break wrongly flagged: %s", why)
+	}
+	found := false
+	for _, s := range transform.Schedules(la, nil, 8) {
+		if s.Kind != transform.Sequential {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("regular loop should still get parallel schedules")
+	}
+}

@@ -1,0 +1,856 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/pragma"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Check runs semantic analysis over prog with the given builtin signatures,
+// reporting problems into diags. The returned Info is usable (possibly
+// partially) even when diagnostics contain errors.
+func Check(prog *ast.Program, builtins map[string]*Sig, diags *source.DiagList) *Info {
+	c := &checker{
+		info: &Info{
+			Prog:        prog,
+			ExprTypes:   map[ast.Expr]ast.Type{},
+			Funcs:       map[string]*Sig{},
+			Builtins:    builtins,
+			Sets:        map[string]*Set{},
+			BlockMembs:  map[*ast.BlockStmt]*Instance{},
+			FuncMembs:   map[string]*Instance{},
+			NamedBlocks: map[string]map[string]*NamedBlockInfo{},
+			GlobalTypes: map[string]ast.Type{},
+		},
+		diags: diags,
+		file:  prog.File.Name,
+	}
+	if c.info.Builtins == nil {
+		c.info.Builtins = map[string]*Sig{}
+	}
+	c.collectDecls()
+	c.collectGlobalPragmas()
+	for _, fn := range prog.Funcs {
+		c.checkFunc(fn)
+	}
+	c.resolvePredicates()
+	c.checkNamedBlockExports()
+	return c.info
+}
+
+type checker struct {
+	info  *Info
+	diags *source.DiagList
+	file  string
+
+	// Current function state.
+	fn     *ast.FuncDecl
+	scopes []map[string]ast.Type
+	loops  int
+	anonID int
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.diags.Errorf(c.file, pos, format, args...)
+}
+
+// --- declarations ---
+
+func (c *checker) collectDecls() {
+	for _, g := range c.info.Prog.Globals {
+		if _, dup := c.info.GlobalTypes[g.Name]; dup {
+			c.errorf(g.Pos(), "duplicate global %s", g.Name)
+			continue
+		}
+		c.info.GlobalTypes[g.Name] = g.Type
+	}
+	for _, fn := range c.info.Prog.Funcs {
+		if _, dup := c.info.Funcs[fn.Name]; dup {
+			c.errorf(fn.Pos(), "duplicate function %s", fn.Name)
+			continue
+		}
+		if _, isBuiltin := c.info.Builtins[fn.Name]; isBuiltin {
+			c.errorf(fn.Pos(), "function %s shadows a builtin", fn.Name)
+			continue
+		}
+		sig := &Sig{Name: fn.Name, Result: fn.Result}
+		for _, p := range fn.Params {
+			sig.Params = append(sig.Params, p.Type)
+		}
+		c.info.Funcs[fn.Name] = sig
+	}
+	// Global initializers must be literal constants (no evaluation order
+	// questions, like C static initializers).
+	for _, g := range c.info.Prog.Globals {
+		if g.Init == nil {
+			continue
+		}
+		switch lit := g.Init.(type) {
+		case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.BoolLit:
+			t := c.literalType(lit)
+			if t != g.Type {
+				c.errorf(g.Pos(), "cannot initialize %s %s with %s literal", g.Type, g.Name, t)
+			}
+		default:
+			c.errorf(g.Pos(), "global initializer for %s must be a literal constant", g.Name)
+		}
+	}
+}
+
+func (c *checker) literalType(e ast.Expr) ast.Type {
+	switch e.(type) {
+	case *ast.IntLit:
+		return ast.TInt
+	case *ast.FloatLit:
+		return ast.TFloat
+	case *ast.StringLit:
+		return ast.TString
+	case *ast.BoolLit:
+		return ast.TBool
+	}
+	return ast.TInvalid
+}
+
+// --- global pragmas ---
+
+func (c *checker) collectGlobalPragmas() {
+	// First all declarations, so predicates/nosync can reference them
+	// regardless of order.
+	for _, pr := range c.info.Prog.Pragmas {
+		if d, ok := pr.Dir.(*pragma.Decl); ok {
+			if _, dup := c.info.Sets[d.Name]; dup {
+				c.errorf(pr.Pos(), "duplicate commset declaration %s", d.Name)
+				continue
+			}
+			c.info.Sets[d.Name] = &Set{Name: d.Name, SelfSet: d.Self, DeclPos: pr.Pos()}
+		}
+	}
+	for _, pr := range c.info.Prog.Pragmas {
+		switch d := pr.Dir.(type) {
+		case *pragma.Decl:
+			// handled above
+		case *pragma.Predicate:
+			set := c.info.Sets[d.Set]
+			if set == nil {
+				c.errorf(pr.Pos(), "predicate references undeclared commset %s", d.Set)
+				continue
+			}
+			if set.Pred != nil {
+				c.errorf(pr.Pos(), "commset %s already has a predicate", d.Set)
+				continue
+			}
+			set.Pred = &Predicate{
+				Params1:  d.Params1,
+				Params2:  d.Params2,
+				ExprText: d.ExprText,
+			}
+		case *pragma.NoSync:
+			set := c.info.Sets[d.Set]
+			if set == nil {
+				c.errorf(pr.Pos(), "nosync references undeclared commset %s", d.Set)
+				continue
+			}
+			set.NoSync = true
+		}
+	}
+}
+
+// --- function bodies ---
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fn = fn
+	c.scopes = []map[string]ast.Type{{}}
+	c.loops = 0
+	for _, p := range fn.Params {
+		if _, dup := c.scopes[0][p.Name]; dup {
+			c.errorf(p.Pos(), "duplicate parameter %s", p.Name)
+			continue
+		}
+		c.scopes[0][p.Name] = p.Type
+	}
+	c.checkFuncPragmas(fn)
+	// The function body's top-level block shares the parameter scope.
+	for _, s := range fn.Body.Stmts {
+		c.checkStmt(s)
+	}
+	if fn.Body.HasPragmas() {
+		c.errorf(fn.Body.Pos(), "commset pragmas may not annotate a function body block; annotate the function instead")
+	}
+}
+
+// checkFuncPragmas handles COMMSET member and COMMSETNAMEDARG on a function
+// declaration.
+func (c *checker) checkFuncPragmas(fn *ast.FuncDecl) {
+	for _, pr := range fn.Pragmas {
+		switch d := pr.Dir.(type) {
+		case *pragma.Member:
+			membs := c.resolveMemberList(d.Sets, pr.Pos(), func(name string) (ast.Type, bool) {
+				// Function-level predicate args bind to parameters.
+				for _, p := range fn.Params {
+					if p.Name == name {
+						return p.Type, true
+					}
+				}
+				return ast.TInvalid, false
+			}, "parameter")
+			if inst := c.info.FuncMembs[fn.Name]; inst != nil {
+				inst.Membs = append(inst.Membs, membs...)
+			} else {
+				inst := &Instance{Fn: fn, Membs: membs}
+				c.info.Instances = append(c.info.Instances, inst)
+				c.info.FuncMembs[fn.Name] = inst
+			}
+		case *pragma.NamedArg:
+			for _, n := range d.Names {
+				c.exportNamedBlock(fn, n, pr.Pos())
+			}
+		case *pragma.NamedBlock:
+			c.errorf(pr.Pos(), "namedblock must annotate a compound statement, not a function")
+		case *pragma.NamedArgAdd:
+			c.errorf(pr.Pos(), "commset add must annotate a statement containing the enabling call")
+		default:
+			c.errorf(pr.Pos(), "%s is a file-scope directive", pr.Dir.(pragma.Directive).Kind())
+		}
+	}
+}
+
+// exportNamedBlock records an export; the block may be declared later in the
+// body, so existence is verified in checkNamedBlockExports.
+func (c *checker) exportNamedBlock(fn *ast.FuncDecl, name string, pos source.Pos) {
+	m := c.info.NamedBlocks[fn.Name]
+	if m == nil {
+		m = map[string]*NamedBlockInfo{}
+		c.info.NamedBlocks[fn.Name] = m
+	}
+	nb := m[name]
+	if nb == nil {
+		nb = &NamedBlockInfo{Fn: fn, Name: name}
+		m[name] = nb
+	}
+	if nb.Exported {
+		c.errorf(pos, "named block %s exported twice by %s", name, fn.Name)
+	}
+	nb.Exported = true
+}
+
+// resolveMemberList validates a SetRef list against declared sets and binds
+// argument names using lookup.
+func (c *checker) resolveMemberList(refs []pragma.SetRef, pos source.Pos, lookup func(string) (ast.Type, bool), argKind string) []*Membership {
+	var membs []*Membership
+	for _, ref := range refs {
+		if ref.Self {
+			c.anonID++
+			set := &Set{
+				Name:    fmt.Sprintf("SELF@%s#%d", c.fn.Name, c.anonID),
+				SelfSet: true,
+				Anon:    true,
+				DeclPos: pos,
+			}
+			c.info.AnonSets = append(c.info.AnonSets, set)
+			membs = append(membs, &Membership{Set: set, Pos: pos})
+			continue
+		}
+		set := c.info.Sets[ref.Name]
+		if set == nil {
+			c.errorf(pos, "membership references undeclared commset %s", ref.Name)
+			continue
+		}
+		if set.Pred == nil && len(ref.Args) > 0 {
+			c.errorf(pos, "commset %s is unpredicated but membership supplies arguments", ref.Name)
+			continue
+		}
+		if set.Pred != nil && len(ref.Args) != len(set.Pred.Params1) {
+			c.errorf(pos, "commset %s predicate takes %d arguments, membership supplies %d",
+				ref.Name, len(set.Pred.Params1), len(ref.Args))
+			continue
+		}
+		for _, a := range ref.Args {
+			if _, ok := lookup(a); !ok {
+				c.errorf(pos, "predicate argument %s is not a %s in scope", a, argKind)
+			}
+		}
+		membs = append(membs, &Membership{Set: set, Args: ref.Args, Pos: pos})
+	}
+	return membs
+}
+
+// --- statements ---
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]ast.Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t ast.Type, pos source.Pos) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "duplicate declaration of %s in this scope", name)
+		return
+	}
+	top[name] = t
+}
+
+func (c *checker) lookupVar(name string) (ast.Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	if t, ok := c.info.GlobalTypes[name]; ok {
+		return t, true
+	}
+	return ast.TInvalid, false
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	c.checkStmtPragmas(s)
+	switch n := s.(type) {
+	case *ast.DeclStmt:
+		d := n.Decl
+		if d.Init != nil {
+			t := c.checkExpr(d.Init)
+			if t != ast.TInvalid && t != d.Type {
+				c.errorf(d.Pos(), "cannot initialize %s %s with %s value", d.Type, d.Name, t)
+			}
+		}
+		c.declare(d.Name, d.Type, d.Pos())
+	case *ast.AssignStmt:
+		lt, ok := c.lookupVar(n.Lhs)
+		if !ok {
+			c.errorf(n.Pos(), "assignment to undeclared variable %s", n.Lhs)
+			lt = ast.TInvalid
+		}
+		rt := c.checkExpr(n.Rhs)
+		if lt == ast.TInvalid || rt == ast.TInvalid {
+			return
+		}
+		if n.Op == token.ASSIGN {
+			if lt != rt {
+				c.errorf(n.Pos(), "cannot assign %s value to %s %s", rt, lt, n.Lhs)
+			}
+			return
+		}
+		// Compound assignment behaves like the corresponding binary op.
+		if lt != rt {
+			c.errorf(n.Pos(), "operands of %s must have the same type (%s vs %s)", n.Op, lt, rt)
+			return
+		}
+		switch n.Op {
+		case token.REMASSIGN:
+			if lt != ast.TInt {
+				c.errorf(n.Pos(), "%%= requires int operands")
+			}
+		case token.ADDASSIGN:
+			if lt != ast.TInt && lt != ast.TFloat && lt != ast.TString {
+				c.errorf(n.Pos(), "+= requires int, float, or string operands")
+			}
+		default:
+			if lt != ast.TInt && lt != ast.TFloat {
+				c.errorf(n.Pos(), "%s requires numeric operands", n.Op)
+			}
+		}
+	case *ast.IncDecStmt:
+		t, ok := c.lookupVar(n.Name)
+		if !ok {
+			c.errorf(n.Pos(), "%s of undeclared variable %s", n.Op, n.Name)
+			return
+		}
+		if t != ast.TInt {
+			c.errorf(n.Pos(), "%s requires an int variable", n.Op)
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(n.X)
+	case *ast.IfStmt:
+		if t := c.checkExpr(n.Cond); t != ast.TBool && t != ast.TInvalid {
+			c.errorf(n.Cond.Pos(), "if condition must be bool, got %s", t)
+		}
+		c.checkStmt(n.Then)
+		if n.Else != nil {
+			c.checkStmt(n.Else)
+		}
+	case *ast.WhileStmt:
+		if t := c.checkExpr(n.Cond); t != ast.TBool && t != ast.TInvalid {
+			c.errorf(n.Cond.Pos(), "while condition must be bool, got %s", t)
+		}
+		c.loops++
+		c.checkStmt(n.Body)
+		c.loops--
+	case *ast.ForStmt:
+		c.pushScope()
+		if n.Init != nil {
+			c.checkStmt(n.Init)
+		}
+		if n.Cond != nil {
+			if t := c.checkExpr(n.Cond); t != ast.TBool && t != ast.TInvalid {
+				c.errorf(n.Cond.Pos(), "for condition must be bool, got %s", t)
+			}
+		}
+		if n.Post != nil {
+			c.checkStmt(n.Post)
+		}
+		c.loops++
+		c.checkStmt(n.Body)
+		c.loops--
+		c.popScope()
+	case *ast.ReturnStmt:
+		want := c.fn.Result
+		if n.X == nil {
+			if want != ast.TVoid {
+				c.errorf(n.Pos(), "missing return value in %s (returns %s)", c.fn.Name, want)
+			}
+			return
+		}
+		got := c.checkExpr(n.X)
+		if want == ast.TVoid {
+			c.errorf(n.Pos(), "void function %s returns a value", c.fn.Name)
+		} else if got != ast.TInvalid && got != want {
+			c.errorf(n.Pos(), "function %s returns %s, got %s", c.fn.Name, want, got)
+		}
+	case *ast.BreakStmt:
+		if c.loops == 0 {
+			c.errorf(n.Pos(), "break outside a loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loops == 0 {
+			c.errorf(n.Pos(), "continue outside a loop")
+		}
+	case *ast.BlockStmt:
+		c.pushScope()
+		for _, st := range n.Stmts {
+			c.checkStmt(st)
+		}
+		c.popScope()
+	case *ast.EmptyStmt:
+	}
+}
+
+// checkStmtPragmas handles pragmas attached to statements: COMMSET member
+// lists and COMMSETNAMEDBLOCK on compound statements, COMMSETNAMEDARGADD on
+// statements containing an enabling call.
+func (c *checker) checkStmtPragmas(s ast.Stmt) {
+	host := s.Host()
+	if len(host.Pragmas) == 0 {
+		return
+	}
+	block, isBlock := s.(*ast.BlockStmt)
+	for _, pr := range host.Pragmas {
+		switch d := pr.Dir.(type) {
+		case *pragma.Member:
+			if !isBlock {
+				c.errorf(pr.Pos(), "commset member must annotate a compound statement or function")
+				continue
+			}
+			membs := c.resolveMemberList(d.Sets, pr.Pos(), c.lookupVar, "variable")
+			if inst := c.info.BlockMembs[block]; inst != nil {
+				inst.Membs = append(inst.Membs, membs...)
+			} else {
+				inst := &Instance{Fn: c.fn, Block: block, Membs: membs}
+				c.info.Instances = append(c.info.Instances, inst)
+				c.info.BlockMembs[block] = inst
+			}
+			c.checkCommutativeBlock(block)
+		case *pragma.NamedBlock:
+			if !isBlock {
+				c.errorf(pr.Pos(), "namedblock must annotate a compound statement")
+				continue
+			}
+			c.declareNamedBlock(block, d.Name, pr.Pos())
+			c.checkCommutativeBlock(block)
+		case *pragma.NamedArgAdd:
+			c.checkAdd(s, d, pr.Pos())
+		default:
+			c.errorf(pr.Pos(), "%s directive cannot annotate a statement", pr.Dir.(pragma.Directive).Kind())
+		}
+	}
+}
+
+func (c *checker) declareNamedBlock(block *ast.BlockStmt, name string, pos source.Pos) {
+	m := c.info.NamedBlocks[c.fn.Name]
+	if m == nil {
+		m = map[string]*NamedBlockInfo{}
+		c.info.NamedBlocks[c.fn.Name] = m
+	}
+	nb := m[name]
+	if nb == nil {
+		nb = &NamedBlockInfo{Fn: c.fn, Name: name}
+		m[name] = nb
+	}
+	if nb.Block != nil {
+		c.errorf(pos, "duplicate named block %s in %s", name, c.fn.Name)
+		return
+	}
+	nb.Block = block
+}
+
+func (c *checker) checkAdd(s ast.Stmt, d *pragma.NamedArgAdd, pos source.Pos) {
+	// The annotated statement must contain exactly one call to d.Func.
+	var calls []*ast.CallExpr
+	ast.InspectExprs(s, func(e ast.Expr) {
+		if call, ok := e.(*ast.CallExpr); ok && call.Fun == d.Func {
+			calls = append(calls, call)
+		}
+	})
+	if len(calls) != 1 {
+		c.errorf(pos, "commset add requires exactly one call to %s in the annotated statement, found %d", d.Func, len(calls))
+		return
+	}
+	if c.info.Funcs[d.Func] == nil {
+		c.errorf(pos, "commset add references undefined function %s", d.Func)
+		return
+	}
+	membs := c.resolveMemberList(d.Sets, pos, c.lookupVar, "variable")
+	c.info.Adds = append(c.info.Adds, &Add{
+		ClientFn: c.fn,
+		Stmt:     s,
+		Call:     calls[0],
+		Func:     d.Func,
+		Block:    d.Block,
+		Membs:    membs,
+		Pos:      pos,
+	})
+}
+
+// checkCommutativeBlock enforces the paper's well-definedness condition (a):
+// control flow within a commutative block must be local and structured —
+// no return, and break/continue only when their parent loop lies within the
+// block.
+func (c *checker) checkCommutativeBlock(block *ast.BlockStmt) {
+	var walk func(s ast.Stmt, loopDepth int)
+	walk = func(s ast.Stmt, loopDepth int) {
+		switch n := s.(type) {
+		case *ast.ReturnStmt:
+			c.errorf(n.Pos(), "return inside a commutative block is non-local control flow")
+		case *ast.BreakStmt:
+			if loopDepth == 0 {
+				c.errorf(n.Pos(), "break inside a commutative block must target a loop within the block")
+			}
+		case *ast.ContinueStmt:
+			if loopDepth == 0 {
+				c.errorf(n.Pos(), "continue inside a commutative block must target a loop within the block")
+			}
+		case *ast.IfStmt:
+			walk(n.Then, loopDepth)
+			if n.Else != nil {
+				walk(n.Else, loopDepth)
+			}
+		case *ast.WhileStmt:
+			walk(n.Body, loopDepth+1)
+		case *ast.ForStmt:
+			walk(n.Body, loopDepth+1)
+		case *ast.BlockStmt:
+			for _, st := range n.Stmts {
+				walk(st, loopDepth)
+			}
+		}
+	}
+	for _, st := range block.Stmts {
+		walk(st, 0)
+	}
+}
+
+// --- expressions ---
+
+func (c *checker) setType(e ast.Expr, t ast.Type) ast.Type {
+	c.info.ExprTypes[e] = t
+	return t
+}
+
+func (c *checker) checkExpr(e ast.Expr) ast.Type {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return c.setType(e, ast.TInt)
+	case *ast.FloatLit:
+		return c.setType(e, ast.TFloat)
+	case *ast.StringLit:
+		return c.setType(e, ast.TString)
+	case *ast.BoolLit:
+		return c.setType(e, ast.TBool)
+	case *ast.Ident:
+		t, ok := c.lookupVar(n.Name)
+		if !ok {
+			c.errorf(n.Pos(), "undeclared variable %s", n.Name)
+			return c.setType(e, ast.TInvalid)
+		}
+		return c.setType(e, t)
+	case *ast.CallExpr:
+		return c.setType(e, c.checkCall(n))
+	case *ast.UnaryExpr:
+		xt := c.checkExpr(n.X)
+		switch n.Op {
+		case token.NOT:
+			if xt != ast.TBool && xt != ast.TInvalid {
+				c.errorf(n.Pos(), "! requires a bool operand, got %s", xt)
+			}
+			return c.setType(e, ast.TBool)
+		case token.SUB:
+			if xt != ast.TInt && xt != ast.TFloat && xt != ast.TInvalid {
+				c.errorf(n.Pos(), "unary - requires a numeric operand, got %s", xt)
+				xt = ast.TInvalid
+			}
+			return c.setType(e, xt)
+		}
+		c.errorf(n.Pos(), "unsupported unary operator %s", n.Op)
+		return c.setType(e, ast.TInvalid)
+	case *ast.BinaryExpr:
+		return c.setType(e, c.checkBinary(n))
+	case *ast.CondExpr:
+		ct := c.checkExpr(n.Cond)
+		if ct != ast.TBool && ct != ast.TInvalid {
+			c.errorf(n.Cond.Pos(), "condition of ?: must be bool, got %s", ct)
+		}
+		tt := c.checkExpr(n.Then)
+		et := c.checkExpr(n.Else)
+		if tt != et && tt != ast.TInvalid && et != ast.TInvalid {
+			c.errorf(n.Pos(), "branches of ?: have different types (%s vs %s)", tt, et)
+			return c.setType(e, ast.TInvalid)
+		}
+		return c.setType(e, tt)
+	}
+	return ast.TInvalid
+}
+
+func (c *checker) checkCall(n *ast.CallExpr) ast.Type {
+	sig := c.info.SigOf(n.Fun)
+	if sig == nil {
+		c.errorf(n.Pos(), "call to undefined function %s", n.Fun)
+		for _, a := range n.Args {
+			c.checkExpr(a)
+		}
+		return ast.TInvalid
+	}
+	if len(n.Args) != len(sig.Params) {
+		c.errorf(n.Pos(), "%s takes %d arguments, got %d", n.Fun, len(sig.Params), len(n.Args))
+		for _, a := range n.Args {
+			c.checkExpr(a)
+		}
+		return sig.Result
+	}
+	for i, a := range n.Args {
+		at := c.checkExpr(a)
+		if at != ast.TInvalid && at != sig.Params[i] {
+			c.errorf(a.Pos(), "argument %d of %s must be %s, got %s", i+1, n.Fun, sig.Params[i], at)
+		}
+	}
+	return sig.Result
+}
+
+func (c *checker) checkBinary(n *ast.BinaryExpr) ast.Type {
+	xt := c.checkExpr(n.X)
+	yt := c.checkExpr(n.Y)
+	if xt == ast.TInvalid || yt == ast.TInvalid {
+		return ast.TInvalid
+	}
+	if xt != yt {
+		c.errorf(n.OpPos, "operands of %s must have the same type (%s vs %s)", n.Op, xt, yt)
+		return ast.TInvalid
+	}
+	switch n.Op {
+	case token.ADD:
+		if xt == ast.TInt || xt == ast.TFloat || xt == ast.TString {
+			return xt
+		}
+	case token.SUB, token.MUL, token.QUO:
+		if xt == ast.TInt || xt == ast.TFloat {
+			return xt
+		}
+	case token.REM, token.BAND, token.BOR, token.BXOR, token.SHL, token.SHR:
+		if xt == ast.TInt {
+			return ast.TInt
+		}
+	case token.AND, token.OR:
+		if xt == ast.TBool {
+			return ast.TBool
+		}
+	case token.EQL, token.NEQ:
+		return ast.TBool
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		if xt == ast.TInt || xt == ast.TFloat || xt == ast.TString {
+			return ast.TBool
+		}
+	}
+	c.errorf(n.OpPos, "operator %s is not defined for %s operands", n.Op, xt)
+	return ast.TInvalid
+}
+
+// --- predicates ---
+
+// resolvePredicates infers predicate parameter types from the membership
+// instances of each predicated set, parses and type checks the predicate
+// expression, and verifies purity (expression contains only parameters,
+// literals, operators, and pure builtins), reproducing the paper's
+// automatic type inference and purity inspection.
+func (c *checker) resolvePredicates() {
+	// Gather argument types per set from all instances.
+	argTypes := map[*Set][]ast.Type{}
+	argPos := map[*Set]source.Pos{}
+	record := func(inst *Instance, m *Membership) {
+		if m.Set.Pred == nil || len(m.Args) == 0 {
+			return
+		}
+		ts := make([]ast.Type, len(m.Args))
+		for i, a := range m.Args {
+			ts[i] = c.instanceArgType(inst, a)
+		}
+		if prev, ok := argTypes[m.Set]; ok {
+			for i := range ts {
+				if i < len(prev) && prev[i] != ts[i] && prev[i] != ast.TInvalid && ts[i] != ast.TInvalid {
+					c.errorf(m.Pos, "commset %s predicate argument %d has type %s here but %s at %s",
+						m.Set.Name, i+1, ts[i], prev[i], argPos[m.Set])
+				}
+			}
+		} else {
+			argTypes[m.Set] = ts
+			argPos[m.Set] = m.Pos
+		}
+	}
+	for _, inst := range c.info.Instances {
+		for _, m := range inst.Membs {
+			record(inst, m)
+		}
+	}
+	for _, add := range c.info.Adds {
+		for _, m := range add.Membs {
+			// Named-block args are client variables; types were resolved at
+			// the add site during the walk; reuse the client fn lookup.
+			if m.Set.Pred == nil || len(m.Args) == 0 {
+				continue
+			}
+			ts := make([]ast.Type, len(m.Args))
+			for i := range m.Args {
+				ts[i] = ast.TInt // conservatively int; validated at lowering
+			}
+			if _, ok := argTypes[m.Set]; !ok {
+				argTypes[m.Set] = ts
+				argPos[m.Set] = m.Pos
+			}
+		}
+	}
+
+	for _, set := range c.info.AllSets() {
+		if set.Pred == nil {
+			continue
+		}
+		ts, ok := argTypes[set]
+		if !ok {
+			// A predicated set with no instances: default every param to int
+			// so the expression can still be checked.
+			ts = make([]ast.Type, len(set.Pred.Params1))
+			for i := range ts {
+				ts[i] = ast.TInt
+			}
+		}
+		set.Pred.ParamTypes = ts
+		c.checkPredicateExpr(set)
+	}
+}
+
+// instanceArgType resolves the type of a membership argument at its
+// instance: a function parameter for function-level members, otherwise a
+// variable visible at the block (approximated by function scope re-walk;
+// the membership resolution during the walk already validated visibility).
+func (c *checker) instanceArgType(inst *Instance, name string) ast.Type {
+	if inst.Block == nil {
+		for _, p := range inst.Fn.Params {
+			if p.Name == name {
+				return p.Type
+			}
+		}
+		return ast.TInvalid
+	}
+	// Search declarations lexically before the block in the function, plus
+	// parameters and globals. This mirrors "live at the beginning of the
+	// structured commutative code block".
+	if t, ok := findVarTypeInFunc(inst.Fn, name); ok {
+		return t
+	}
+	if t, ok := c.info.GlobalTypes[name]; ok {
+		return t
+	}
+	return ast.TInvalid
+}
+
+func findVarTypeInFunc(fn *ast.FuncDecl, name string) (ast.Type, bool) {
+	for _, p := range fn.Params {
+		if p.Name == name {
+			return p.Type, true
+		}
+	}
+	var found ast.Type
+	ok := false
+	ast.Inspect(fn.Body, func(s ast.Stmt) bool {
+		if d, isDecl := s.(*ast.DeclStmt); isDecl && d.Decl.Name == name && !ok {
+			found, ok = d.Decl.Type, true
+		}
+		if f, isFor := s.(*ast.ForStmt); isFor {
+			if d, isDecl := f.Init.(*ast.DeclStmt); isDecl && d.Decl.Name == name && !ok {
+				found, ok = d.Decl.Type, true
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+func (c *checker) checkPredicateExpr(set *Set) {
+	pred := set.Pred
+	expr, err := parser.ParseExprString(pred.ExprText, c.diags)
+	if err != nil {
+		c.errorf(set.DeclPos, "commset %s predicate: %v", set.Name, err)
+		return
+	}
+	pred.Expr = expr
+
+	// Type check in a scope containing only the predicate parameters.
+	scope := map[string]ast.Type{}
+	for i, p := range pred.Params1 {
+		scope[p] = pred.ParamTypes[i]
+	}
+	for i, p := range pred.Params2 {
+		if _, dup := scope[p]; dup {
+			c.errorf(set.DeclPos, "commset %s predicate parameter %s appears in both lists", set.Name, p)
+		}
+		scope[p] = pred.ParamTypes[i]
+	}
+
+	pc := &checker{info: c.info, diags: c.diags, file: c.file, fn: &ast.FuncDecl{Name: "<predicate " + set.Name + ">"}}
+	pc.scopes = []map[string]ast.Type{scope}
+	t := pc.checkExpr(expr)
+	if t != ast.TBool && t != ast.TInvalid {
+		c.errorf(set.DeclPos, "commset %s predicate must be bool, got %s", set.Name, t)
+	}
+
+	// Purity: calls are allowed only to pure builtins.
+	ast.WalkExpr(expr, func(e ast.Expr) {
+		if call, ok := e.(*ast.CallExpr); ok {
+			b := c.info.Builtins[call.Fun]
+			if b == nil || !b.Pure {
+				c.errorf(set.DeclPos, "commset %s predicate calls %s, which is not a pure builtin", set.Name, call.Fun)
+			}
+		}
+	})
+}
+
+// checkNamedBlockExports verifies that every export has a block, every
+// add references an exported block, and warns about unexported blocks.
+func (c *checker) checkNamedBlockExports() {
+	for fname, blocks := range c.info.NamedBlocks {
+		for bname, nb := range blocks {
+			if nb.Exported && nb.Block == nil {
+				c.errorf(nb.Fn.Pos(), "function %s exports named block %s, which is not declared in its body", fname, bname)
+			}
+		}
+	}
+	for _, add := range c.info.Adds {
+		blocks := c.info.NamedBlocks[add.Func]
+		nb := blocks[add.Block]
+		if nb == nil || nb.Block == nil {
+			c.errorf(add.Pos, "function %s has no named block %s", add.Func, add.Block)
+			continue
+		}
+		if !nb.Exported {
+			c.errorf(add.Pos, "named block %s is not exported by %s (missing commset namedarg)", add.Block, add.Func)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+)
+
+// testBuiltins is a tiny substrate for checker tests.
+func testBuiltins() map[string]*Sig {
+	return map[string]*Sig{
+		"print_int": {Name: "print_int", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"fopen":     {Name: "fopen", Params: []ast.Type{ast.TString}, Result: ast.TInt},
+		"fread":     {Name: "fread", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
+		"fclose":    {Name: "fclose", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"abs":       {Name: "abs", Params: []ast.Type{ast.TInt}, Result: ast.TInt, Pure: true},
+		"rand":      {Name: "rand", Params: nil, Result: ast.TInt},
+	}
+}
+
+func checkSrc(t *testing.T, src string) (*Info, *source.DiagList) {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse(source.NewFile("t.mc", src), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	info := Check(prog, testBuiltins(), &diags)
+	return info, &diags
+}
+
+func checkOK(t *testing.T, src string) *Info {
+	t.Helper()
+	info, diags := checkSrc(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected check errors:\n%s", diags.String())
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, diags := checkSrc(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error containing %q, got none", wantSubstr)
+	}
+	if !strings.Contains(diags.String(), wantSubstr) {
+		t.Fatalf("expected error containing %q, got:\n%s", wantSubstr, diags.String())
+	}
+}
+
+func TestCheckSimpleProgram(t *testing.T) {
+	info := checkOK(t, `
+int total = 0;
+int add(int a, int b) { return a + b; }
+void main() {
+	int x = add(1, 2);
+	print_int(x);
+}`)
+	if info.Funcs["add"] == nil || info.Funcs["main"] == nil {
+		t.Fatal("missing function signatures")
+	}
+	if info.GlobalTypes["total"] != ast.TInt {
+		t.Error("global type wrong")
+	}
+}
+
+func TestCheckTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`void f() { int x = true; }`, "cannot initialize"},
+		{`void f() { undefined_var = 1; }`, "undeclared variable"},
+		{`void f() { int x = 1.5 + 1; }`, "same type"},
+		{`void f() { bogus(); }`, "undefined function"},
+		{`void f() { fopen(42); }`, "must be string"},
+		{`void f() { fopen("a", "b"); }`, "takes 1 arguments"},
+		{`int f() { return; }`, "missing return value"},
+		{`void f() { return 1; }`, "void function"},
+		{`int f() { return true; }`, "returns int"},
+		{`void f() { if (1) { } }`, "must be bool"},
+		{`void f() { while (2.0) { } }`, "must be bool"},
+		{`void f() { break; }`, "break outside"},
+		{`void f() { continue; }`, "continue outside"},
+		{`void f() { float x = 1.0; x %= 2.0; }`, "requires int"},
+		{`void f() { bool b = true; b++; }`, "requires an int"},
+		{`void f() { int x = 0; int x = 1; }`, "duplicate declaration"},
+		{`int g; int g;`, "duplicate global"},
+		{`int h() { return 0; } int h() { return 1; }`, "duplicate function"},
+		{`int fopen(int x) { return x; }`, "shadows a builtin"},
+		{`void f(int a, int a) { }`, "duplicate parameter"},
+		{`int bad = rand();`, "must be a literal"},
+		{`void f() { string s = "a"; s = s - "b"; }`, "not defined for string"},
+		{`void f() { bool b = true < false; }`, "not defined for bool"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestCheckStringOps(t *testing.T) {
+	checkOK(t, `
+void f() {
+	string a = "x" + "y";
+	bool b = a == "xy";
+	bool c = a < "z";
+}`)
+}
+
+func TestCheckTernary(t *testing.T) {
+	checkOK(t, `int f(int a) { return a > 0 ? a : -a; }`)
+	checkErr(t, `int f(int a) { return a > 0 ? a : 1.5; }`, "different types")
+	checkErr(t, `int f(int a) { return a ? 1 : 2; }`, "must be bool")
+}
+
+func TestCheckScoping(t *testing.T) {
+	// Block scoping: inner declarations don't leak.
+	checkErr(t, `
+void f() {
+	{ int x = 1; }
+	x = 2;
+}`, "undeclared variable")
+	// For-header variable scoped to the loop.
+	checkErr(t, `
+void f() {
+	for (int i = 0; i < 3; i++) { }
+	i = 5;
+}`, "undeclared variable")
+	// Shadowing in a nested block is allowed.
+	checkOK(t, `
+void f() {
+	int x = 1;
+	{ int y = x + 1; print_int(y); }
+	print_int(x);
+}`)
+}
+
+func TestCheckCommsetDecls(t *testing.T) {
+	info := checkOK(t, `
+#pragma commset decl FSET
+#pragma commset decl self SSET
+#pragma commset nosync FSET
+void main() { }`)
+	f := info.Sets["FSET"]
+	if f == nil || f.SelfSet || !f.NoSync {
+		t.Errorf("FSET = %+v", f)
+	}
+	s := info.Sets["SSET"]
+	if s == nil || !s.SelfSet || s.NoSync {
+		t.Errorf("SSET = %+v", s)
+	}
+}
+
+func TestCheckCommsetDeclErrors(t *testing.T) {
+	checkErr(t, "#pragma commset decl A\n#pragma commset decl A\nvoid f() {}", "duplicate commset")
+	checkErr(t, "#pragma commset nosync NOPE\nvoid f() {}", "undeclared commset")
+	checkErr(t, "#pragma commset predicate NOPE (a)(b) : a != b\nvoid f() {}", "undeclared commset")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (a)(b) : a != b
+#pragma commset predicate A (a)(b) : a == b
+void f() {}`, "already has a predicate")
+}
+
+func TestCheckMembershipOnBlock(t *testing.T) {
+	info := checkOK(t, `
+#pragma commset decl FSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+void main() {
+	for (int i = 0; i < 10; i++) {
+		#pragma commset member FSET(i), SELF
+		{
+			fclose(fopen("f"));
+		}
+	}
+}`)
+	if len(info.Instances) != 1 {
+		t.Fatalf("instances = %d", len(info.Instances))
+	}
+	inst := info.Instances[0]
+	if inst.Block == nil || len(inst.Membs) != 2 {
+		t.Fatalf("instance = %+v", inst)
+	}
+	if inst.Membs[0].Set.Name != "FSET" || inst.Membs[0].Args[0] != "i" {
+		t.Errorf("memb 0 = %+v", inst.Membs[0])
+	}
+	if !inst.Membs[1].Set.Anon || !inst.Membs[1].Set.SelfSet {
+		t.Errorf("memb 1 = %+v", inst.Membs[1])
+	}
+	// Predicate param type inferred as int from the instance.
+	if got := info.Sets["FSET"].Pred.ParamTypes[0]; got != ast.TInt {
+		t.Errorf("inferred predicate param type = %v", got)
+	}
+}
+
+func TestCheckMembershipOnFunction(t *testing.T) {
+	info := checkOK(t, `
+#pragma commset decl KSET
+#pragma commset predicate KSET (k1)(k2) : k1 != k2
+#pragma commset member KSET(key), SELF
+void setbit(int key) { print_int(key); }
+void main() { setbit(3); }`)
+	inst := info.FuncMembs["setbit"]
+	if inst == nil || inst.Block != nil {
+		t.Fatalf("function membership missing")
+	}
+	if inst.Membs[0].Args[0] != "key" {
+		t.Errorf("membs = %+v", inst.Membs[0])
+	}
+}
+
+func TestCheckMembershipErrors(t *testing.T) {
+	checkErr(t, `
+void f() {
+	#pragma commset member NOPE
+	{ }
+}`, "undeclared commset")
+	checkErr(t, `
+#pragma commset decl A
+void f() {
+	#pragma commset member A(x)
+	{ }
+}`, "unpredicated")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : p != q
+void f() {
+	#pragma commset member A
+	{ }
+}`, "membership supplies 0")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : p != q
+void f() {
+	#pragma commset member A(nope)
+	{ }
+}`, "not a variable in scope")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset member A(zzz)
+void f(int i) { }`, "unpredicated")
+	checkErr(t, `
+#pragma commset member SELF
+void f() {
+	int x = 0;
+}
+void g() {
+	#pragma commset member SELF
+	x = 1;
+}`, "compound statement")
+}
+
+func TestCheckPredicateTyping(t *testing.T) {
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : p + q
+void f(int i) {
+	#pragma commset member A(i)
+	{ }
+}`, "must be bool")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : p != r
+void f(int i) {
+	#pragma commset member A(i)
+	{ }
+}`, "undeclared variable r")
+	// Pure builtin allowed; impure rejected.
+	checkOK(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : abs(p) != abs(q)
+void f(int i) {
+	#pragma commset member A(i)
+	{ }
+}`)
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : rand() != p + q
+void f(int i) {
+	#pragma commset member A(i)
+	{ }
+}`, "not a pure builtin")
+}
+
+func TestCheckPredicateTypeMismatchAcrossInstances(t *testing.T) {
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset predicate A (p)(q) : p != q
+void f(int i, float x) {
+	#pragma commset member A(i)
+	{ }
+	#pragma commset member A(x)
+	{ }
+}`, "has type")
+}
+
+func TestCheckCommutativeBlockControlFlow(t *testing.T) {
+	checkErr(t, `
+void f() {
+	#pragma commset member SELF
+	{ return; }
+}`, "non-local control flow")
+	checkErr(t, `
+void f() {
+	for (int i = 0; i < 3; i++) {
+		#pragma commset member SELF
+		{ break; }
+	}
+}`, "must target a loop within the block")
+	checkErr(t, `
+void f() {
+	while (true) {
+		#pragma commset member SELF
+		{ continue; }
+	}
+}`, "must target a loop within the block")
+	// break inside a loop inside the block is fine.
+	checkOK(t, `
+void f() {
+	#pragma commset member SELF
+	{
+		for (int i = 0; i < 3; i++) {
+			if (i == 1) { break; }
+		}
+	}
+}`)
+}
+
+func TestCheckNamedBlocks(t *testing.T) {
+	info := checkOK(t, `
+#pragma commset namedarg READB
+int mdfile(int fp) {
+	#pragma commset namedblock READB
+	{
+		fread(fp);
+	}
+	return 0;
+}
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset add mdfile.READB to SELF
+		mdfile(i);
+	}
+}`)
+	nb := info.NamedBlocks["mdfile"]["READB"]
+	if nb == nil || nb.Block == nil || !nb.Exported {
+		t.Fatalf("named block = %+v", nb)
+	}
+	if len(info.Adds) != 1 {
+		t.Fatalf("adds = %d", len(info.Adds))
+	}
+	add := info.Adds[0]
+	if add.Func != "mdfile" || add.Block != "READB" || add.Call == nil {
+		t.Errorf("add = %+v", add)
+	}
+}
+
+func TestCheckNamedBlockErrors(t *testing.T) {
+	checkErr(t, `
+#pragma commset namedarg NOPE
+int f(int x) { return x; }
+void main() { }`, "not declared in its body")
+	checkErr(t, `
+int f(int x) {
+	#pragma commset namedblock B
+	{ fread(x); }
+	return 0;
+}
+void main() {
+	#pragma commset add f.B to SELF
+	f(1);
+}`, "not exported")
+	checkErr(t, `
+void main() {
+	#pragma commset add nosuch.B to SELF
+	print_int(1);
+}`, "exactly one call")
+	checkErr(t, `
+#pragma commset namedarg B
+int f(int x) {
+	#pragma commset namedblock B
+	{ fread(x); }
+	return 0;
+}
+void main() {
+	#pragma commset add f.NOTB to SELF
+	f(1);
+}`, "no named block NOTB")
+}
+
+func TestCheckAllSetsDeterministic(t *testing.T) {
+	info := checkOK(t, `
+#pragma commset decl ZSET
+#pragma commset decl ASET
+void f() {
+	#pragma commset member SELF
+	{ }
+	#pragma commset member SELF
+	{ }
+}`)
+	sets := info.AllSets()
+	if len(sets) != 4 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if sets[0].Name != "ASET" || sets[1].Name != "ZSET" {
+		t.Errorf("named sets not sorted: %s, %s", sets[0].Name, sets[1].Name)
+	}
+	if !sets[2].Anon || !sets[3].Anon {
+		t.Errorf("anonymous sets missing")
+	}
+	if sets[2].Name == sets[3].Name {
+		t.Errorf("anonymous sets must have unique names")
+	}
+}

@@ -1,0 +1,158 @@
+// Package types performs semantic analysis of MiniC programs: name
+// resolution, type checking, and validation of every COMMSET construct.
+//
+// Its output, Info, is the contract between the front end and the rest of
+// the compiler: expression types, function signatures, the commutative-set
+// registry (Self/Group, predicates, nosync), membership instances for code
+// blocks and functions, named-block exports, and COMMSETNAMEDARGADD
+// enablements. The checks reproduce the paper's front end (Section 4.1):
+// directive syntax/type validation, predicate parameter binding and type
+// inference, purity checking of predicate expressions, and the
+// structured-control-flow requirement on commutative blocks.
+package types
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// Sig describes a callable's signature. User functions and builtins share
+// this shape so the checker treats them uniformly.
+type Sig struct {
+	Name   string
+	Params []ast.Type
+	Result ast.Type
+	// Pure marks builtins that may appear inside COMMSETPREDICATE
+	// expressions (they must return the same value for the same arguments).
+	Pure bool
+}
+
+// Set is one commutative set after semantic analysis.
+type Set struct {
+	Name string
+	// SelfSet: members commute with dynamic instances of themselves
+	// (singleton Self COMMSET). Otherwise the set is a Group COMMSET whose
+	// distinct members commute pairwise but not with themselves.
+	SelfSet bool
+	// Anon marks anonymous sets created by the bare SELF keyword; each use
+	// of SELF creates a fresh singleton set.
+	Anon bool
+	// NoSync suppresses compiler-inserted synchronization (COMMSETNOSYNC).
+	NoSync bool
+	// Pred is the commutativity predicate, nil for unpredicated sets.
+	Pred    *Predicate
+	DeclPos source.Pos
+}
+
+// Predicate is a parsed, type-checked COMMSETPREDICATE.
+type Predicate struct {
+	Params1    []string
+	Params2    []string
+	ParamTypes []ast.Type // types of Params1[i] / Params2[i], inferred from instances
+	Expr       ast.Expr   // boolean expression over Params1 ∪ Params2
+	ExprText   string
+}
+
+// Membership records one set reference of an instance declaration: the set
+// plus the actual argument variable names supplying the predicate inputs.
+type Membership struct {
+	Set  *Set
+	Args []string
+	Pos  source.Pos
+}
+
+// Instance is one COMMSET instance declaration: a code block or a whole
+// function enrolled in one or more sets.
+type Instance struct {
+	Fn    *ast.FuncDecl
+	Block *ast.BlockStmt // nil for function-level membership
+	Membs []*Membership
+}
+
+// NamedBlockInfo describes a COMMSETNAMEDBLOCK declaration inside a function.
+type NamedBlockInfo struct {
+	Fn       *ast.FuncDecl
+	Name     string
+	Block    *ast.BlockStmt
+	Exported bool // listed in a COMMSETNAMEDARG on the function
+}
+
+// Add is one COMMSETNAMEDARGADD at a client call site: it enables the named
+// block exported by Func for the call contained in Stmt.
+type Add struct {
+	ClientFn *ast.FuncDecl
+	Stmt     ast.Stmt      // the statement carrying the pragma
+	Call     *ast.CallExpr // the enabling call to Func within Stmt
+	Func     string        // callee exporting the block
+	Block    string        // named block being enabled
+	Membs    []*Membership // sets the block joins, with client-state args
+	Pos      source.Pos
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Prog *ast.Program
+
+	// ExprTypes records the type of every expression.
+	ExprTypes map[ast.Expr]ast.Type
+
+	// Funcs maps user function names to their signatures; Builtins holds
+	// the substrate signatures supplied by the caller.
+	Funcs    map[string]*Sig
+	Builtins map[string]*Sig
+
+	// Sets maps set names to their definitions; AnonSets lists the
+	// anonymous SELF singletons in creation order.
+	Sets     map[string]*Set
+	AnonSets []*Set
+
+	// Instances lists every membership instance. BlockMembs and FuncMembs
+	// index them by the annotated block / function.
+	Instances  []*Instance
+	BlockMembs map[*ast.BlockStmt]*Instance
+	FuncMembs  map[string]*Instance
+
+	// NamedBlocks indexes named blocks by function name then block name.
+	NamedBlocks map[string]map[string]*NamedBlockInfo
+
+	// Adds lists COMMSETNAMEDARGADD enablements in source order.
+	Adds []*Add
+
+	// GlobalTypes maps file-scope variable names to their types.
+	GlobalTypes map[string]ast.Type
+}
+
+// AllSets returns every set (named and anonymous) in deterministic order:
+// named sets sorted by name, then anonymous sets in creation order.
+func (in *Info) AllSets() []*Set {
+	names := make([]string, 0, len(in.Sets))
+	for n := range in.Sets {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*Set, 0, len(names)+len(in.AnonSets))
+	for _, n := range names {
+		out = append(out, in.Sets[n])
+	}
+	out = append(out, in.AnonSets...)
+	return out
+}
+
+// SigOf returns the signature of a user function or builtin, or nil.
+func (in *Info) SigOf(name string) *Sig {
+	if s, ok := in.Funcs[name]; ok {
+		return s
+	}
+	if s, ok := in.Builtins[name]; ok {
+		return s
+	}
+	return nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

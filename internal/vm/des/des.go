@@ -1,0 +1,465 @@
+// Package des is a deterministic discrete-event simulator of a multicore
+// machine, the execution substrate for the parallel schedules produced by
+// the COMMSET compiler.
+//
+// The paper evaluates on an 8-core Xeon; this environment has no parallel
+// hardware, so (per DESIGN.md) parallel execution is simulated: each
+// logical thread runs as a goroutine that executes *real* work (the IR
+// interpreter doing real digests, clustering, etc.) while accumulating
+// virtual cost units. Threads hand control to the scheduler at
+// synchronization points — lock acquire/release, queue push/pop, sleep —
+// and the scheduler processes these events in global virtual-time order, so
+// results are bit-for-bit reproducible regardless of host parallelism.
+//
+// Locks model the paper's three pessimistic mechanisms (Section 4.6):
+// mutexes pay a sleep/wakeup penalty when contended, spin locks burn the
+// waiter's virtual time and pay a cache-line penalty proportional to the
+// number of contenders, and "lib"/nosync members pay nothing. Queues model
+// the software lock-free queues used for pipeline communication, with a
+// configurable per-token latency.
+package des
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CostModel holds the virtual-cost parameters of the simulated machine.
+type CostModel struct {
+	// MutexAcquire/MutexRelease are the uncontended lock costs; MutexWake
+	// is the extra sleep/wakeup penalty paid by a mutex waiter.
+	MutexAcquire int64
+	MutexRelease int64
+	MutexWake    int64
+
+	// SpinAcquire/SpinRelease are uncontended costs; SpinContention is the
+	// cache-line-bouncing penalty charged per concurrent waiter on a
+	// contended acquisition.
+	SpinAcquire    int64
+	SpinRelease    int64
+	SpinContention int64
+
+	// QueuePush/QueuePop are the per-token producer/consumer costs;
+	// QueueLatency is the time a token takes to become visible.
+	QueuePush    int64
+	QueuePop     int64
+	QueueLatency int64
+
+	// TMCommit is the per-transaction commit cost; TMAbortPenalty is added
+	// to the re-execution cost on each abort.
+	TMCommit       int64
+	TMAbortPenalty int64
+
+	// ThreadSpawn is the one-time cost of starting a worker.
+	ThreadSpawn int64
+}
+
+// DefaultCostModel returns parameters calibrated to reproduce the relative
+// behaviour of the paper's mechanisms: spin cheaper than mutex under
+// contention, both far cheaper than the work quanta of the benchmarks.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MutexAcquire: 30, MutexRelease: 20, MutexWake: 600,
+		SpinAcquire: 15, SpinRelease: 10, SpinContention: 40,
+		QueuePush: 40, QueuePop: 40, QueueLatency: 120,
+		TMCommit: 60, TMAbortPenalty: 150,
+		ThreadSpawn: 1000,
+	}
+}
+
+// LockKind selects the synchronization mechanism of a Lock.
+type LockKind int
+
+// Lock kinds.
+const (
+	Mutex LockKind = iota
+	Spin
+)
+
+// Lock is a scheduler-owned lock.
+type Lock struct {
+	Name string
+	Kind LockKind
+
+	held    bool
+	owner   *Thread
+	waiters []*Thread // blocked threads, granted in request-time order
+}
+
+// Queue is a scheduler-owned bounded queue with per-token latency
+// (modelling the software lock-free queues of the DSWP family).
+type Queue struct {
+	Name string
+	Cap  int
+
+	items   []queueItem
+	waiters []*Thread // blocked poppers
+	blocked []*Thread // blocked pushers
+}
+
+type queueItem struct {
+	val   any
+	ready int64 // virtual time at which the consumer can observe it
+}
+
+// Len reports the number of buffered tokens.
+func (q *Queue) Len() int { return len(q.items) }
+
+// reqKind enumerates thread yield reasons.
+type reqKind int
+
+const (
+	reqNone reqKind = iota
+	reqAcquire
+	reqRelease
+	reqPush
+	reqPop
+	reqSleep
+	reqWake // internal: resume a woken thread, delivering pending.val
+	reqDone
+)
+
+type request struct {
+	kind reqKind
+	lock *Lock
+	q    *Queue
+	val  any
+	d    int64
+	err  error
+}
+
+type grant struct {
+	val   any
+	vtime int64
+}
+
+// Thread is one simulated logical thread. Methods on Thread are called
+// from within the thread's own goroutine.
+type Thread struct {
+	ID    int
+	Name  string
+	VTime int64
+
+	sched    *Scheduler
+	resumeCh chan grant
+	reqTime  int64 // virtual time of the pending request
+
+	pending request
+	state   threadState
+	started bool
+	body    func(*Thread) error
+}
+
+type threadState int
+
+const (
+	tReady   threadState = iota // has a pending event at reqTime
+	tBlocked                    // waiting on a lock or queue
+	tDone
+)
+
+// Charge adds local computation cost to the thread's clock.
+func (t *Thread) Charge(c int64) { t.VTime += c }
+
+// yield hands the pending request to the scheduler and waits for the grant.
+func (t *Thread) yield(r request) grant {
+	t.pending = r
+	t.reqTime = t.VTime
+	t.sched.yieldCh <- t
+	g := <-t.resumeCh
+	t.VTime = g.vtime
+	return g
+}
+
+// Acquire blocks in virtual time until the lock is held by this thread.
+func (t *Thread) Acquire(l *Lock) {
+	t.yield(request{kind: reqAcquire, lock: l})
+}
+
+// Release releases the lock, waking the next waiter.
+func (t *Thread) Release(l *Lock) {
+	t.yield(request{kind: reqRelease, lock: l})
+}
+
+// Push enqueues a token, blocking in virtual time while the queue is full.
+func (t *Thread) Push(q *Queue, v any) {
+	t.yield(request{kind: reqPush, q: q, val: v})
+}
+
+// Pop dequeues a token, blocking in virtual time while the queue is empty.
+func (t *Thread) Pop(q *Queue) any {
+	g := t.yield(request{kind: reqPop, q: q})
+	return g.val
+}
+
+// Sleep advances the thread's clock by d through the scheduler (so other
+// threads' events interleave correctly).
+func (t *Thread) Sleep(d int64) {
+	t.yield(request{kind: reqSleep, d: d})
+}
+
+// Scheduler coordinates all threads of one simulation.
+type Scheduler struct {
+	Cost CostModel
+
+	threads []*Thread
+	yieldCh chan *Thread
+
+	locks  []*Lock
+	queues []*Queue
+
+	firstErr error
+}
+
+// New creates a scheduler with the given cost model.
+func New(cost CostModel) *Scheduler {
+	return &Scheduler{Cost: cost, yieldCh: make(chan *Thread)}
+}
+
+// NewLock registers a lock.
+func (s *Scheduler) NewLock(name string, kind LockKind) *Lock {
+	l := &Lock{Name: name, Kind: kind}
+	s.locks = append(s.locks, l)
+	return l
+}
+
+// NewQueue registers a bounded queue.
+func (s *Scheduler) NewQueue(name string, capacity int) *Queue {
+	q := &Queue{Name: name, Cap: capacity}
+	s.queues = append(s.queues, q)
+	return q
+}
+
+// Spawn registers a thread starting at the given virtual time. Threads run
+// body and terminate when it returns.
+func (s *Scheduler) Spawn(name string, start int64, body func(*Thread) error) *Thread {
+	t := &Thread{
+		ID:       len(s.threads),
+		Name:     name,
+		VTime:    start + s.Cost.ThreadSpawn,
+		sched:    s,
+		resumeCh: make(chan grant),
+		state:    tReady,
+		body:     body,
+	}
+	t.reqTime = t.VTime
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Run executes the simulation to completion and returns the maximum thread
+// finish time (the makespan) or the first thread error.
+func (s *Scheduler) Run() (int64, error) {
+	for {
+		t := s.pickNext()
+		if t == nil {
+			break
+		}
+		s.step(t)
+	}
+	var makespan int64
+	blocked := 0
+	for _, t := range s.threads {
+		if t.VTime > makespan {
+			makespan = t.VTime
+		}
+		if t.state == tBlocked {
+			blocked++
+		}
+	}
+	if s.firstErr != nil {
+		return makespan, s.firstErr
+	}
+	if blocked > 0 {
+		return makespan, fmt.Errorf("des: deadlock — %d thread(s) still blocked at end of simulation", blocked)
+	}
+	return makespan, nil
+}
+
+// pickNext returns the ready thread with the smallest (reqTime, ID), or nil
+// when every thread is done or blocked.
+func (s *Scheduler) pickNext() *Thread {
+	var best *Thread
+	for _, t := range s.threads {
+		if t.state != tReady {
+			continue
+		}
+		if best == nil || t.reqTime < best.reqTime || (t.reqTime == best.reqTime && t.ID < best.ID) {
+			best = t
+		}
+	}
+	return best
+}
+
+// resume lets the thread continue and waits for its next yield (or exit).
+func (s *Scheduler) resume(t *Thread, g grant) {
+	if !t.started {
+		t.started = true
+		go func() {
+			<-t.resumeCh // initial grant consumed below
+			err := t.body(t)
+			t.pending = request{kind: reqDone, err: err}
+			t.reqTime = t.VTime
+			s.yieldCh <- t
+		}()
+		t.resumeCh <- grant{vtime: t.VTime}
+		<-s.waitYield(t)
+		return
+	}
+	t.resumeCh <- g
+	<-s.waitYield(t)
+}
+
+// waitYield waits until this specific thread yields again. Because only one
+// thread runs at a time, the next yield is always from t.
+func (s *Scheduler) waitYield(t *Thread) chan struct{} {
+	done := make(chan struct{}, 1)
+	y := <-s.yieldCh
+	if y != t {
+		panic("des: yield from unexpected thread")
+	}
+	done <- struct{}{}
+	return done
+}
+
+// step processes one thread's pending event.
+func (s *Scheduler) step(t *Thread) {
+	r := t.pending
+	switch r.kind {
+	case reqNone:
+		// First activation.
+		s.resume(t, grant{vtime: t.VTime})
+	case reqDone:
+		t.state = tDone
+		if r.err != nil && s.firstErr == nil {
+			s.firstErr = r.err
+		}
+	case reqAcquire:
+		s.acquire(t, r.lock)
+	case reqRelease:
+		s.release(t, r.lock)
+	case reqPush:
+		s.push(t, r.q, r.val)
+	case reqPop:
+		s.pop(t, r.q)
+	case reqSleep:
+		// Reschedule the wake as an ordered event rather than resuming
+		// immediately, so threads with earlier virtual times run first.
+		t.pending = request{kind: reqWake}
+		t.VTime += r.d
+		t.reqTime = t.VTime
+	case reqWake:
+		s.resume(t, grant{val: r.val, vtime: t.VTime})
+	}
+}
+
+func (s *Scheduler) acquire(t *Thread, l *Lock) {
+	if !l.held {
+		l.held = true
+		l.owner = t
+		cost := s.Cost.MutexAcquire
+		if l.Kind == Spin {
+			cost = s.Cost.SpinAcquire
+		}
+		s.resume(t, grant{vtime: t.VTime + cost})
+		return
+	}
+	t.state = tBlocked
+	l.waiters = append(l.waiters, t)
+}
+
+func (s *Scheduler) release(t *Thread, l *Lock) {
+	if l.owner != t {
+		if s.firstErr == nil {
+			s.firstErr = fmt.Errorf("des: thread %s releases lock %s it does not hold", t.Name, l.Name)
+		}
+		t.state = tDone
+		return
+	}
+	relCost := s.Cost.MutexRelease
+	if l.Kind == Spin {
+		relCost = s.Cost.SpinRelease
+	}
+	relTime := t.VTime + relCost
+
+	if len(l.waiters) > 0 {
+		// Grant to the earliest requester (FIFO by request time, then ID).
+		sort.SliceStable(l.waiters, func(i, j int) bool {
+			a, b := l.waiters[i], l.waiters[j]
+			if a.reqTime != b.reqTime {
+				return a.reqTime < b.reqTime
+			}
+			return a.ID < b.ID
+		})
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.owner = w
+		wake := maxI64(w.reqTime, relTime)
+		switch l.Kind {
+		case Mutex:
+			wake += s.Cost.MutexWake
+		case Spin:
+			// Spinners burn their own time; contended handoff pays a
+			// cache-line penalty per remaining contender.
+			wake += s.Cost.SpinAcquire + s.Cost.SpinContention*int64(len(l.waiters)+1)
+		}
+		w.state = tReady
+		w.reqTime = wake
+		w.VTime = wake
+		w.pending = request{kind: reqWake}
+	} else {
+		l.held = false
+		l.owner = nil
+	}
+	s.resume(t, grant{vtime: relTime})
+}
+
+func (s *Scheduler) push(t *Thread, q *Queue, v any) {
+	if len(q.items) >= q.Cap {
+		t.state = tBlocked
+		q.blocked = append(q.blocked, t)
+		return
+	}
+	pushTime := t.VTime + s.Cost.QueuePush
+	q.items = append(q.items, queueItem{val: v, ready: pushTime + s.Cost.QueueLatency})
+	// Wake the earliest blocked popper, if any.
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		item := q.items[0]
+		q.items = q.items[1:]
+		w.state = tReady
+		w.reqTime = maxI64(w.reqTime, item.ready) + s.Cost.QueuePop
+		w.VTime = w.reqTime
+		w.pending = request{kind: reqWake, val: item.val}
+	}
+	s.resume(t, grant{vtime: pushTime})
+}
+
+func (s *Scheduler) pop(t *Thread, q *Queue) {
+	if len(q.items) == 0 {
+		t.state = tBlocked
+		q.waiters = append(q.waiters, t)
+		return
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	// Unblock the earliest blocked pusher, if any.
+	if len(q.blocked) > 0 {
+		w := q.blocked[0]
+		q.blocked = q.blocked[1:]
+		w.state = tReady
+		w.reqTime = maxI64(w.reqTime, t.VTime)
+		w.VTime = w.reqTime
+		w.pending = request{kind: reqPush, q: q, val: w.pending.val}
+	}
+	at := maxI64(t.VTime, item.ready) + s.Cost.QueuePop
+	s.resume(t, grant{val: item.val, vtime: at})
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

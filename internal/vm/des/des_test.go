@@ -1,0 +1,370 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// flatCost returns a cost model with zeroed overheads so tests can reason
+// about exact virtual times.
+func flatCost() CostModel {
+	return CostModel{}
+}
+
+func TestSingleThreadCharges(t *testing.T) {
+	s := New(flatCost())
+	s.Spawn("w", 0, func(th *Thread) error {
+		th.Charge(100)
+		return nil
+	})
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != 100 {
+		t.Errorf("makespan = %d, want 100", makespan)
+	}
+}
+
+func TestParallelThreadsOverlap(t *testing.T) {
+	s := New(flatCost())
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", 0, func(th *Thread) error {
+			th.Charge(100)
+			return nil
+		})
+	}
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four independent threads run concurrently in virtual time.
+	if makespan != 100 {
+		t.Errorf("makespan = %d, want 100 (perfect overlap)", makespan)
+	}
+}
+
+func TestLockSerializesCriticalSections(t *testing.T) {
+	s := New(flatCost())
+	l := s.NewLock("l", Spin)
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", 0, func(th *Thread) error {
+			th.Acquire(l)
+			th.Charge(100)
+			th.Release(l)
+			return nil
+		})
+	}
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical sections fully serialize: 4 * 100.
+	if makespan != 400 {
+		t.Errorf("makespan = %d, want 400", makespan)
+	}
+}
+
+func TestLockFIFOByRequestTime(t *testing.T) {
+	s := New(flatCost())
+	l := s.NewLock("l", Spin)
+	var order []int
+	mk := func(id int, arrive int64) {
+		s.Spawn("w", 0, func(th *Thread) error {
+			th.Charge(arrive)
+			th.Acquire(l)
+			order = append(order, id)
+			th.Charge(50)
+			th.Release(l)
+			return nil
+		})
+	}
+	mk(0, 0)
+	mk(1, 30)
+	mk(2, 10)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 1} // grant order follows virtual request time
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMutexWakePenalty(t *testing.T) {
+	cost := CostModel{MutexWake: 500}
+	s := New(cost)
+	l := s.NewLock("l", Mutex)
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", 0, func(th *Thread) error {
+			th.Acquire(l)
+			th.Charge(100)
+			th.Release(l)
+			return nil
+		})
+	}
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second thread: woken at 100 + 500 penalty, then 100 work.
+	if makespan != 700 {
+		t.Errorf("makespan = %d, want 700", makespan)
+	}
+}
+
+func TestSpinContentionPenaltyScalesWithWaiters(t *testing.T) {
+	run := func(n int) int64 {
+		s := New(CostModel{SpinContention: 100})
+		l := s.NewLock("l", Spin)
+		for i := 0; i < n; i++ {
+			s.Spawn("w", 0, func(th *Thread) error {
+				th.Acquire(l)
+				th.Charge(10)
+				th.Release(l)
+				return nil
+			})
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	low := run(2)
+	high := run(6)
+	if high-low < 4*10 {
+		t.Errorf("contention penalty did not grow: 2 threads %d, 6 threads %d", low, high)
+	}
+}
+
+func TestQueuePipelining(t *testing.T) {
+	s := New(CostModel{QueueLatency: 10})
+	q := s.NewQueue("q", 4)
+	const n = 5
+	s.Spawn("producer", 0, func(th *Thread) error {
+		for i := 0; i < n; i++ {
+			th.Charge(100) // produce
+			th.Push(q, i)
+		}
+		return nil
+	})
+	var got []int
+	s.Spawn("consumer", 0, func(th *Thread) error {
+		for i := 0; i < n; i++ {
+			v := th.Pop(q).(int)
+			got = append(got, v)
+			th.Charge(100) // consume
+		}
+		return nil
+	})
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+	// Pipelined: roughly n*100 + one stage latency, far below 2*n*100.
+	if makespan >= 2*n*100 {
+		t.Errorf("no pipelining: makespan = %d", makespan)
+	}
+	if makespan < n*100 {
+		t.Errorf("impossible makespan = %d", makespan)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 1)
+	s.Spawn("producer", 0, func(th *Thread) error {
+		for i := 0; i < 3; i++ {
+			th.Push(q, i)
+		}
+		return nil
+	})
+	s.Spawn("consumer", 0, func(th *Thread) error {
+		for i := 0; i < 3; i++ {
+			th.Charge(100)
+			if v := th.Pop(q).(int); v != i {
+				t.Errorf("pop %d: got %v", i, v)
+			}
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 1)
+	s.Spawn("w", 0, func(th *Thread) error {
+		th.Pop(q) // nobody will ever push
+		return nil
+	})
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestSleepInterleaving(t *testing.T) {
+	s := New(flatCost())
+	var events []string
+	s.Spawn("a", 0, func(th *Thread) error {
+		th.Sleep(50)
+		events = append(events, "a@50")
+		return nil
+	})
+	s.Spawn("b", 0, func(th *Thread) error {
+		th.Sleep(20)
+		events = append(events, "b@20")
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "b@20" || events[1] != "a@50" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() int64 {
+		s := New(DefaultCostModel())
+		l := s.NewLock("l", Spin)
+		q := s.NewQueue("q", 8)
+		s.Spawn("p", 0, func(th *Thread) error {
+			for i := 0; i < 20; i++ {
+				th.Charge(int64(7 * (i + 1)))
+				th.Acquire(l)
+				th.Charge(5)
+				th.Release(l)
+				th.Push(q, i)
+			}
+			return nil
+		})
+		for w := 0; w < 3; w++ {
+			s.Spawn("c", 0, func(th *Thread) error {
+				for i := w; i < 20; i += 3 {
+					_ = th.Pop(q)
+					th.Acquire(l)
+					th.Charge(11)
+					th.Release(l)
+				}
+				return nil
+			})
+		}
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Errorf("nondeterministic makespan: %d vs %d", a, b)
+	}
+}
+
+// TestQueueFIFOQuick: random push/pop schedules with arbitrary costs must
+// preserve FIFO order and deliver every token exactly once.
+func TestQueueFIFOQuick(t *testing.T) {
+	run := func(costs []uint16, capacity uint8) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		if len(costs) > 64 {
+			costs = costs[:64]
+		}
+		capn := int(capacity%8) + 1
+		s := New(DefaultCostModel())
+		q := s.NewQueue("q", capn)
+		n := len(costs)
+		s.Spawn("producer", 0, func(th *Thread) error {
+			for i := 0; i < n; i++ {
+				th.Charge(int64(costs[i]))
+				th.Push(q, i)
+			}
+			return nil
+		})
+		got := make([]int, 0, n)
+		s.Spawn("consumer", 0, func(th *Thread) error {
+			for i := 0; i < n; i++ {
+				th.Charge(int64(costs[n-1-i]) / 2)
+				got = append(got, th.Pop(q).(int))
+			}
+			return nil
+		})
+		if _, err := s.Run(); err != nil {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLockMutualExclusionQuick: under random hold times, critical sections
+// never overlap in virtual time.
+func TestLockMutualExclusionQuick(t *testing.T) {
+	run := func(holds []uint8, spin bool) bool {
+		if len(holds) == 0 {
+			return true
+		}
+		if len(holds) > 16 {
+			holds = holds[:16]
+		}
+		kind := Mutex
+		if spin {
+			kind = Spin
+		}
+		s := New(DefaultCostModel())
+		l := s.NewLock("l", kind)
+		type span struct{ start, end int64 }
+		var spans []span
+		for i := range holds {
+			h := int64(holds[i]) + 1
+			s.Spawn("w", 0, func(th *Thread) error {
+				th.Acquire(l)
+				start := th.VTime
+				th.Charge(h)
+				end := th.VTime
+				spans = append(spans, span{start, end})
+				th.Release(l)
+				return nil
+			})
+		}
+		if _, err := s.Run(); err != nil {
+			return false
+		}
+		for i := range spans {
+			for j := range spans {
+				if i == j {
+					continue
+				}
+				a, b := spans[i], spans[j]
+				if a.start < b.end && b.start < a.end {
+					return false // overlap
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

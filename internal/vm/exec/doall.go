@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/vm/des"
+)
+
+// runCond evaluates the loop condition group on the stepper's frame and
+// reports whether the loop should exit.
+func (m *machine) runCond(st *stepper) (bool, error) {
+	s, err := st.runGroup(m.la.Units.Cond)
+	if err != nil {
+		return false, err
+	}
+	if s.ret {
+		return false, fmt.Errorf("exec: loop condition returned from function")
+	}
+	return !m.la.Loop.Contains(s.nextBlk), nil
+}
+
+// doallDone is the join message of one DOALL worker.
+type doallDone struct {
+	worker   int
+	fr       *frame
+	lastIter int64
+}
+
+// runDOALL executes the loop with iterations statically scheduled
+// round-robin over `threads` workers (the calling thread acts as worker 0).
+// Every worker privately executes the loop-control machinery — the
+// canonical privatized-induction-variable DOALL codegen — and runs the body
+// units only for its own iterations.
+func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error {
+	join := m.sim.NewQueue("doall.join", threads)
+
+	worker := func(th *des.Thread, w int) error {
+		fr := mainFr.clone()
+		st := m.newStepper(th, fr)
+		st.sharedActive = true
+		lastIter := int64(-1)
+		for iter := int64(0); ; iter++ {
+			exit, err := m.runCond(st)
+			if err != nil {
+				return err
+			}
+			if exit {
+				break
+			}
+			if iter%int64(threads) == int64(w) {
+				for _, unit := range m.la.Units.Units {
+					if _, err := st.runGroup(unit); err != nil {
+						return err
+					}
+				}
+				lastIter = iter
+			}
+			if _, err := st.runGroup(m.la.Units.Post); err != nil {
+				return err
+			}
+		}
+		th.Push(join, doallDone{worker: w, fr: fr, lastIter: lastIter})
+		return nil
+	}
+
+	start := mainTh.VTime
+	for w := 1; w < threads; w++ {
+		w := w
+		m.sim.Spawn(fmt.Sprintf("doall.%d", w), start, func(th *des.Thread) error {
+			return worker(th, w)
+		})
+	}
+	if err := worker(mainTh, 0); err != nil {
+		return err
+	}
+
+	// Collect workers and merge live-outs: every worker ran the full
+	// control loop, so control state agrees; body-written slots take their
+	// value from the worker that executed the globally last iteration.
+	var lastFr *frame
+	lastIter := int64(-1)
+	var anyFr *frame
+	for i := 0; i < threads; i++ {
+		d := mainTh.Pop(join).(doallDone)
+		anyFr = d.fr
+		if d.lastIter > lastIter {
+			lastIter = d.lastIter
+			lastFr = d.fr
+		}
+	}
+	src := lastFr
+	if src == nil {
+		src = anyFr // zero-iteration loop: control state only
+	}
+	if src != nil {
+		copy(mainFr.locals, src.locals)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package exec runs COMMSET programs under the schedules produced by the
+// parallelizing transforms, on top of the deterministic discrete-event
+// multicore simulator.
+//
+// The executors reproduce the code the paper's MTCG-style backend would
+// generate, at unit granularity:
+//
+//   - Sequential: the reference run; its virtual cost is the baseline.
+//   - DOALL: N workers each execute the loop-control machinery privately and
+//     run the body of iterations i with i mod N == worker, exactly like a
+//     statically scheduled DOALL loop with privatized induction variables.
+//   - DSWP / PS-DSWP: one thread per stage (R replicas for the parallel
+//     stage), connected by bounded lock-free queues carrying per-iteration
+//     tokens. The dispatcher (stage 0) owns loop control; a parallel stage
+//     receives iterations round-robin and the following sequential stage
+//     merges them back in iteration order, preserving deterministic output
+//     for sequential stages (the paper's in-order print stage).
+//
+// The synchronization engine (paper Section 4.6) wraps every commutative
+// member call: locks of every set the member belongs to are acquired in
+// global rank order and released in reverse, guaranteeing deadlock freedom
+// together with the acyclic commset graph and acyclic queue network. Four
+// mechanisms are modelled: mutex, spin, transactional memory (timing model:
+// commit cost plus conflict-driven retry charges over a commit log), and
+// lib (thread-safe library, no compiler-inserted synchronization).
+//
+// Shared mutable scalars (frame slots read-modified-written by member
+// calls) live in shared cells: a member call re-reads them at entry and
+// writes them back at exit inside its atomic section, so concurrent
+// commutative updates are never lost.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/commset"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/transform"
+	"repro/internal/types"
+	"repro/internal/vm/des"
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// SyncMode selects the concurrency-control mechanism for member calls.
+type SyncMode int
+
+// Synchronization mechanisms (paper Section 4.6).
+const (
+	SyncMutex SyncMode = iota
+	SyncSpin
+	SyncTM
+	SyncLib
+)
+
+// String names the mechanism as in Table 2.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncMutex:
+		return "Mutex"
+	case SyncSpin:
+		return "Spin"
+	case SyncTM:
+		return "TM"
+	case SyncLib:
+		return "Lib"
+	}
+	return "?"
+}
+
+// Config bundles everything needed to execute a compiled program.
+type Config struct {
+	Prog     *ir.Program
+	Builtins map[string]interp.BuiltinFn
+	Model    *commset.Model
+	Cost     des.CostModel
+
+	// QueueCap bounds pipeline queues (default 32).
+	QueueCap int
+}
+
+func (c *Config) queueCap() int {
+	if c.QueueCap > 0 {
+		return c.QueueCap
+	}
+	return 32
+}
+
+// Result reports one execution.
+type Result struct {
+	VirtualTime int64 // simulated makespan in cost units
+	Threads     int
+	Schedule    string
+	Sync        SyncMode
+}
+
+// RunSequential executes the program sequentially and returns its virtual
+// time — the baseline for every speedup in the evaluation.
+func RunSequential(cfg Config) (*Result, error) {
+	env := interp.NewEnv(cfg.Prog, cfg.Builtins)
+	th := interp.NewThread(env)
+	if err := th.RunMain(); err != nil {
+		return nil, err
+	}
+	return &Result{VirtualTime: th.Cost, Threads: 1, Schedule: "Sequential"}, nil
+}
+
+// Run executes the program with the target loop parallelized per the
+// schedule using the given mechanism and thread count. Sequential schedules
+// ignore threads.
+func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode SyncMode, threads int) (*Result, error) {
+	if sched.Kind == transform.Sequential {
+		r, err := RunSequential(cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.Sync = mode
+		return r, nil
+	}
+	if la.Fn.Name != "main" {
+		return nil, fmt.Errorf("exec: target loop must be in main, not %s", la.Fn.Name)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+
+	m := newMachine(cfg, la, sched, mode)
+	sim := des.New(cfg.Cost)
+	m.sim = sim
+	for _, set := range cfg.Model.Sets {
+		kind := des.Mutex
+		if mode == SyncSpin || mode == SyncTM {
+			kind = des.Spin
+		}
+		m.locks[set] = sim.NewLock("set:"+set.Name, kind)
+	}
+
+	var runErr error
+	sim.Spawn("main", 0, func(th *des.Thread) error {
+		err := m.runMain(th, threads)
+		if err != nil {
+			runErr = err
+		}
+		return err
+	})
+	makespan, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{
+		VirtualTime: makespan,
+		Threads:     threads,
+		Schedule:    sched.String(),
+		Sync:        mode,
+	}, nil
+}
+
+// sharedCell is the shared storage of one promoted frame slot.
+type sharedCell struct {
+	v value.Value
+}
+
+// machine holds the cross-thread execution state of one parallel run.
+type machine struct {
+	cfg   Config
+	la    *pipeline.LoopAnalysis
+	sched *transform.Schedule
+	mode  SyncMode
+
+	sim   *des.Scheduler
+	env   *interp.Env
+	locks map[*types.Set]*des.Lock
+	cells map[int]*sharedCell
+
+	tm tmLog
+
+	// instrPos locates every instruction of main: block ID and index.
+	instrPos map[int]instrLoc
+	// unitOf maps loop instruction IDs to unit indices (-1 for control).
+	unitOf map[int]int
+	// exitBlock is the loop's unique exit target.
+	exitBlock int
+}
+
+type instrLoc struct {
+	block int
+	index int
+}
+
+func newMachine(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode SyncMode) *machine {
+	m := &machine{
+		cfg:      cfg,
+		la:       la,
+		sched:    sched,
+		mode:     mode,
+		env:      interp.NewEnv(cfg.Prog, cfg.Builtins),
+		locks:    map[*types.Set]*des.Lock{},
+		cells:    map[int]*sharedCell{},
+		instrPos: map[int]instrLoc{},
+	}
+	for _, s := range sched.SharedSlots {
+		m.cells[s] = &sharedCell{}
+	}
+	for _, b := range la.Fn.Blocks {
+		for i, in := range b.Instrs {
+			m.instrPos[in.ID] = instrLoc{block: b.ID, index: i}
+		}
+	}
+	m.unitOf = map[int]int{}
+	for ui, instrs := range la.Units.Units {
+		for _, in := range instrs {
+			m.unitOf[in.ID] = ui
+		}
+	}
+	for _, in := range la.Units.Cond {
+		m.unitOf[in.ID] = -1
+	}
+	for _, in := range la.Units.Post {
+		m.unitOf[in.ID] = -1
+	}
+	m.exitBlock = -1
+	for _, e := range la.Loop.Exits {
+		m.exitBlock = e
+		break
+	}
+	return m
+}
+
+// isShared reports whether the slot is promoted to a shared cell.
+func (m *machine) isShared(slot int) bool {
+	_, ok := m.cells[slot]
+	return ok
+}
+
+// runMain executes main: prologue up to the loop, the parallel loop, and
+// the epilogue after it.
+func (m *machine) runMain(th *des.Thread, threads int) error {
+	f := m.la.Fn
+	fr := newFrame(f)
+	st := m.newStepper(th, fr)
+
+	// Prologue: entry block to the loop header.
+	if err := st.runBlocks(0, m.la.Loop.Header); err != nil {
+		return err
+	}
+
+	// Promote shared slots into cells.
+	for slot, cell := range m.cells {
+		cell.v = fr.locals[slot]
+	}
+
+	var err error
+	switch m.sched.Kind {
+	case transform.DOALL:
+		err = m.runDOALL(th, fr, threads)
+	case transform.DSWP, transform.PSDSWP:
+		err = m.runPipeline(th, fr, threads)
+	default:
+		return fmt.Errorf("exec: unsupported schedule kind %v", m.sched.Kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Demote shared cells back to the frame.
+	for slot, cell := range m.cells {
+		fr.locals[slot] = cell.v
+	}
+
+	// Epilogue: from the loop exit to the end of main.
+	if m.exitBlock < 0 {
+		return nil
+	}
+	return st.runBlocks(m.exitBlock, -1)
+}

@@ -1,0 +1,135 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transform"
+	"repro/internal/vm/exec"
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// failingWorld injects a builtin error on the Nth call to digest.
+type failingWorld struct {
+	world
+	failAt int
+	calls  int
+}
+
+func (w *failingWorld) builtins() map[string]interp.BuiltinFn {
+	fns := w.world.builtins()
+	base := fns["digest"]
+	fns["digest"] = func(args []value.Value) (value.Value, int64, error) {
+		w.calls++
+		if w.calls == w.failAt {
+			return value.Value{}, 0, errTest
+		}
+		return base(args)
+	}
+	return fns
+}
+
+type testErr struct{}
+
+func (testErr) Error() string { return "injected substrate failure" }
+
+var errTest = testErr{}
+
+// TestWorkerErrorPropagates injects a builtin failure mid-run for every
+// schedule kind and thread count: the run must return the error, not hang
+// or panic, and the simulator must not deadlock.
+func TestWorkerErrorPropagates(t *testing.T) {
+	for _, src := range []string{md5Full, md5Det} {
+		cp := compileFor(t, src, 8)
+		for _, kind := range []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP} {
+			s := cp.sched[kind]
+			if s == nil {
+				continue
+			}
+			for _, failAt := range []int{1, 7, 16} {
+				fw := &failingWorld{failAt: failAt}
+				cfg := cp.cfg
+				cfg.Builtins = fw.builtins()
+				_, err := exec.Run(cfg, cp.la, s, exec.SyncSpin, 4)
+				if err == nil {
+					t.Errorf("%v failAt=%d: error not propagated", kind, failAt)
+					continue
+				}
+				if !strings.Contains(err.Error(), "injected substrate failure") {
+					t.Errorf("%v failAt=%d: err = %v", kind, failAt, err)
+				}
+			}
+		}
+	}
+}
+
+func TestOneThreadDegenerate(t *testing.T) {
+	cp := compileFor(t, md5Full, 8)
+	seqCost, seqOut := cp.seqRun(t)
+	// Every parallel schedule on a single thread must still be correct and
+	// cost roughly the sequential time (plus bounded overhead).
+	for _, kind := range []transform.Kind{transform.DOALL, transform.PSDSWP} {
+		if cp.sched[kind] == nil {
+			continue
+		}
+		m, out := cp.parRun(t, kind, exec.SyncSpin, 1)
+		if len(out) != len(seqOut) {
+			t.Errorf("%v@1: output count %d != %d", kind, len(out), len(seqOut))
+		}
+		overhead := float64(m)/float64(seqCost) - 1
+		if overhead > 0.25 {
+			t.Errorf("%v@1: overhead %.0f%% too high", kind, overhead*100)
+		}
+	}
+}
+
+func TestManyMoreThreadsThanIterations(t *testing.T) {
+	cp := compileFor(t, `
+#pragma commset decl FSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+void main() {
+	int total = 0;
+	for (int i = 0; i < 3; i++) {
+		int d = digest(i);
+		#pragma commset member FSET(i), SELF
+		{ total += d; }
+	}
+	print_int(total);
+}`, 16)
+	_, seqOut := cp.seqRun(t)
+	_, parOut := cp.parRun(t, transform.DOALL, exec.SyncSpin, 16)
+	if parOut[0] != seqOut[0] {
+		t.Errorf("16 threads over 3 iterations: %v vs %v", parOut, seqOut)
+	}
+}
+
+func TestQueueCapConfig(t *testing.T) {
+	cp := compileFor(t, md5Det, 4)
+	if cp.sched[transform.PSDSWP] == nil {
+		t.Skip("no PS-DSWP")
+	}
+	cfg := cp.cfg
+	cfg.QueueCap = 1 // minimum capacity still drains correctly
+	w := &world{}
+	cfg.Builtins = w.builtins()
+	_, err := exec.Run(cfg, cp.la, cp.sched[transform.PSDSWP], exec.SyncSpin, 4)
+	if err != nil {
+		t.Fatalf("queue cap 1: %v", err)
+	}
+	if len(w.prints) != 33 {
+		t.Errorf("printed %d lines, want 33", len(w.prints))
+	}
+}
+
+func TestTMLogBounded(t *testing.T) {
+	// A long TM run must not grow the conflict log unboundedly (bounded at
+	// tmLogCap); indirectly verified by completing a large run quickly and
+	// correctly.
+	cp := compileFor(t, md5Full, 8)
+	_, seqOut := cp.seqRun(t)
+	_, parOut := cp.parRun(t, transform.DOALL, exec.SyncTM, 8)
+	if parOut[len(parOut)-1] != seqOut[len(seqOut)-1] {
+		t.Error("TM run final total differs")
+	}
+}

@@ -1,0 +1,352 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pdg"
+	"repro/internal/vm/des"
+	"repro/internal/vm/value"
+)
+
+// token is one iteration's payload flowing through the pipeline: the frame
+// slot values as of the end of the producing stage. Dependences between
+// stages are satisfied by these lock-free-queue tokens (paper Section 4.5).
+type token struct {
+	iter   int64
+	stop   bool
+	locals []value.Value
+}
+
+// pipeJoin is the completion message of one stage worker.
+type pipeJoin struct {
+	stage    int
+	rep      int
+	lastIter int64
+	fr       *frame
+}
+
+// runPipeline executes a DSWP or PS-DSWP schedule. The calling thread is
+// the dispatcher (stage 0): it owns loop control, executes stage 0's units,
+// and streams per-iteration tokens down the pipeline. A parallel stage runs
+// R replicas receiving iterations round-robin; the following sequential
+// stage merges tokens back in iteration order, which preserves sequential
+// semantics for in-order stages (e.g. deterministic console output).
+func (m *machine) runPipeline(mainTh *des.Thread, mainFr *frame, threads int) error {
+	stages := m.sched.Stages
+	if len(stages) < 2 {
+		return fmt.Errorf("exec: pipeline schedule needs at least 2 stages")
+	}
+
+	// Replica counts: the single parallel stage receives every thread not
+	// running a sequential stage.
+	reps := make([]int, len(stages))
+	parIdx := -1
+	for i := range stages {
+		reps[i] = 1
+		if stages[i].Parallel {
+			parIdx = i
+		}
+	}
+	if parIdx >= 0 {
+		r := threads - (len(stages) - 1)
+		if r < 1 {
+			r = 1
+		}
+		reps[parIdx] = r
+	}
+
+	// Queues between consecutive stages. Between stage i and i+1 there are
+	// max(reps[i], reps[i+1]) queues: a parallel side owns one queue per
+	// replica; a sequential side round-robins over them.
+	qs := make([][]*des.Queue, len(stages)-1)
+	for i := 0; i < len(stages)-1; i++ {
+		n := reps[i]
+		if reps[i+1] > n {
+			n = reps[i+1]
+		}
+		qs[i] = make([]*des.Queue, n)
+		for k := 0; k < n; k++ {
+			qs[i][k] = m.sim.NewQueue(fmt.Sprintf("q%d.%d", i, k), m.cfg.queueCap())
+		}
+	}
+
+	// Slot ownership for live-out merging: the highest stage writing a slot
+	// owns its final value; control slots belong to the dispatcher.
+	owner := m.slotOwners()
+
+	join := m.sim.NewQueue("pipe.join", threads+1)
+
+	ff := m.flowForward()
+
+	// Stage workers 1..k-1.
+	for si := 1; si < len(stages); si++ {
+		for rep := 0; rep < reps[si]; rep++ {
+			si, rep := si, rep
+			m.sim.Spawn(fmt.Sprintf("stage%d.%d", si, rep), mainTh.VTime, func(th *des.Thread) error {
+				return m.stageWorker(th, mainFr, si, rep, reps, qs, ff, join)
+			})
+		}
+	}
+
+	// Dispatcher on the calling thread.
+	if err := m.dispatch(mainTh, mainFr, reps, qs, ff, join); err != nil {
+		return err
+	}
+
+	// Collect every worker (including the dispatcher's own join message)
+	// and merge live-outs by ownership, taking the frame of the replica
+	// that processed the globally last iteration of each stage.
+	nWorkers := 1
+	for si := 1; si < len(stages); si++ {
+		nWorkers += reps[si]
+	}
+	type best struct {
+		iter int64
+		fr   *frame
+	}
+	finals := make([]best, len(stages))
+	for i := range finals {
+		finals[i].iter = -1
+	}
+	for i := 0; i < nWorkers; i++ {
+		j := mainTh.Pop(join).(pipeJoin)
+		if j.lastIter > finals[j.stage].iter {
+			finals[j.stage] = best{iter: j.lastIter, fr: j.fr}
+		}
+	}
+	for slot, stg := range owner {
+		if m.isShared(slot) {
+			continue // demoted from cells by the caller
+		}
+		if finals[stg].fr != nil {
+			mainFr.locals[slot] = finals[stg].fr.locals[slot]
+		}
+	}
+	return nil
+}
+
+// flowForward computes, per stage, the slots whose post-stage values flow
+// intra-iteration to a later stage and must be overlaid onto the forwarded
+// token. All other private slots travel as iteration-start snapshots, which
+// satisfies anti-dependences by construction (a later stage reading a slot
+// that an earlier stage overwrites for the *next* use still sees the
+// pre-write value).
+func (m *machine) flowForward() []map[int]bool {
+	stages := m.sched.Stages
+	stageOf := map[int]int{}
+	for si, st := range stages {
+		for _, u := range st.Units {
+			stageOf[u] = si
+		}
+	}
+	shared := map[int]bool{}
+	for _, s := range m.sched.SharedSlots {
+		shared[s] = true
+	}
+	ff := make([]map[int]bool, len(stages))
+	for i := range ff {
+		ff[i] = map[int]bool{}
+	}
+	for _, e := range m.la.PDG.Edges {
+		slot, isSlot := e.LocalSlot()
+		if !isSlot || e.LoopCarried || e.Kind != pdg.DepFlow || shared[slot] {
+			continue
+		}
+		u1, ok1 := m.unitOf[e.From]
+		u2, ok2 := m.unitOf[e.To]
+		if !ok1 || !ok2 || u1 < 0 || u2 < 0 {
+			continue
+		}
+		s1, in1 := stageOf[u1]
+		s2, in2 := stageOf[u2]
+		if in1 && in2 && s1 < s2 {
+			ff[s1][slot] = true
+		}
+	}
+	return ff
+}
+
+// slotOwners maps every loop-written slot to the highest stage writing it
+// (stage 0 covers the dispatcher's control writes).
+func (m *machine) slotOwners() map[int]int {
+	owner := map[int]int{}
+	note := func(instrs []*ir.Instr, stage int) {
+		for _, in := range instrs {
+			switch in.Op {
+			case ir.OpStoreLocal:
+				if owner[in.Slot] <= stage {
+					owner[in.Slot] = stage
+				}
+			case ir.OpCall:
+				for _, s := range in.OutSlots {
+					if owner[s] <= stage {
+						owner[s] = stage
+					}
+				}
+			}
+		}
+	}
+	note(m.la.Units.Cond, 0)
+	note(m.la.Units.Post, 0)
+	for si, st := range m.sched.Stages {
+		for _, u := range st.Units {
+			note(m.la.Units.Units[u], si)
+		}
+	}
+	return owner
+}
+
+// stageWrites returns the slots written by a stage's units (used for the
+// sequential-stage persistent overlay).
+func (m *machine) stageWrites(si int) map[int]bool {
+	w := map[int]bool{}
+	for _, u := range m.sched.Stages[si].Units {
+		for _, in := range m.la.Units.Units[u] {
+			switch in.Op {
+			case ir.OpStoreLocal:
+				w[in.Slot] = true
+			case ir.OpCall:
+				for _, s := range in.OutSlots {
+					w[s] = true
+				}
+			}
+		}
+	}
+	return w
+}
+
+// dispatch runs loop control and stage 0 on the calling thread. The token
+// for iteration k is the frame snapshot taken at the start of the
+// iteration (delivering previous-iteration values of any loop-carried
+// scalars the dispatcher owns, e.g. a list-traversal pointer), overlaid
+// with the post-values of slots whose data flows from stage 0 to later
+// stages within the iteration.
+func (m *machine) dispatch(th *des.Thread, mainFr *frame, reps []int, qs [][]*des.Queue, ff []map[int]bool, join *des.Queue) error {
+	fr := mainFr.clone()
+	st := m.newStepper(th, fr)
+	st.sharedActive = true
+	out := qs[0]
+	lastIter := int64(-1)
+
+	for iter := int64(0); ; iter++ {
+		exit, err := m.runCond(st)
+		if err != nil {
+			return err
+		}
+		if exit {
+			break
+		}
+		locals := make([]value.Value, len(fr.locals))
+		copy(locals, fr.locals) // iteration-start snapshot
+		for _, u := range m.sched.Stages[0].Units {
+			if _, err := st.runGroup(m.la.Units.Units[u]); err != nil {
+				return err
+			}
+		}
+		for slot := range ff[0] {
+			locals[slot] = fr.locals[slot]
+		}
+		st.flush()
+		th.Push(out[int(iter)%len(out)], token{iter: iter, locals: locals})
+		if _, err := st.runGroup(m.la.Units.Post); err != nil {
+			return err
+		}
+		lastIter = iter
+	}
+	st.flush()
+	for _, q := range out {
+		th.Push(q, token{stop: true})
+	}
+	th.Push(join, pipeJoin{stage: 0, rep: 0, lastIter: lastIter, fr: fr})
+	return nil
+}
+
+// stageWorker runs one stage (replica) of the pipeline.
+func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps []int, qs [][]*des.Queue, ff []map[int]bool, join *des.Queue) error {
+	fr := mainFr.clone()
+	st := m.newStepper(th, fr)
+	st.sharedActive = true
+	stage := m.sched.Stages[si]
+
+	in := qs[si-1]
+	var out []*des.Queue
+	if si < len(m.sched.Stages)-1 {
+		out = qs[si]
+	}
+
+	// Sequential stages keep a persistent overlay of the slots they own so
+	// their own cross-iteration state (e.g. accumulators in a sequential
+	// stage) survives incoming tokens.
+	var owned map[int]bool
+	if !stage.Parallel {
+		owned = m.stageWrites(si)
+	}
+
+	lastIter := int64(-1)
+	seq := int64(0) // next expected iteration for round-robin input
+	if stage.Parallel {
+		seq = int64(rep)
+	}
+	for {
+		var inQ *des.Queue
+		if stage.Parallel {
+			inQ = in[rep]
+		} else {
+			inQ = in[int(seq)%len(in)]
+		}
+		tok := th.Pop(inQ).(token)
+		if tok.stop {
+			if out != nil {
+				st.flush()
+				if stage.Parallel {
+					// Each replica forwards its stop on its own queue.
+					th.Push(out[rep%len(out)], token{stop: true})
+				} else {
+					for _, q := range out {
+						th.Push(q, token{stop: true})
+					}
+				}
+			}
+			break
+		}
+		// Install the incoming frame, preserving stage-owned slots.
+		for i, v := range tok.locals {
+			if owned != nil && owned[i] && lastIter >= 0 {
+				continue
+			}
+			fr.locals[i] = v
+		}
+		for _, u := range stage.Units {
+			if _, err := st.runGroup(m.la.Units.Units[u]); err != nil {
+				return err
+			}
+		}
+		lastIter = tok.iter
+		if out != nil {
+			// Forward the incoming snapshot, overlaying only the values
+			// this stage flows to later stages; slots this stage mutates
+			// for its own use keep their snapshot (pre-write) values.
+			locals := make([]value.Value, len(tok.locals))
+			copy(locals, tok.locals)
+			for slot := range ff[si] {
+				locals[slot] = fr.locals[slot]
+			}
+			st.flush()
+			var q *des.Queue
+			if stage.Parallel {
+				q = out[rep%len(out)]
+			} else {
+				q = out[int(tok.iter)%len(out)]
+			}
+			th.Push(q, token{iter: tok.iter, locals: locals})
+		}
+		if stage.Parallel {
+			seq += int64(reps[si])
+		} else {
+			seq++
+		}
+	}
+	th.Push(join, pipeJoin{stage: si, rep: rep, lastIter: lastIter, fr: fr})
+	return nil
+}

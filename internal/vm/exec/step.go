@@ -1,0 +1,398 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+	"repro/internal/vm/des"
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// frame is the main-function execution state owned by one worker.
+type frame struct {
+	locals []value.Value
+	regs   []value.Value
+	// sharedSrc tags registers whose value was loaded from a shared slot;
+	// member calls re-read those cells inside their atomic section.
+	sharedSrc map[int]int
+}
+
+func newFrame(f *ir.Func) *frame {
+	fr := &frame{
+		locals:    make([]value.Value, len(f.Locals)),
+		regs:      make([]value.Value, f.NumRegs),
+		sharedSrc: map[int]int{},
+	}
+	for i := range fr.locals {
+		fr.locals[i] = value.Zero(f.Locals[i].Type)
+	}
+	return fr
+}
+
+// clone copies the frame (for worker-private and per-token frames).
+func (fr *frame) clone() *frame {
+	nf := &frame{
+		locals:    make([]value.Value, len(fr.locals)),
+		regs:      make([]value.Value, len(fr.regs)),
+		sharedSrc: map[int]int{},
+	}
+	copy(nf.locals, fr.locals)
+	copy(nf.regs, fr.regs)
+	return nf
+}
+
+// stepper executes main-frame instructions on behalf of one simulated
+// thread, bridging to the interpreter for callee bodies.
+type stepper struct {
+	m  *machine
+	th *des.Thread
+	it *interp.Thread
+	fr *frame
+
+	// sharedActive enables shared-cell interposition (only inside the
+	// parallelized loop, after promotion).
+	sharedActive bool
+
+	flushed int64 // portion of it.Cost already charged to th
+}
+
+func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
+	st := &stepper{m: m, th: th, fr: fr}
+	st.it = interp.NewThread(m.env)
+	st.it.ID = th.ID
+	st.it.Interceptor = func(t *interp.Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+		if len(m.cfg.Model.SetsOf[in.Name]) == 0 {
+			return invoke()
+		}
+		return st.withMemberSync(in.Name, invoke)
+	}
+	return st
+}
+
+// flush charges interpreter-accumulated cost to the simulated thread.
+func (st *stepper) flush() {
+	if d := st.it.Cost - st.flushed; d > 0 {
+		st.th.Charge(d)
+		st.flushed = st.it.Cost
+	}
+}
+
+// call invokes a function or builtin, charging its cost to the thread.
+func (st *stepper) call(name string, args []value.Value) ([]value.Value, error) {
+	rets, err := st.it.CallByName(name, args)
+	st.flush()
+	return rets, err
+}
+
+// withMemberSync executes body under the synchronization required for a
+// commutative member: locks of every (non-nosync) set the member belongs
+// to, acquired in global rank order and released in reverse (Section 4.6).
+func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
+	m := st.m
+	lockSets := m.cfg.Model.LockSets(name)
+	st.flush()
+	switch m.mode {
+	case SyncLib:
+		// Thread-safe library: members synchronize internally; charge a
+		// small atomic-operation overhead, no serialization.
+		st.th.Charge(m.cfg.Cost.SpinAcquire)
+		rets, err := body()
+		st.flush()
+		return rets, err
+	case SyncMutex, SyncSpin:
+		for _, s := range lockSets {
+			st.th.Acquire(m.locks[s])
+		}
+		rets, err := body()
+		st.flush()
+		for i := len(lockSets) - 1; i >= 0; i-- {
+			st.th.Release(m.locks[lockSets[i]])
+		}
+		return rets, err
+	case SyncTM:
+		// Timing-level TM (DESIGN.md): semantics come from the lock; the
+		// cost model adds commit overhead and conflict-driven retry
+		// charges from the commit log.
+		tStart := st.th.VTime
+		for _, s := range lockSets {
+			st.th.Acquire(m.locks[s])
+		}
+		workStart := st.th.VTime
+		rets, err := body()
+		st.flush()
+		workCost := st.th.VTime - workStart
+		for i := len(lockSets) - 1; i >= 0; i-- {
+			st.th.Release(m.locks[lockSets[i]])
+		}
+		aborts := m.tm.conflicts(lockSets, tStart, st.th.VTime)
+		st.th.Charge(m.cfg.Cost.TMCommit + int64(aborts)*(workCost+m.cfg.Cost.TMAbortPenalty))
+		m.tm.record(lockSets, tStart, st.th.VTime)
+		return rets, err
+	}
+	return nil, fmt.Errorf("exec: unknown sync mode")
+}
+
+// stop describes why instruction stepping halted.
+type stop struct {
+	ret     bool      // an OpRet executed
+	next    *ir.Instr // first instruction outside the set (nil on ret)
+	nextBlk int       // its block
+}
+
+// exec runs instructions starting at `start` while inSet admits them.
+func (st *stepper) exec(start *ir.Instr, inSet func(*ir.Instr) bool) (stop, error) {
+	f := st.m.la.Fn
+	cur := start
+	for {
+		if cur == nil {
+			return stop{}, fmt.Errorf("exec: fell off instruction stream in %s", f.Name)
+		}
+		if !inSet(cur) {
+			return stop{next: cur, nextBlk: st.m.instrPos[cur.ID].block}, nil
+		}
+		branch, isRet, err := st.stepInstr(cur)
+		if err != nil {
+			return stop{}, err
+		}
+		if isRet {
+			return stop{ret: true}, nil
+		}
+		if branch >= 0 {
+			blk := f.BlockByID(branch)
+			if len(blk.Instrs) == 0 {
+				return stop{}, fmt.Errorf("exec: branch to empty block b%d", branch)
+			}
+			cur = blk.Instrs[0]
+			continue
+		}
+		loc := st.m.instrPos[cur.ID]
+		blk := f.BlockByID(loc.block)
+		if loc.index+1 >= len(blk.Instrs) {
+			return stop{}, fmt.Errorf("exec: block b%d missing terminator", loc.block)
+		}
+		cur = blk.Instrs[loc.index+1]
+	}
+}
+
+// runBlocks executes from the start of block `from` until entering block
+// `until` (or returning from the function when until is -1).
+func (st *stepper) runBlocks(from, until int) error {
+	f := st.m.la.Fn
+	blk := f.BlockByID(from)
+	if len(blk.Instrs) == 0 {
+		return fmt.Errorf("exec: empty block b%d", from)
+	}
+	inSet := func(in *ir.Instr) bool {
+		return until < 0 || st.m.instrPos[in.ID].block != until
+	}
+	s, err := st.exec(blk.Instrs[0], inSet)
+	if err != nil {
+		return err
+	}
+	if !s.ret && until >= 0 && s.nextBlk != until {
+		return fmt.Errorf("exec: stopped at b%d, expected b%d", s.nextBlk, until)
+	}
+	return nil
+}
+
+// instrSet builds a membership predicate over an instruction list.
+func instrSet(instrs []*ir.Instr) func(*ir.Instr) bool {
+	set := make(map[int]bool, len(instrs))
+	for _, in := range instrs {
+		set[in.ID] = true
+	}
+	return func(in *ir.Instr) bool { return set[in.ID] }
+}
+
+// runGroup executes one instruction group (a unit, the condition, or the
+// post increment) to completion on the current frame.
+func (st *stepper) runGroup(instrs []*ir.Instr) (stop, error) {
+	if len(instrs) == 0 {
+		return stop{}, nil
+	}
+	return st.exec(instrs[0], instrSet(instrs))
+}
+
+// stepInstr executes one instruction. It returns the branch target block
+// (-1 when falling through) and whether an OpRet executed.
+func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error) {
+	st.th.Charge(interp.CostPerInstr)
+	fr := st.fr
+	clearTag := func(dst int) {
+		if dst >= 0 {
+			delete(fr.sharedSrc, dst)
+		}
+	}
+	switch in.Op {
+	case ir.OpConst:
+		clearTag(in.Dst)
+		fr.regs[in.Dst] = in.Val
+	case ir.OpLoadLocal:
+		clearTag(in.Dst)
+		if st.sharedActive && st.m.isShared(in.Slot) {
+			fr.regs[in.Dst] = st.m.cells[in.Slot].v
+			fr.sharedSrc[in.Dst] = in.Slot
+		} else {
+			fr.regs[in.Dst] = fr.locals[in.Slot]
+		}
+	case ir.OpStoreLocal:
+		if st.sharedActive && st.m.isShared(in.Slot) {
+			st.m.cells[in.Slot].v = fr.regs[in.A]
+		} else {
+			fr.locals[in.Slot] = fr.regs[in.A]
+		}
+	case ir.OpLoadGlobal:
+		clearTag(in.Dst)
+		fr.regs[in.Dst] = st.m.env.Globals.Get(in.Name)
+	case ir.OpStoreGlobal:
+		st.m.env.Globals.Set(in.Name, fr.regs[in.A])
+	case ir.OpBin:
+		clearTag(in.Dst)
+		v, e := interp.EvalBin(in.BinOp, fr.regs[in.A], fr.regs[in.B])
+		if e != nil {
+			return 0, false, fmt.Errorf("%s: %v", in.Pos, e)
+		}
+		fr.regs[in.Dst] = v
+	case ir.OpUn:
+		clearTag(in.Dst)
+		v, e := interp.EvalUn(in.BinOp, fr.regs[in.A])
+		if e != nil {
+			return 0, false, fmt.Errorf("%s: %v", in.Pos, e)
+		}
+		fr.regs[in.Dst] = v
+	case ir.OpCall:
+		clearTag(in.Dst)
+		if err := st.execCall(in); err != nil {
+			return 0, false, err
+		}
+	case ir.OpBr:
+		return in.Targets[0], false, nil
+	case ir.OpCondBr:
+		if fr.regs[in.A].AsBool() {
+			return in.Targets[0], false, nil
+		}
+		return in.Targets[1], false, nil
+	case ir.OpRet:
+		return -1, true, nil
+	}
+	return -1, false, nil
+}
+
+// execCall performs a top-level call in the main frame, applying member
+// synchronization, shared-argument refresh, and shared OutSlot writeback.
+func (st *stepper) execCall(in *ir.Instr) error {
+	fr := st.fr
+	args := make([]value.Value, len(in.Args))
+	for i, r := range in.Args {
+		args[i] = fr.regs[r]
+	}
+	member := len(st.m.cfg.Model.SetsOf[in.Name]) > 0
+
+	invoke := func() ([]value.Value, error) {
+		if member && st.sharedActive {
+			// Re-read shared-sourced arguments inside the atomic section so
+			// the read-modify-write of shared scalars is not lost.
+			for i, r := range in.Args {
+				if slot, ok := fr.sharedSrc[r]; ok {
+					args[i] = st.m.cells[slot].v
+				}
+			}
+		}
+		rets, err := st.it.CallByName(in.Name, args)
+		if err != nil {
+			return nil, err
+		}
+		// Shared OutSlots are written inside the atomic section.
+		if member && st.sharedActive {
+			for i, slot := range in.OutSlots {
+				if st.m.isShared(slot) {
+					st.m.cells[slot].v = rets[i]
+				}
+			}
+		}
+		return rets, nil
+	}
+
+	var rets []value.Value
+	var err error
+	if member {
+		rets, err = st.withMemberSync(in.Name, invoke)
+	} else {
+		rets, err = invoke()
+		st.flush()
+	}
+	if err != nil {
+		return err
+	}
+	if in.Dst >= 0 {
+		if len(rets) == 0 {
+			return fmt.Errorf("%s: call %s returned no value", in.Pos, in.Name)
+		}
+		fr.regs[in.Dst] = rets[0]
+	}
+	if len(in.OutSlots) > 0 {
+		if len(rets) != len(in.OutSlots) {
+			return fmt.Errorf("%s: region %s returned %d values, want %d", in.Pos, in.Name, len(rets), len(in.OutSlots))
+		}
+		for i, slot := range in.OutSlots {
+			if st.sharedActive && st.m.isShared(slot) {
+				if !member {
+					st.m.cells[slot].v = rets[i]
+				}
+				// Member writes already landed in the cell under the lock.
+			} else {
+				fr.locals[slot] = rets[i]
+			}
+		}
+	}
+	return nil
+}
+
+// tmEntry is one committed transaction in the TM conflict log.
+type tmEntry struct {
+	sets       []*types.Set
+	start, end int64
+}
+
+// tmLog is a bounded log of recent commits used to model optimistic
+// conflicts: a transaction aborts once for every overlapping committed
+// transaction touching one of its sets.
+type tmLog struct {
+	entries []tmEntry
+}
+
+const tmLogCap = 512
+
+func (l *tmLog) record(sets []*types.Set, start, end int64) {
+	l.entries = append(l.entries, tmEntry{sets: sets, start: start, end: end})
+	if len(l.entries) > tmLogCap {
+		l.entries = l.entries[len(l.entries)-tmLogCap:]
+	}
+}
+
+func (l *tmLog) conflicts(sets []*types.Set, start, end int64) int {
+	n := 0
+	for i := range l.entries {
+		e := &l.entries[i]
+		if e.end <= start || e.start >= end {
+			continue
+		}
+		if intersects(e.sets, sets) {
+			n++
+		}
+	}
+	return n
+}
+
+func intersects(a, b []*types.Set) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/vm/value"
+)
+
+// EvalBin applies a binary operator to two values. The type checker
+// guarantees operand types, so unexpected combinations indicate compiler
+// bugs and return errors rather than panicking.
+func EvalBin(op string, a, b value.Value) (value.Value, error) {
+	switch op {
+	case "+":
+		switch a.T {
+		case ast.TInt:
+			return value.Int(a.I + b.I), nil
+		case ast.TFloat:
+			return value.Float(a.F + b.F), nil
+		case ast.TString:
+			return value.Str(a.S + b.S), nil
+		}
+	case "-":
+		switch a.T {
+		case ast.TInt:
+			return value.Int(a.I - b.I), nil
+		case ast.TFloat:
+			return value.Float(a.F - b.F), nil
+		}
+	case "*":
+		switch a.T {
+		case ast.TInt:
+			return value.Int(a.I * b.I), nil
+		case ast.TFloat:
+			return value.Float(a.F * b.F), nil
+		}
+	case "/":
+		switch a.T {
+		case ast.TInt:
+			if b.I == 0 {
+				return value.Value{}, fmt.Errorf("integer division by zero")
+			}
+			return value.Int(a.I / b.I), nil
+		case ast.TFloat:
+			return value.Float(a.F / b.F), nil
+		}
+	case "%":
+		if a.T == ast.TInt {
+			if b.I == 0 {
+				return value.Value{}, fmt.Errorf("integer modulo by zero")
+			}
+			return value.Int(a.I % b.I), nil
+		}
+	case "&":
+		if a.T == ast.TInt {
+			return value.Int(a.I & b.I), nil
+		}
+	case "|":
+		if a.T == ast.TInt {
+			return value.Int(a.I | b.I), nil
+		}
+	case "^":
+		if a.T == ast.TInt {
+			return value.Int(a.I ^ b.I), nil
+		}
+	case "<<":
+		if a.T == ast.TInt {
+			if b.I < 0 || b.I > 63 {
+				return value.Value{}, fmt.Errorf("shift amount %d out of range", b.I)
+			}
+			return value.Int(a.I << uint(b.I)), nil
+		}
+	case ">>":
+		if a.T == ast.TInt {
+			if b.I < 0 || b.I > 63 {
+				return value.Value{}, fmt.Errorf("shift amount %d out of range", b.I)
+			}
+			return value.Int(a.I >> uint(b.I)), nil
+		}
+	case "==":
+		return value.Bool(a.Equal(b)), nil
+	case "!=":
+		return value.Bool(!a.Equal(b)), nil
+	case "<":
+		return compare(a, b, func(c int) bool { return c < 0 })
+	case "<=":
+		return compare(a, b, func(c int) bool { return c <= 0 })
+	case ">":
+		return compare(a, b, func(c int) bool { return c > 0 })
+	case ">=":
+		return compare(a, b, func(c int) bool { return c >= 0 })
+	}
+	return value.Value{}, fmt.Errorf("invalid binary op %q on %s", op, a.T)
+}
+
+func compare(a, b value.Value, ok func(int) bool) (value.Value, error) {
+	var c int
+	switch a.T {
+	case ast.TInt:
+		switch {
+		case a.I < b.I:
+			c = -1
+		case a.I > b.I:
+			c = 1
+		}
+	case ast.TFloat:
+		switch {
+		case a.F < b.F:
+			c = -1
+		case a.F > b.F:
+			c = 1
+		}
+	case ast.TString:
+		switch {
+		case a.S < b.S:
+			c = -1
+		case a.S > b.S:
+			c = 1
+		}
+	default:
+		return value.Value{}, fmt.Errorf("ordered comparison on %s", a.T)
+	}
+	return value.Bool(ok(c)), nil
+}
+
+// EvalUn applies a unary operator.
+func EvalUn(op string, a value.Value) (value.Value, error) {
+	switch op {
+	case "!":
+		if a.T == ast.TBool {
+			return value.Bool(!a.B), nil
+		}
+	case "-":
+		switch a.T {
+		case ast.TInt:
+			return value.Int(-a.I), nil
+		case ast.TFloat:
+			return value.Float(-a.F), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("invalid unary op %q on %s", op, a.T)
+}

@@ -1,0 +1,273 @@
+// Package interp executes COMMSET IR.
+//
+// The interpreter is deliberately small and deterministic. It is used three
+// ways:
+//
+//  1. as the reference sequential executor (baseline timings, output
+//     validation),
+//  2. as the profiler that weights PDG nodes for the pipeline-balancing
+//     heuristics of the DSWP family (paper Section 4.5), and
+//  3. as the per-logical-thread execution engine inside the discrete-event
+//     multicore simulator, where an Interceptor wraps commutative-member
+//     calls with synchronization and virtual-time bookkeeping.
+//
+// Every instruction and builtin charges virtual cost units to the executing
+// Thread; the simulator turns those into virtual time.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/vm/value"
+)
+
+// CostPerInstr is the virtual cost charged for one IR instruction.
+const CostPerInstr = 1
+
+// BuiltinFn executes a substrate builtin: it returns the result value and
+// the virtual cost of the operation.
+type BuiltinFn func(args []value.Value) (value.Value, int64, error)
+
+// Heap holds global variable storage. The discrete-event scheduler
+// serializes thread execution, so no locking is needed.
+type Heap struct {
+	g map[string]value.Value
+}
+
+// NewHeap initializes globals from the program's declarations.
+func NewHeap(prog *ir.Program) *Heap {
+	h := &Heap{g: map[string]value.Value{}}
+	for _, g := range prog.Globals {
+		h.g[g.Name] = g.Init
+	}
+	return h
+}
+
+// Get reads a global.
+func (h *Heap) Get(name string) value.Value { return h.g[name] }
+
+// Set writes a global.
+func (h *Heap) Set(name string, v value.Value) { h.g[name] = v }
+
+// Snapshot copies the globals (used by STM validation and tests).
+func (h *Heap) Snapshot() map[string]value.Value {
+	out := make(map[string]value.Value, len(h.g))
+	for k, v := range h.g {
+		out[k] = v
+	}
+	return out
+}
+
+// Env bundles the immutable program with the mutable shared state.
+type Env struct {
+	Prog     *ir.Program
+	Globals  *Heap
+	Builtins map[string]BuiltinFn
+}
+
+// NewEnv creates an execution environment for prog.
+func NewEnv(prog *ir.Program, builtins map[string]BuiltinFn) *Env {
+	return &Env{Prog: prog, Globals: NewHeap(prog), Builtins: builtins}
+}
+
+// Profile accumulates per-instruction virtual cost for one function,
+// attributing callee time to the call instruction.
+type Profile struct {
+	Func  string
+	Cost  []int64
+	Total int64
+}
+
+// NewProfile prepares a profile for the named function.
+func NewProfile(f *ir.Func) *Profile {
+	return &Profile{Func: f.Name, Cost: make([]int64, f.NumInstrs())}
+}
+
+// Interceptor wraps a call instruction's execution. invoke performs the
+// actual call (charging its cost to the thread); the interceptor may charge
+// additional cost or block the thread in virtual time around it.
+type Interceptor func(t *Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error)
+
+// Thread is one logical execution context.
+type Thread struct {
+	Env  *Env
+	Cost int64 // accumulated virtual cost units
+
+	// ID identifies the logical thread inside the simulator (0 for the
+	// sequential reference executor).
+	ID int
+
+	// Interceptor, when set, wraps every OpCall.
+	Interceptor Interceptor
+
+	// Profile, when set, accumulates per-instruction cost for the function
+	// it names.
+	Profile *Profile
+
+	// depth guards against runaway recursion in user programs.
+	depth int
+}
+
+// maxDepth bounds user-program recursion.
+const maxDepth = 10000
+
+// NewThread creates a thread over env.
+func NewThread(env *Env) *Thread { return &Thread{Env: env} }
+
+// RunMain executes the program's main function.
+func (t *Thread) RunMain() error {
+	_, err := t.CallByName("main", nil)
+	return err
+}
+
+// CallByName invokes a user function or builtin by name.
+func (t *Thread) CallByName(name string, args []value.Value) ([]value.Value, error) {
+	if f := t.Env.Prog.Funcs[name]; f != nil {
+		return t.Exec(f, args)
+	}
+	if b := t.Env.Builtins[name]; b != nil {
+		v, cost, err := b(args)
+		t.Cost += cost
+		if err != nil {
+			return nil, err
+		}
+		return []value.Value{v}, nil
+	}
+	return nil, fmt.Errorf("interp: undefined function %s", name)
+}
+
+// Exec runs function f with the given arguments, returning its results
+// (regions may return several).
+func (t *Thread) Exec(f *ir.Func, args []value.Value) ([]value.Value, error) {
+	if t.depth >= maxDepth {
+		return nil, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
+	}
+	t.depth++
+	defer func() { t.depth-- }()
+
+	locals := make([]value.Value, len(f.Locals))
+	for i := range locals {
+		locals[i] = value.Zero(f.Locals[i].Type)
+	}
+	if len(args) != f.Params {
+		return nil, fmt.Errorf("interp: %s expects %d args, got %d", f.Name, f.Params, len(args))
+	}
+	copy(locals, args)
+	regs := make([]value.Value, f.NumRegs)
+
+	profiling := t.Profile != nil && t.Profile.Func == f.Name
+
+	blk := f.Entry()
+	for {
+		redirected := false
+		for _, in := range blk.Instrs {
+			var before int64
+			if profiling {
+				before = t.Cost
+			}
+			next, done, rets, err := t.step(f, in, regs, locals)
+			if profiling {
+				d := t.Cost - before
+				t.Profile.Cost[in.ID] += d
+				t.Profile.Total += d
+			}
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return rets, nil
+			}
+			if next >= 0 {
+				blk = f.BlockByID(next)
+				redirected = true
+				break
+			}
+		}
+		if !redirected {
+			return nil, fmt.Errorf("interp: block b%d of %s fell through without terminator", blk.ID, f.Name)
+		}
+	}
+}
+
+// step executes one instruction. It returns the next block ID (>= 0 on a
+// branch), or done=true with return values on OpRet.
+func (t *Thread) step(f *ir.Func, in *ir.Instr, regs, locals []value.Value) (next int, done bool, rets []value.Value, err error) {
+	t.Cost += CostPerInstr
+	switch in.Op {
+	case ir.OpConst:
+		regs[in.Dst] = in.Val
+	case ir.OpLoadLocal:
+		regs[in.Dst] = locals[in.Slot]
+	case ir.OpStoreLocal:
+		locals[in.Slot] = regs[in.A]
+	case ir.OpLoadGlobal:
+		regs[in.Dst] = t.Env.Globals.Get(in.Name)
+	case ir.OpStoreGlobal:
+		t.Env.Globals.Set(in.Name, regs[in.A])
+	case ir.OpBin:
+		v, e := EvalBin(in.BinOp, regs[in.A], regs[in.B])
+		if e != nil {
+			return 0, false, nil, fmt.Errorf("%s: %v", in.Pos, e)
+		}
+		regs[in.Dst] = v
+	case ir.OpUn:
+		v, e := EvalUn(in.BinOp, regs[in.A])
+		if e != nil {
+			return 0, false, nil, fmt.Errorf("%s: %v", in.Pos, e)
+		}
+		regs[in.Dst] = v
+	case ir.OpCall:
+		if e := t.execCall(in, regs, locals); e != nil {
+			return 0, false, nil, e
+		}
+	case ir.OpBr:
+		return in.Targets[0], false, nil, nil
+	case ir.OpCondBr:
+		if regs[in.A].AsBool() {
+			return in.Targets[0], false, nil, nil
+		}
+		return in.Targets[1], false, nil, nil
+	case ir.OpRet:
+		out := make([]value.Value, len(in.Args))
+		for i, r := range in.Args {
+			out[i] = regs[r]
+		}
+		return 0, true, out, nil
+	}
+	return -1, false, nil, nil
+}
+
+func (t *Thread) execCall(in *ir.Instr, regs, locals []value.Value) error {
+	args := make([]value.Value, len(in.Args))
+	for i, r := range in.Args {
+		args[i] = regs[r]
+	}
+	invoke := func() ([]value.Value, error) { return t.CallByName(in.Name, args) }
+	var rets []value.Value
+	var err error
+	if t.Interceptor != nil {
+		rets, err = t.Interceptor(t, in, invoke)
+	} else {
+		rets, err = invoke()
+	}
+	if err != nil {
+		return err
+	}
+	if in.Dst >= 0 {
+		if len(rets) == 0 {
+			return fmt.Errorf("%s: call %s returned no value", in.Pos, in.Name)
+		}
+		regs[in.Dst] = rets[0]
+	}
+	if len(in.OutSlots) > 0 {
+		if len(rets) != len(in.OutSlots) {
+			return fmt.Errorf("%s: region %s returned %d values, caller expects %d",
+				in.Pos, in.Name, len(rets), len(in.OutSlots))
+		}
+		for i, slot := range in.OutSlots {
+			locals[slot] = rets[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package value defines the runtime value representation shared by the IR,
+// the interpreter, and the builtin substrate.
+//
+// MiniC is scalar-only: int (64-bit), float (64-bit), bool, and string.
+// Substrate object handles (files, matrices, bitmaps, ...) are ints.
+package value
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Value is one MiniC runtime value. The zero Value is the int 0.
+type Value struct {
+	T ast.Type
+	I int64
+	F float64
+	B bool
+	S string
+}
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{T: ast.TInt, I: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{T: ast.TFloat, F: v} }
+
+// Bool wraps a bool.
+func Bool(v bool) Value { return Value{T: ast.TBool, B: v} }
+
+// Str wraps a string.
+func Str(v string) Value { return Value{T: ast.TString, S: v} }
+
+// Void is the absent value returned by void calls.
+func Void() Value { return Value{T: ast.TVoid} }
+
+// Zero returns the zero value of the given type.
+func Zero(t ast.Type) Value {
+	switch t {
+	case ast.TFloat:
+		return Float(0)
+	case ast.TBool:
+		return Bool(false)
+	case ast.TString:
+		return Str("")
+	case ast.TVoid:
+		return Void()
+	}
+	return Int(0)
+}
+
+// String renders the value as MiniC's print builtins would.
+func (v Value) String() string {
+	switch v.T {
+	case ast.TInt:
+		return strconv.FormatInt(v.I, 10)
+	case ast.TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case ast.TBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case ast.TString:
+		return v.S
+	case ast.TVoid:
+		return "<void>"
+	}
+	return fmt.Sprintf("<invalid %v>", v.T)
+}
+
+// Equal reports deep equality of two values (same type, same payload).
+func (v Value) Equal(w Value) bool {
+	if v.T != w.T {
+		return false
+	}
+	switch v.T {
+	case ast.TInt:
+		return v.I == w.I
+	case ast.TFloat:
+		return v.F == w.F
+	case ast.TBool:
+		return v.B == w.B
+	case ast.TString:
+		return v.S == w.S
+	}
+	return true
+}
+
+// AsBool returns the boolean payload; it panics on non-bool values, which
+// indicates a compiler bug (the type checker guarantees operand types).
+func (v Value) AsBool() bool {
+	if v.T != ast.TBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.T))
+	}
+	return v.B
+}
+
+// AsInt returns the integer payload; it panics on non-int values.
+func (v Value) AsInt() int64 {
+	if v.T != ast.TInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.T))
+	}
+	return v.I
+}
+
+// AsFloat returns the float payload; it panics on non-float values.
+func (v Value) AsFloat() float64 {
+	if v.T != ast.TFloat {
+		panic(fmt.Sprintf("value: AsFloat on %s", v.T))
+	}
+	return v.F
+}
+
+// AsString returns the string payload; it panics on non-string values.
+func (v Value) AsString() string {
+	if v.T != ast.TString {
+		panic(fmt.Sprintf("value: AsString on %s", v.T))
+	}
+	return v.S
+}

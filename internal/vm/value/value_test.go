@@ -1,0 +1,108 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+)
+
+func TestZeroValues(t *testing.T) {
+	cases := []struct {
+		typ  ast.Type
+		want string
+	}{
+		{ast.TInt, "0"},
+		{ast.TFloat, "0"},
+		{ast.TBool, "false"},
+		{ast.TString, ""},
+		{ast.TVoid, "<void>"},
+	}
+	for _, c := range cases {
+		if got := Zero(c.typ).String(); got != c.want {
+			t.Errorf("Zero(%v) = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("Int round trip")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round trip")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("Bool round trip")
+	}
+	if Str("xyz").AsString() != "xyz" {
+		t.Error("Str round trip")
+	}
+}
+
+func TestAccessorPanicsOnTypeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AsInt on a string must panic (compiler bug guard)")
+		}
+	}()
+	Str("nope").AsInt()
+}
+
+func TestEqualReflexiveQuick(t *testing.T) {
+	f := func(i int64, fl float64, b bool, s string) bool {
+		vals := []Value{Int(i), Float(fl), Bool(b), Str(s)}
+		for _, v := range vals {
+			if !v.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualSymmetricQuick(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		pairs := [][2]Value{
+			{Int(a), Int(b)},
+			{Str(s1), Str(s2)},
+			{Int(a), Str(s1)}, // cross-type: both directions false
+		}
+		for _, p := range pairs {
+			if p[0].Equal(p[1]) != p[1].Equal(p[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossTypeNeverEqual(t *testing.T) {
+	if Int(0).Equal(Bool(false)) || Int(1).Equal(Float(1)) || Str("1").Equal(Int(1)) {
+		t.Error("values of different types must not compare equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(0.5), "0.5"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Str("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

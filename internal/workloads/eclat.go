@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"repro/internal/builtins"
+)
+
+// eclatSrc reproduces ECLAT (paper Section 5.3). COMMSET is applied at four
+// sites: (a) the database read wrapper is self-commutative (it mutates the
+// shared cursor internally), (b) insertions into the list-of-itemsets are
+// context-sensitively self-commuting (set semantics of the output), (c)
+// per-iteration Itemset construction blocks commute on separate iterations,
+// and (d) the Stats methods form an unpredicated Group set. Insertions into
+// the *base* Itemset before the loop are deliberately unannotated: the
+// intersection code depends on its deterministic prefix, and tagging them
+// self-commuting would be incorrect.
+const eclatSrc = `
+#pragma commset decl OSET
+#pragma commset predicate OSET (i1)(i2) : i1 != i2
+#pragma commset decl STATSET
+
+#pragma commset member SELF
+int db_next(int i) {
+	return db_read_row(i);
+}
+
+#pragma commset member STATSET, SELF
+void stat_add(int v) {
+	stats_add(v);
+}
+
+#pragma commset member STATSET, SELF
+void stat_note(int v) {
+	stats_add(v * 0);
+}
+
+void main() {
+	int lists = lists_new();
+	int base = iset_new();
+	for (int t = 0; t < 420; t++) {
+		iset_insert(base, t * 7 % 260);
+	}
+	int n = 180;
+	for (int i = 0; i < n; i++) {
+		int row = db_next(i);
+		int cur = 0;
+		#pragma commset member OSET(i), SELF
+		{
+			cur = iset_new();
+			int len = row_len(row);
+			for (int j = 0; j < len; j++) {
+				iset_insert(cur, row_item(row, j));
+			}
+		}
+		int sup = iset_intersect_size(base, cur);
+		#pragma commset member SELF
+		{
+			lists_insert(lists, sup);
+		}
+		stat_add(sup);
+		stat_note(i);
+	}
+	print_int(lists_len(lists));
+	print_int(stats_count());
+}
+`
+
+// Eclat builds the ECLAT workload.
+func Eclat() *Workload {
+	return &Workload{
+		Name:    "eclat",
+		Origin:  "MineBench",
+		MainPct: "97%",
+		Variants: []Variant{
+			{Name: "comm", Source: eclatSrc},
+		},
+		Setup: func(w *builtins.World) {
+			w.AddTransactions(180, 260, 12)
+		},
+		Validate: func(seq, par *builtins.World, ordered bool) error {
+			// Support values are per-row deterministic; the list has set
+			// semantics and the stats are symmetric sums, so the final
+			// count lines must match exactly.
+			return cmpLines("eclat console", seq.Console, par.Console, true)
+		},
+		TM:          false, // I/O (database reads) in members
+		LibOK:       false,
+		PaperBest:   7.5,
+		PaperScheme: "DOALL + Mutex",
+		PaperAnnot:  11,
+		PaperSLOC:   3271,
+		Features:    "PC, C&I, S&G",
+		Transforms:  "DOALL, DSWP",
+	}
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/builtins"
+)
+
+// kmeansSrc reproduces kmeans (paper Section 5.6): the work loop computes
+// each object's nearest cluster center and folds the object into that
+// center's running mean. A single SELF annotation on the update block
+// breaks the only loop-carried dependence — "each such order resulting in
+// a different but valid cluster assignment".
+const kmeansSrc = `
+void main() {
+	int n = km_points();
+	for (int i = 0; i < n; i++) {
+		int c = km_nearest(i);
+		#pragma commset member SELF
+		{
+			km_update(i, c);
+		}
+	}
+	km_swap();
+	print_int(n);
+}
+`
+
+// Kmeans builds the kmeans workload.
+func Kmeans() *Workload {
+	const nPoints, kCenters = 240, 20
+	return &Workload{
+		Name:    "kmeans",
+		Origin:  "STAMP",
+		MainPct: "99%",
+		Variants: []Variant{
+			{Name: "comm", Source: kmeansSrc},
+		},
+		Setup: func(w *builtins.World) {
+			w.SetupKMeans(nPoints, kCenters)
+		},
+		Validate: func(seq, par *builtins.World, ordered bool) error {
+			// Assignments are computed against the stable current centers,
+			// so they are identical under any commutative update order.
+			sa, pa := seq.KMAssignments(), par.KMAssignments()
+			for i := range sa {
+				if sa[i] != pa[i] {
+					return fmt.Errorf("kmeans: point %d assigned %d vs %d", i, sa[i], pa[i])
+				}
+			}
+			sc, pc := seq.KMCounts(), par.KMCounts()
+			for c := range sc {
+				if sc[c] != pc[c] {
+					return fmt.Errorf("kmeans: center %d count %d vs %d", c, sc[c], pc[c])
+				}
+			}
+			return cmpLines("kmeans console", seq.Console, par.Console, true)
+		},
+		TM:          true,
+		LibOK:       false,
+		PaperBest:   5.2,
+		PaperScheme: "PS-DSWP",
+		PaperAnnot:  1,
+		PaperSLOC:   516,
+		Features:    "C, S",
+		Transforms:  "DOALL, PS-DSWP",
+	}
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/builtins"
+)
+
+// potraceSrc reproduces potrace (paper Section 5.5): each iteration opens
+// a bitmap, traces it into a vector path (the heavy compute), and writes
+// the image. The code pattern mirrors md5sum; in the default mode all file
+// operations commute across iterations.
+const potraceSrc = `
+#pragma commset decl PSET
+#pragma commset predicate PSET (i1)(i2) : i1 != i2
+
+void main() {
+	int n = bmp_count();
+	for (int i = 0; i < n; i++) {
+		int bm = 0;
+		#pragma commset member PSET(i), SELF
+		{
+			bm = bmp_open(i);
+		}
+		string path = bmp_trace(bm);
+		#pragma commset member PSET(i), SELF
+		{
+			img_write(path);
+		}
+	}
+	print_int(n);
+}
+`
+
+// potraceDetSrc is the single-output-file mode: the SELF annotation is
+// omitted on the write block "to ensure sequential output semantics", so
+// images land in the shared output file in order and the compiler falls
+// back from DOALL to a pipeline with a sequential write stage.
+const potraceDetSrc = `
+#pragma commset decl PSET
+#pragma commset predicate PSET (i1)(i2) : i1 != i2
+
+void main() {
+	int n = bmp_count();
+	for (int i = 0; i < n; i++) {
+		int bm = 0;
+		#pragma commset member PSET(i), SELF
+		{
+			bm = bmp_open(i);
+		}
+		string path = bmp_trace(bm);
+		#pragma commset member PSET(i)
+		{
+			img_write(path);
+		}
+	}
+	print_int(n);
+}
+`
+
+// Potrace builds the potrace workload.
+func Potrace() *Workload {
+	const nBitmaps, side = 72, 26
+	return &Workload{
+		Name:    "potrace",
+		Origin:  "Open Src",
+		MainPct: "100%",
+		Variants: []Variant{
+			{Name: "comm", Source: potraceSrc},
+			{Name: "det", Source: potraceDetSrc},
+		},
+		Setup: func(w *builtins.World) {
+			w.AddBitmaps(nBitmaps, side)
+		},
+		Validate: func(seq, par *builtins.World, ordered bool) error {
+			if err := cmpLines("potrace images", seq.OutImages(), par.OutImages(), ordered); err != nil {
+				return err
+			}
+			if len(par.OutImages()) != nBitmaps {
+				return fmt.Errorf("potrace: %d images written, want %d", len(par.OutImages()), nBitmaps)
+			}
+			return cmpLines("potrace console", seq.Console, par.Console, true)
+		},
+		TM:          false, // I/O in members
+		LibOK:       true,
+		PaperBest:   5.5,
+		PaperScheme: "DOALL + Lib",
+		PaperAnnot:  10,
+		PaperSLOC:   8292,
+		Features:    "PC, C, S&G",
+		Transforms:  "DOALL, PS-DSWP",
+	}
+}

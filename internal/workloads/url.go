@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/builtins"
+)
+
+// urlSrc reproduces url (paper Section 5.7): the loop dequeues packets
+// from the shared pool, switches them by URL, and logs fields to a file.
+// The protocol permits out-of-order switching, so the dequeue and logging
+// functions are self-commutative — the paper's two annotations.
+const urlSrc = `
+#pragma commset member SELF
+int dequeue() {
+	return pkt_dequeue();
+}
+
+#pragma commset member SELF
+void log_packet(int pkt, int route) {
+	log_pkt(pkt, route);
+}
+
+void main() {
+	int n = pkt_count();
+	for (int i = 0; i < n; i++) {
+		int pkt = dequeue();
+		int route = url_match(pkt);
+		log_packet(pkt, route);
+	}
+	print_int(n);
+}
+`
+
+// urlPipeSrc drops the SELF annotation on dequeue, reproducing the paper's
+// two-stage PS-DSWP pipeline "formed by ignoring the SELF COMMSET
+// annotation on the packet dequeue function": dequeue stays sequential in
+// the first stage while matching and logging replicate.
+const urlPipeSrc = `
+int dequeue() {
+	return pkt_dequeue();
+}
+
+#pragma commset member SELF
+void log_packet(int pkt, int route) {
+	log_pkt(pkt, route);
+}
+
+void main() {
+	int n = pkt_count();
+	for (int i = 0; i < n; i++) {
+		int pkt = dequeue();
+		int route = url_match(pkt);
+		log_packet(pkt, route);
+	}
+	print_int(n);
+}
+`
+
+// URL builds the url workload.
+func URL() *Workload {
+	const nPackets = 600
+	return &Workload{
+		Name:    "url",
+		Origin:  "NetBench",
+		MainPct: "100%",
+		Variants: []Variant{
+			{Name: "comm", Source: urlSrc},
+			{Name: "pipe", Source: urlPipeSrc},
+		},
+		Setup: func(w *builtins.World) {
+			w.SetupPackets(nPackets)
+		},
+		Validate: func(seq, par *builtins.World, ordered bool) error {
+			// Each packet is dequeued exactly once and logged with its own
+			// deterministic route, so the log multiset is invariant.
+			if err := cmpLines("url log", seq.LogLines(), par.LogLines(), ordered); err != nil {
+				return err
+			}
+			if len(par.LogLines()) != nPackets {
+				return fmt.Errorf("url: %d log lines, want %d", len(par.LogLines()), nPackets)
+			}
+			return cmpLines("url console", seq.Console, par.Console, true)
+		},
+		TM:          true,
+		LibOK:       false,
+		PaperBest:   7.7,
+		PaperScheme: "DOALL + Spin",
+		PaperAnnot:  2,
+		PaperSLOC:   629,
+		Features:    "I, S",
+		Transforms:  "DOALL, PS-DSWP",
+	}
+}

@@ -1,0 +1,226 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/transform"
+	"repro/internal/vm/exec"
+	"repro/internal/workloads"
+)
+
+// expectation describes the schedules each workload must (or must not)
+// admit, per Table 2's "Parallelizing Transforms" column.
+type expectation struct {
+	variant   string
+	wantDOALL bool
+	wantPipe  bool // DSWP or PS-DSWP with a real parallel or multi-stage split
+	sync      exec.SyncMode
+	minDOALL  float64
+	minPipe   float64
+}
+
+// Sync mechanisms follow Table 2's best schemes (Lib for the workloads the
+// paper runs with thread-safe libraries, Spin/Mutex elsewhere).
+var expectations = map[string]expectation{
+	"md5sum":    {variant: "comm", wantDOALL: true, wantPipe: true, sync: exec.SyncLib, minDOALL: 4.0},
+	"456.hmmer": {variant: "comm", wantDOALL: true, wantPipe: true, sync: exec.SyncSpin, minDOALL: 3.0},
+	"geti":      {variant: "comm", wantDOALL: true, wantPipe: true, sync: exec.SyncLib, minDOALL: 2.5},
+	"eclat":     {variant: "comm", wantDOALL: true, wantPipe: false, sync: exec.SyncMutex, minDOALL: 3.5},
+	"em3d":      {variant: "comm", wantDOALL: false, wantPipe: true, sync: exec.SyncLib, minPipe: 3.0},
+	"potrace":   {variant: "comm", wantDOALL: true, wantPipe: true, sync: exec.SyncLib, minDOALL: 3.0},
+	"kmeans":    {variant: "comm", wantDOALL: true, wantPipe: true, sync: exec.SyncSpin, minDOALL: 2.0},
+	"url":       {variant: "comm", wantDOALL: true, wantPipe: false, sync: exec.SyncSpin, minDOALL: 3.0},
+}
+
+func TestWorkloadsCompileAndValidate(t *testing.T) {
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			exp := expectations[wl.Name]
+			cp, err := bench.Compile(wl, exp.variant, 8)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if cp.SeqCost <= 0 {
+				t.Fatal("sequential baseline cost is zero")
+			}
+			doall := cp.Schedule(transform.DOALL)
+			if exp.wantDOALL && doall == nil {
+				g := transform.BuildUnitGraph(cp.LA, nil)
+				t.Fatalf("DOALL expected but not applicable; LC=%v intoControl=%v", g.LC, g.IntoControl)
+			}
+			if !exp.wantDOALL && doall != nil {
+				t.Fatal("DOALL applicable but the paper reports it is not")
+			}
+
+			if exp.wantDOALL {
+				m, err := cp.Run(transform.DOALL, exp.sync, 8)
+				if err != nil {
+					t.Fatalf("DOALL run: %v", err)
+				}
+				if m.Speedup < exp.minDOALL {
+					t.Errorf("DOALL speedup %.2f < %.2f (seq %d, par %d)",
+						m.Speedup, exp.minDOALL, cp.SeqCost, m.VirtualTime)
+				}
+			}
+			ps := cp.Schedule(transform.PSDSWP)
+			if exp.wantPipe && ps == nil && cp.Schedule(transform.DSWP) == nil {
+				t.Fatal("pipeline schedule expected but not generated")
+			}
+			if ps != nil {
+				m, err := cp.Run(transform.PSDSWP, exp.sync, 8)
+				if err != nil {
+					t.Fatalf("PS-DSWP run: %v", err)
+				}
+				if exp.minPipe > 0 && m.Speedup < exp.minPipe {
+					t.Errorf("PS-DSWP speedup %.2f < %.2f", m.Speedup, exp.minPipe)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadMetadata(t *testing.T) {
+	for _, wl := range workloads.All() {
+		if wl.Annotations() == 0 {
+			t.Errorf("%s: no annotations counted", wl.Name)
+		}
+		if wl.SLOC() == 0 {
+			t.Errorf("%s: zero SLOC", wl.Name)
+		}
+		if wl.Primary() == "" {
+			t.Errorf("%s: missing primary source", wl.Name)
+		}
+		stripped := workloads.StripPragmas(wl.Primary())
+		if stripped == wl.Primary() {
+			t.Errorf("%s: StripPragmas removed nothing", wl.Name)
+		}
+	}
+}
+
+func TestNonCommBaselines(t *testing.T) {
+	// Pragma-stripped sources must still compile and run sequentially.
+	for _, wl := range workloads.All() {
+		cp, err := bench.Compile(wl, "noannot", 8)
+		if err != nil {
+			t.Fatalf("%s noannot: %v", wl.Name, err)
+		}
+		// DOALL must never apply without annotations for these programs
+		// (the paper: four of eight were not parallelizable at all).
+		if cp.Schedule(transform.DOALL) != nil {
+			t.Errorf("%s: DOALL applicable without annotations", wl.Name)
+		}
+	}
+}
+
+// TestVariantsDeterministicOutput runs the determinism-oriented variants
+// (md5sum/det, potrace/det, geti/det) under PS-DSWP and checks the output
+// matches the sequential order exactly — the paper's deterministic-output
+// semantics from dropping one SELF annotation.
+func TestVariantsDeterministicOutput(t *testing.T) {
+	for _, name := range []string{"md5sum", "potrace", "geti"} {
+		wl := workloads.ByName(name)
+		if wl.Variant("det") == "" {
+			t.Fatalf("%s: det variant missing", name)
+		}
+		cp, err := bench.Compile(wl, "det", 8)
+		if err != nil {
+			t.Fatalf("%s/det: %v", name, err)
+		}
+		if cp.Schedule(transform.DOALL) != nil {
+			t.Errorf("%s/det: DOALL must not apply with deterministic output", name)
+		}
+		ps := cp.Schedule(transform.PSDSWP)
+		if ps == nil {
+			t.Fatalf("%s/det: PS-DSWP missing", name)
+		}
+		m, err := cp.Run(transform.PSDSWP, exec.SyncSpin, 8)
+		if err != nil {
+			t.Fatalf("%s/det run: %v", name, err)
+		}
+		// Exact-order validation against the sequential run.
+		if err := wl.Validate(cp.SeqWorld, m.World, true); err != nil {
+			t.Errorf("%s/det: deterministic output violated: %v", name, err)
+		}
+	}
+}
+
+// TestPipeVariants runs the paper's pipeline-steering variants (hmmer's
+// unannotated RNG, url's unannotated dequeue): the serialized function must
+// land in the sequential first stage and the run must validate.
+func TestPipeVariants(t *testing.T) {
+	for _, name := range []string{"456.hmmer", "url"} {
+		wl := workloads.ByName(name)
+		cp, err := bench.Compile(wl, "pipe", 8)
+		if err != nil {
+			t.Fatalf("%s/pipe: %v", name, err)
+		}
+		ps := cp.Schedule(transform.PSDSWP)
+		if ps == nil {
+			t.Fatalf("%s/pipe: PS-DSWP missing", name)
+		}
+		if ps.Stages[0].Parallel {
+			t.Errorf("%s/pipe: first stage must be sequential", name)
+		}
+		if _, err := cp.Run(transform.PSDSWP, exec.SyncSpin, 8); err != nil {
+			t.Errorf("%s/pipe run: %v", name, err)
+		}
+	}
+}
+
+// TestAllSyncModesAllWorkloads exhaustively validates every workload's
+// primary variant under every applicable mechanism at 4 threads.
+func TestAllSyncModesAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, wl := range workloads.All() {
+		cp, err := bench.Compile(wl, "comm", 4)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		kind := transform.DOALL
+		if cp.Schedule(kind) == nil {
+			kind = transform.PSDSWP
+		}
+		if cp.Schedule(kind) == nil {
+			t.Fatalf("%s: no parallel schedule", wl.Name)
+		}
+		for _, mode := range wl.Syncs() {
+			if _, err := cp.Run(kind, mode, 4); err != nil {
+				t.Errorf("%s %v+%v: %v", wl.Name, kind, mode, err)
+			}
+		}
+	}
+}
+
+// TestWorkloadDeterminism: the simulator is deterministic, so repeated
+// parallel runs of the same configuration must produce identical virtual
+// times — the regression net for the whole evaluation.
+func TestWorkloadDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, wl := range workloads.All() {
+		cp, err := bench.Compile(wl, "comm", 8)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		kind := transform.DOALL
+		if cp.Schedule(kind) == nil {
+			kind = transform.PSDSWP
+		}
+		m1, err := cp.Run(kind, exec.SyncSpin, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		m2, err := cp.Run(kind, exec.SyncSpin, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		if m1.VirtualTime != m2.VirtualTime {
+			t.Errorf("%s: nondeterministic makespan %d vs %d", wl.Name, m1.VirtualTime, m2.VirtualTime)
+		}
+	}
+}
