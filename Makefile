@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet fmt race verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail if any.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: build, vet, formatting, and the race-enabled
+# test suite.
+verify: build vet fmt race

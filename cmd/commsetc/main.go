@@ -68,6 +68,15 @@ func main() {
 
 	cp, err := bench.Compile(wl, *variant, *threads)
 	if err != nil {
+		if cp != nil && cp.C != nil && len(cp.C.Diags.Diags) > 0 {
+			// Print every front-end diagnostic, deterministically ordered,
+			// instead of just the first error.
+			cp.C.Diags.Sort()
+			for i := range cp.C.Diags.Diags {
+				fmt.Fprintln(os.Stderr, cp.C.Diags.Diags[i].Error())
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 

@@ -1,0 +1,201 @@
+// Command commsetvet is the COMMSET misannotation and race analyzer: it
+// compiles a MiniC program (a file, or a named benchmark workload) and runs
+// the static check suite from internal/analysis over the result:
+//
+//	commsetvet -workload md5sum                 vet a benchmark's comm variant
+//	commsetvet program.mc                       vet a source file
+//	commsetvet -checks=race -json program.mc    one family, machine-readable
+//	commsetvet -werror -workload geti           warnings fail the build
+//
+// Exit status: 0 when the program is clean, 1 when the analyzers report an
+// error (or, with -werror, a warning), 2 on usage or compile failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/builtins"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("commsetvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workload = fs.String("workload", "", "vet a named benchmark workload instead of a file")
+		variant  = fs.String("variant", "comm", "workload variant (comm, det, pipe, noannot)")
+		checks   = fs.String("checks", "unsound,race,lint", "comma-separated check families to run")
+		threads  = fs.Int("threads", 8, "thread count for schedule generation in the race detector")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		werror   = fs.Bool("werror", false, "treat analyzer warnings as errors")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: commsetvet [flags] (-workload NAME | program.mc)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cks, err := parseChecks(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "commsetvet:", err)
+		return 2
+	}
+
+	name, src, err := resolveSource(fs, *workload, *variant)
+	if err != nil {
+		fmt.Fprintln(stderr, "commsetvet:", err)
+		if name == "" {
+			fs.Usage()
+		}
+		return 2
+	}
+
+	world := builtins.NewWorld()
+	c, err := pipeline.Compile(pipeline.Options{
+		File:    source.NewFile(name, src),
+		Sigs:    world.Sigs(),
+		Effects: world.EffectTable(),
+	})
+	if err != nil {
+		// The program did not compile; report every front-end diagnostic
+		// (sorted) rather than just the first error.
+		c.Diags.Sort()
+		for i := range c.Diags.Diags {
+			fmt.Fprintln(stderr, c.Diags.Diags[i].Error())
+		}
+		return 2
+	}
+
+	diags, err := analysis.Run(c, analysis.Options{Checks: cks, Threads: *threads})
+	if err != nil {
+		fmt.Fprintln(stderr, "commsetvet:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "commsetvet:", err)
+			return 2
+		}
+	} else {
+		for i := range diags.Diags {
+			fmt.Fprintln(stdout, diags.Diags[i].Error())
+		}
+	}
+
+	failed := diags.HasErrors()
+	if *werror {
+		for i := range diags.Diags {
+			if diags.Diags[i].Sev == source.SevWarning {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseChecks turns the -checks flag into an analysis.Checks selection.
+func parseChecks(list string) (analysis.Checks, error) {
+	var cks analysis.Checks
+	for _, name := range strings.Split(list, ",") {
+		switch strings.TrimSpace(name) {
+		case "unsound":
+			cks.Unsound = true
+		case "race":
+			cks.Race = true
+		case "lint":
+			cks.Lint = true
+		case "":
+		default:
+			return cks, fmt.Errorf("unknown check %q (have: unsound, race, lint)", name)
+		}
+	}
+	if !cks.Unsound && !cks.Race && !cks.Lint {
+		return cks, fmt.Errorf("no checks selected")
+	}
+	return cks, nil
+}
+
+// resolveSource picks the program to vet: a workload variant or a file.
+func resolveSource(fs *flag.FlagSet, workload, variant string) (name, src string, err error) {
+	if workload != "" {
+		wl := workloads.ByName(workload)
+		if wl == nil {
+			return workload, "", fmt.Errorf("unknown workload %q (have: md5sum, 456.hmmer, geti, eclat, em3d, potrace, kmeans, url)", workload)
+		}
+		src = wl.Variant(variant)
+		if src == "" && variant == "noannot" {
+			src = workloads.StripPragmas(wl.Primary())
+		}
+		if src == "" {
+			return workload, "", fmt.Errorf("workload %s has no variant %q", workload, variant)
+		}
+		return fmt.Sprintf("%s[%s]", wl.Name, variant), src, nil
+	}
+	if fs.NArg() != 1 {
+		return "", "", fmt.Errorf("expected one source file or -workload NAME")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fs.Arg(0), "", err
+	}
+	return fs.Arg(0), string(data), nil
+}
+
+// jsonDiag is the machine-readable rendering of one diagnostic.
+type jsonDiag struct {
+	Severity string     `json:"severity"`
+	File     string     `json:"file"`
+	Line     int        `json:"line"`
+	Col      int        `json:"col"`
+	Message  string     `json:"message"`
+	Notes    []jsonNote `json:"notes,omitempty"`
+}
+
+type jsonNote struct {
+	File    string `json:"file"`
+	Span    string `json:"span"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags *source.DiagList) error {
+	out := make([]jsonDiag, 0, len(diags.Diags))
+	for i := range diags.Diags {
+		d := &diags.Diags[i]
+		jd := jsonDiag{
+			Severity: d.Sev.String(),
+			File:     d.File,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Message:  d.Msg,
+		}
+		for _, n := range d.Notes {
+			span := n.Span.String()
+			if !n.Span.End.IsValid() {
+				span = n.Span.Start.String()
+			}
+			jd.Notes = append(jd.Notes, jsonNote{File: n.File, Span: span, Message: n.Msg})
+		}
+		out = append(out, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanWorkloadExitsZero(t *testing.T) {
+	code, stdout, stderr := runVet(t, "-workload", "md5sum")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no findings, got:\n%s", stdout)
+	}
+}
+
+func TestMisannotatedFileExitsOne(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "unsound_nosync.mc")
+	code, stdout, _ := runVet(t, path)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "unsound commutativity") || !strings.Contains(stdout, "t:io.console") {
+		t.Errorf("missing unsound finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "data race") {
+		t.Errorf("missing race finding:\n%s", stdout)
+	}
+}
+
+func TestChecksFlagSelectsFamilies(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "unsound_nosync.mc")
+	code, stdout, _ := runVet(t, "-checks=lint", path)
+	if code != 0 {
+		t.Fatalf("lint-only exit = %d:\n%s", code, stdout)
+	}
+	if strings.Contains(stdout, "unsound commutativity") || strings.Contains(stdout, "data race") {
+		t.Errorf("disabled families still ran:\n%s", stdout)
+	}
+	if code, _, stderr := runVet(t, "-checks=bogus", path); code != 2 || !strings.Contains(stderr, "unknown check") {
+		t.Errorf("bad -checks: exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "lints.mc")
+	if code, _, _ := runVet(t, path); code != 0 {
+		t.Fatalf("lints.mc has warnings only, exit = %d", code)
+	}
+	if code, _, _ := runVet(t, "-werror", path); code != 1 {
+		t.Fatal("-werror must fail on warnings")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "unsound_nosync.mc")
+	code, stdout, _ := runVet(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 || diags[0].Severity != "error" || diags[0].Line == 0 {
+		t.Errorf("diags = %+v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if len(d.Notes) > 0 && strings.Contains(d.Notes[0].Message, "conflicting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("related notes missing from JSON:\n%s", stdout)
+	}
+}
+
+func TestCompileFailurePrintsAllDiagnostics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mc")
+	src := "void f() {\n\tundefined_a = 1;\n\tundefined_b = 2;\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runVet(t, path)
+	if code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+	// Both front-end diagnostics must be rendered, not just the first.
+	if !strings.Contains(stderr, "undefined_a") || !strings.Contains(stderr, "undefined_b") {
+		t.Errorf("missing diagnostics:\n%s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runVet(t, "-workload", "nope"); code != 2 || !strings.Contains(stderr, "unknown workload") {
+		t.Errorf("unknown workload: exit = %d, stderr:\n%s", code, stderr)
+	}
+	if code, _, _ := runVet(t); code != 2 {
+		t.Error("no input must be a usage error")
+	}
+	if code, _, _ := runVet(t, "a.mc", "b.mc"); code != 2 {
+		t.Error("two files must be a usage error")
+	}
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/effects"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/symexec"
+	"repro/internal/types"
+)
+
+// memb is one set membership of a member call instruction, resolved to the
+// member function and the callee parameter indices bound to the set's
+// predicate arguments.
+type memb struct {
+	set *types.Set
+	fn  string // member function: a region function or an interface member
+	// params[j] is the callee parameter index supplying predicate argument
+	// j, or -1 when the binding could not be resolved statically.
+	params []int
+}
+
+// membsOf resolves the memberships of the representative call node id in la:
+// region calls carry CallMembs (predicate arguments are live-in registers,
+// mapped back to region parameter positions), and interface members carry
+// FuncMembs with parameter indices directly.
+func (v *vet) membsOf(la *pipeline.LoopAnalysis, id int) []memb {
+	in := la.PDG.Instrs[id]
+	if in == nil || in.Op != ir.OpCall {
+		return nil
+	}
+	var out []memb
+	if refs, ok := v.c.Low.CallMembs[in]; ok {
+		blk := blockOf(la.Fn, in)
+		for _, ref := range refs {
+			m := memb{set: ref.Set, fn: in.Name}
+			for _, reg := range ref.ArgRegs {
+				m.params = append(m.params, argPosition(blk, in, reg))
+			}
+			out = append(out, m)
+		}
+	}
+	if refs, ok := v.c.Low.FuncMembs[in.Name]; ok {
+		for _, ref := range refs {
+			out = append(out, memb{set: ref.Set, fn: in.Name, params: ref.ParamIdx})
+		}
+	}
+	return out
+}
+
+// conflictLocs re-derives the abstract locations on which two member calls
+// conflict, from the effect summaries: write/write, write/read, and
+// read/write intersections. The PDG edge records only one causative
+// location, so soundness checking must recover the full set.
+func (v *vet) conflictLocs(fn1, fn2 string) []effects.Loc {
+	r1, w1 := v.c.Summary.CallEffects(fn1)
+	r2, w2 := v.c.Summary.CallEffects(fn2)
+	locs := effects.Set{}
+	for l := range w1 {
+		if w2[l] || r2[l] {
+			locs.Add(l)
+		}
+	}
+	for l := range r1 {
+		if w2[l] {
+			locs.Add(l)
+		}
+	}
+	return locs.Sorted()
+}
+
+// covers reports whether justifying set s actually protects the conflict on
+// loc between member instances m1 and m2:
+//
+//   - a synchronized set serializes whole member executions under its lock,
+//     covering every location the members touch;
+//   - a COMMSETNOSYNC set without a predicate is the paper's "thread-safe
+//     library" claim — trusted here (the unsound pass warns separately);
+//   - a COMMSETNOSYNC set with a predicate covers loc only when both
+//     members access loc exclusively through a predicate-bound key and the
+//     predicate is provably false for equal keys (so relaxed instances
+//     touch disjoint elements of loc).
+func (v *vet) covers(s *types.Set, m1, m2 memb, loc effects.Loc) bool {
+	if !s.NoSync {
+		return true
+	}
+	if s.Pred == nil {
+		return true
+	}
+	j1 := v.keyedPositions(m1, loc)
+	for j := range j1 {
+		if v.keyedPositions(m2, loc)[j] && v.keyConstrains(s, j) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyedPositions computes the predicate-argument positions that key every
+// access to loc in the member function's body: for each instruction
+// touching loc, the positions whose bound parameter supplies the keying
+// argument, intersected across all accesses. An unkeyed access (a raw
+// global access, an unkeyed builtin, or a user callee) empties the result.
+func (v *vet) keyedPositions(m memb, loc effects.Loc) map[int]bool {
+	f := v.c.Low.Prog.Funcs[m.fn]
+	if f == nil {
+		return nil
+	}
+	var out map[int]bool
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ps, touches := v.accessKeyPositions(f, b, in, m, loc)
+			if !touches {
+				continue
+			}
+			if out == nil {
+				out = ps
+			} else {
+				for j := range out {
+					if !ps[j] {
+						delete(out, j)
+					}
+				}
+			}
+			if len(out) == 0 {
+				return nil
+			}
+		}
+	}
+	return out
+}
+
+// accessKeyPositions inspects one instruction of a member body: touches
+// reports whether it accesses loc, and ps lists the predicate positions
+// keying that access (empty for an unkeyed access).
+func (v *vet) accessKeyPositions(f *ir.Func, b *ir.Block, in *ir.Instr, m memb, loc effects.Loc) (ps map[int]bool, touches bool) {
+	switch in.Op {
+	case ir.OpLoadGlobal, ir.OpStoreGlobal:
+		if effects.GlobalLoc(in.Name) != loc {
+			return nil, false
+		}
+		return map[int]bool{}, true
+	case ir.OpCall:
+		r, w := v.c.Summary.CallEffects(in.Name)
+		if !r[loc] && !w[loc] {
+			return nil, false
+		}
+		k, ok := v.c.Summary.KeyedArg(in.Name, loc)
+		if !ok || k < 0 || k >= len(in.Args) {
+			return map[int]bool{}, true
+		}
+		def := defBefore(b, in, in.Args[k])
+		if def == nil || def.Op != ir.OpLoadLocal {
+			return map[int]bool{}, true
+		}
+		slot := def.Slot
+		if slot >= f.Params || slotStored(f, slot) {
+			return map[int]bool{}, true
+		}
+		ps = map[int]bool{}
+		for j, p := range m.params {
+			if p == slot {
+				ps[j] = true
+			}
+		}
+		return ps, true
+	}
+	return nil, false
+}
+
+// blockOf finds the block of f containing instruction in.
+func blockOf(f *ir.Func, in *ir.Instr) *ir.Block {
+	for _, b := range f.Blocks {
+		for _, i := range b.Instrs {
+			if i == in {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// argPosition maps a membership-argument register to the call operand
+// position carrying the same value. Lowering may evaluate the membership
+// argument into its own register, separate from the call operand, so when
+// no operand is the register itself, match through defining loads of the
+// same local slot with no intervening store.
+func argPosition(b *ir.Block, call *ir.Instr, reg int) int {
+	for j, a := range call.Args {
+		if a == reg {
+			return j
+		}
+	}
+	if b == nil {
+		return -1
+	}
+	def := defBefore(b, call, reg)
+	if def == nil || def.Op != ir.OpLoadLocal {
+		return -1
+	}
+	for j, a := range call.Args {
+		d := defBefore(b, call, a)
+		if d == nil || d.Op != ir.OpLoadLocal || d.Slot != def.Slot {
+			continue
+		}
+		first := def
+		if instrIndex(b, d) < instrIndex(b, first) {
+			first = d
+		}
+		if !storedBetween(b, first, call, def.Slot) {
+			return j
+		}
+	}
+	return -1
+}
+
+// instrIndex returns the position of in within b.
+func instrIndex(b *ir.Block, in *ir.Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// storedBetween reports whether the local slot is overwritten strictly
+// between instructions from and to in block b.
+func storedBetween(b *ir.Block, from, to *ir.Instr, slot int) bool {
+	active := false
+	for _, in := range b.Instrs {
+		if in == from {
+			active = true
+			continue
+		}
+		if in == to {
+			return false
+		}
+		if !active {
+			continue
+		}
+		if in.Op == ir.OpStoreLocal && in.Slot == slot {
+			return true
+		}
+		if in.Op == ir.OpCall {
+			for _, s := range in.OutSlots {
+				if s == slot {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// defBefore finds the defining instruction of register r before instruction
+// `before` within block b (registers are block-local by IR construction).
+func defBefore(b *ir.Block, before *ir.Instr, r int) *ir.Instr {
+	var def *ir.Instr
+	for _, in := range b.Instrs {
+		if in == before {
+			break
+		}
+		if in.Dst == r {
+			def = in
+		}
+	}
+	return def
+}
+
+// slotStored reports whether the function ever overwrites the given local
+// slot (parameters are installed by the call convention, not by stores).
+func slotStored(f *ir.Func, slot int) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStoreLocal && in.Slot == slot {
+				return true
+			}
+			if in.Op == ir.OpCall {
+				for _, s := range in.OutSlots {
+					if s == slot {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// keyConstrains reports whether set s's predicate is provably false when
+// predicate argument position j is equal across the two instances (all
+// other arguments unconstrained). If so, any pair of instances the
+// analyzer relaxed must have had distinct keys at position j, making
+// key-indexed accesses disjoint.
+func (v *vet) keyConstrains(s *types.Set, j int) bool {
+	if s.Pred == nil {
+		return false
+	}
+	env := symexec.Env{}
+	bind := func(params []string, side string) {
+		for i, p := range params {
+			if i == j {
+				env[p] = symexec.Invariant("key")
+			} else {
+				env[p] = symexec.Invariant(fmt.Sprintf("%s%d", side, i))
+			}
+		}
+	}
+	bind(s.Pred.Params1, "a")
+	bind(s.Pred.Params2, "b")
+	return symexec.EvalPredicate(s.Pred.Expr, env, symexec.DifferentIteration) == symexec.False
+}
+
+// membIn returns m1's membership of set s, if any.
+func membIn(ms []memb, s *types.Set) (memb, bool) {
+	for _, m := range ms {
+		if m.set == s {
+			return m, true
+		}
+	}
+	return memb{}, false
+}

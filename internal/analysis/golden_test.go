@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/builtins"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compileSource compiles src against the standard substrate.
+func compileSource(t *testing.T, name, src string) *pipeline.Compiled {
+	t.Helper()
+	w := builtins.NewWorld()
+	c, err := pipeline.Compile(pipeline.Options{
+		File:    source.NewFile(name, src),
+		Sigs:    w.Sigs(),
+		Effects: w.EffectTable(),
+	})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return c
+}
+
+// vetSource compiles src against the standard substrate and runs every
+// analyzer, returning the rendered diagnostics.
+func vetSource(t *testing.T, name, src string) *source.DiagList {
+	t.Helper()
+	c := compileSource(t, name, src)
+	diags, err := Run(c, Options{Checks: DefaultChecks()})
+	if err != nil {
+		t.Fatalf("analyze %s: %v", name, err)
+	}
+	return diags
+}
+
+func checkGolden(t *testing.T, goldenName, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", goldenName)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestBenchmarksClean locks in the analyzer output for every benchmark
+// workload's fully annotated variant: the annotations the paper publishes
+// must produce zero error-severity diagnostics.
+func TestBenchmarksClean(t *testing.T) {
+	for _, wl := range workloads.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			diags := vetSource(t, wl.Name, wl.Variant("comm"))
+			if diags.HasErrors() {
+				t.Errorf("benchmark %s has analyzer errors:\n%s", wl.Name, diags)
+			}
+			golden := strings.ReplaceAll(wl.Name, ".", "_") + ".golden"
+			checkGolden(t, golden, diags.String())
+		})
+	}
+}
+
+// TestNegativeWorkloads locks in the analyzer's findings on deliberately
+// misannotated programs.
+func TestNegativeWorkloads(t *testing.T) {
+	cases := []struct {
+		file string
+		// wantErr requires at least one error-severity diagnostic whose
+		// message contains every listed substring.
+		wantErr []string
+	}{
+		{file: "unsound_nosync.mc", wantErr: []string{"unsound commutativity", "t:io.console"}},
+		{file: "lints.mc", wantErr: nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := vetSource(t, tc.file, string(src))
+			if tc.wantErr != nil {
+				found := false
+				for _, d := range diags.Diags {
+					if d.Sev != source.SevError {
+						continue
+					}
+					ok := true
+					for _, sub := range tc.wantErr {
+						if !strings.Contains(d.Msg, sub) {
+							ok = false
+						}
+					}
+					if ok {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("no error diagnostic containing %q:\n%s", tc.wantErr, diags)
+				}
+			} else if diags.HasErrors() {
+				t.Errorf("unexpected errors:\n%s", diags)
+			}
+			checkGolden(t, strings.TrimSuffix(tc.file, ".mc")+".golden", diags.String())
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+// compileForVet compiles a source and returns a vet over it without running
+// any checks, for exercising the analyzer internals directly.
+func compileForVet(t *testing.T, src string) *vet {
+	t.Helper()
+	c := compileSource(t, "t.mc", src)
+	return &vet{c: c, seen: map[string]bool{}}
+}
+
+func findSet(t *testing.T, v *vet, name string) *types.Set {
+	t.Helper()
+	for _, s := range v.c.Model.Sets {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no set %s in model", name)
+	return nil
+}
+
+func TestKeyConstrains(t *testing.T) {
+	v := compileForVet(t, `
+#pragma commset decl self KSET
+#pragma commset predicate KSET (k1, a1)(k2, a2) : k1 != k2
+#pragma commset nosync KSET
+#pragma commset decl self LOOSE
+#pragma commset predicate LOOSE (p1)(p2) : p1 != p2 || p1 == p2
+#pragma commset nosync LOOSE
+
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member KSET(i, i)
+		{
+			print_int(i);
+		}
+		#pragma commset member LOOSE(i)
+		{
+			print_int(i + 1);
+		}
+	}
+}`)
+	kset := findSet(t, v, "KSET")
+	// Equal keys at position 0 falsify k1 != k2: position 0 constrains.
+	if !v.keyConstrains(kset, 0) {
+		t.Error("KSET position 0 must constrain (k1 != k2 is false for equal keys)")
+	}
+	// Position 1 never appears in the predicate: equal a1/a2 proves nothing.
+	if v.keyConstrains(kset, 1) {
+		t.Error("KSET position 1 must not constrain")
+	}
+	loose := findSet(t, v, "LOOSE")
+	// A tautological predicate holds even for equal keys.
+	if v.keyConstrains(loose, 0) {
+		t.Error("LOOSE position 0 must not constrain a tautology")
+	}
+}
+
+const keyedCoveredSrc = `
+#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int b = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member BSET(i)
+		{
+			bitmap_set(b, i);
+		}
+	}
+}`
+
+func TestKeyedAccessCoversNoSyncConflict(t *testing.T) {
+	// Both member instances touch t:bitmaps only through the keyed
+	// bitmap_set builtin, keyed by the predicate argument: the relaxation
+	// is key-disjoint and the analyzers stay silent.
+	diags := vetSource(t, "keyed.mc", keyedCoveredSrc)
+	for i := range diags.Diags {
+		d := &diags.Diags[i]
+		if strings.Contains(d.Msg, "unsound") || strings.Contains(d.Msg, "data race") {
+			t.Errorf("unexpected finding: %s", d.Error())
+		}
+	}
+}
+
+func TestUnkeyedAccessBreaksCoverage(t *testing.T) {
+	// Adding an unkeyed console write to the member makes the same
+	// relaxation unsound: t:io.console is not constrained by the key.
+	diags := vetSource(t, "unkeyed.mc", `
+#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int b = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member BSET(i)
+		{
+			bitmap_set(b, i);
+			print_int(i);
+		}
+	}
+}`)
+	found := false
+	for i := range diags.Diags {
+		d := &diags.Diags[i]
+		if d.Sev == source.SevError && strings.Contains(d.Msg, "unsound commutativity") &&
+			strings.Contains(d.Msg, "t:io.console") {
+			found = true
+		}
+		if strings.Contains(d.Msg, "t:bitmaps") && strings.Contains(d.Msg, "unsound") {
+			t.Errorf("keyed bitmap access must stay covered: %s", d.Error())
+		}
+	}
+	if !found {
+		t.Errorf("expected an unsound-commutativity error on t:io.console, got:\n%s", diags.String())
+	}
+}
+
+func TestCoversSyncedAndTrusted(t *testing.T) {
+	v := compileForVet(t, `
+#pragma commset decl GSET
+#pragma commset decl TSET
+#pragma commset nosync TSET
+
+#pragma commset member GSET
+void a(int x) { print_int(x); }
+
+#pragma commset member TSET
+void b(int x) { print_int(x + 1); }
+
+void main() {
+	for (int i = 0; i < 4; i++) {
+		a(i);
+		b(i);
+	}
+}`)
+	gset := findSet(t, v, "GSET")
+	tset := findSet(t, v, "TSET")
+	// A synchronized set covers any location its lock serializes.
+	if !v.covers(gset, memb{set: gset, fn: "a"}, memb{set: gset, fn: "a"}, "t:io.console") {
+		t.Error("synchronized set must cover via its lock")
+	}
+	// An unpredicated nosync set is the trusted thread-safe-library claim.
+	if !v.covers(tset, memb{set: tset, fn: "b"}, memb{set: tset, fn: "b"}, "t:io.console") {
+		t.Error("unpredicated nosync set is trusted")
+	}
+}
+
+func TestPairDescAndDisplayName(t *testing.T) {
+	v := compileForVet(t, `
+#pragma commset decl self S
+
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member S
+		{
+			print_int(i);
+		}
+	}
+}`)
+	var region string
+	for name := range v.c.Low.RegionFuncs {
+		region = name
+	}
+	if region == "" {
+		t.Fatal("no region function lowered")
+	}
+	if got := v.displayName(region); !strings.HasPrefix(got, "block@") {
+		t.Errorf("displayName(%s) = %q, want block@<pos>", region, got)
+	}
+	if got := v.pairDesc(region, region); !strings.HasPrefix(got, "instances of member block@") {
+		t.Errorf("pairDesc self = %q", got)
+	}
+	if got := v.pairDesc("f", "g"); got != "members f and g" {
+		t.Errorf("pairDesc cross = %q", got)
+	}
+}

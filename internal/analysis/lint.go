@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"repro/internal/symexec"
+	"repro/internal/types"
+)
+
+// checkLint reports annotations that are present but useless:
+//
+//   - commsets with no members, or whose membership never relaxes a single
+//     dependence edge in any analyzed loop (dead pragmas),
+//   - COMMSETPREDICATEs that symbolic evaluation proves can never hold,
+//   - self-commutativity annotations subsumed by another self-set
+//     membership of the same instance.
+func (v *vet) checkLint() {
+	v.lintDeadSets()
+	v.lintFalsePredicates()
+	v.lintSubsumedSelf()
+}
+
+// lintDeadSets flags sets that relax nothing: the whole point of a
+// commutative set is to remove dependence edges, and a set that never does
+// is annotation noise (or a sign the programmer expected a relaxation the
+// compiler could not prove).
+func (v *vet) lintDeadSets() {
+	used := map[*types.Set]bool{}
+	for _, lc := range v.loops {
+		for _, e := range lc.la.PDG.Edges {
+			for _, s := range e.CommBy {
+				used[s] = true
+			}
+		}
+	}
+	for _, s := range v.c.Model.Sets {
+		if used[s] {
+			continue
+		}
+		if len(v.c.Model.Members[s]) == 0 {
+			v.diags.Warnf(v.c.File.Name, s.DeclPos,
+				"dead pragma: commset %s has no members", s.Name)
+			continue
+		}
+		// The set has members in the program but never justified removing
+		// an edge: its conflicts are already handled by privatization,
+		// must-define analysis, or other sets. Informational — the
+		// annotation is redundant for this compiler, not wrong.
+		v.diags.Notef(v.c.File.Name, s.DeclPos,
+			"redundant pragma: commset %s relaxes no dependence in any analyzed loop (its members' conflicts are already handled without it)", s.Name)
+	}
+}
+
+// lintFalsePredicates flags predicates that can never evaluate to true, so
+// the set can never relax an edge no matter what arguments instances carry.
+func (v *vet) lintFalsePredicates() {
+	for _, s := range v.c.Model.Sets {
+		if s.Pred == nil {
+			continue
+		}
+		if symexec.ProvablyFalse(s.Pred.Expr, s.Pred.Params1, s.Pred.Params2) {
+			v.diags.Warnf(v.c.File.Name, s.DeclPos,
+				"commset %s predicate (%s) is provably always false; the annotation can never relax a dependence",
+				s.Name, s.Pred.ExprText)
+		}
+	}
+}
+
+// lintSubsumedSelf flags a predicated or anonymous self-commutativity
+// membership on an instance that is already a member of an unpredicated
+// named self set: the unconditional membership relaxes a superset of the
+// edges, making the weaker one redundant.
+func (v *vet) lintSubsumedSelf() {
+	for _, inst := range v.c.Info.Instances {
+		var subsumer *types.Set
+		for _, mb := range inst.Membs {
+			if mb.Set.SelfSet && !mb.Set.Anon && mb.Set.Pred == nil {
+				subsumer = mb.Set
+				break
+			}
+		}
+		if subsumer == nil {
+			continue
+		}
+		for _, mb := range inst.Membs {
+			if mb.Set == subsumer || !mb.Set.SelfSet {
+				continue
+			}
+			if mb.Set.Anon || mb.Set.Pred != nil {
+				name := mb.Set.Name
+				if mb.Set.Anon {
+					name = "SELF"
+				}
+				v.diags.Notef(v.c.File.Name, mb.Pos,
+					"self-commutativity annotation %s is subsumed by this instance's membership in unpredicated self commset %s",
+					name, subsumer.Name)
+			}
+		}
+	}
+}

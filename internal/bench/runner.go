@@ -72,7 +72,10 @@ func Compile(wl *workloads.Workload, variant string, threads int) (*Compiled, er
 		Effects: effTable,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: compile %s/%s: %w", wl.Name, variant, err)
+		// Return the partial compilation so drivers can render the full
+		// diagnostic list, not just the first error.
+		return &Compiled{WL: wl, Variant: variant, C: c},
+			fmt.Errorf("bench: compile %s/%s: %w", wl.Name, variant, err)
 	}
 
 	// Profiling run (fresh world, consumed).

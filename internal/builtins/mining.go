@@ -83,7 +83,7 @@ func (w *World) registerMining() {
 			w.bitmaps = append(w.bitmaps, make([]uint64, (n+63)/64))
 			return value.Int(int64(len(w.bitmaps) - 1)), 80, nil
 		})
-	w.register("bitmap_set", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, rw("bitmaps"),
+	w.register("bitmap_set", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, keyed(rw("bitmaps"), "bitmaps", 1),
 		func(args []value.Value) (value.Value, int64, error) {
 			bm, key := args[0].AsInt(), args[1].AsInt()
 			if bm < 0 || bm >= int64(len(w.bitmaps)) {
@@ -96,7 +96,7 @@ func (w *World) registerMining() {
 			b[key/64] |= 1 << (uint(key) % 64)
 			return value.Void(), 50, nil
 		})
-	w.register("bitmap_get", []ast.Type{ast.TInt, ast.TInt}, ast.TBool, rw("bitmaps"),
+	w.register("bitmap_get", []ast.Type{ast.TInt, ast.TInt}, ast.TBool, keyed(rw("bitmaps"), "bitmaps", 1),
 		func(args []value.Value) (value.Value, int64, error) {
 			bm, key := args[0].AsInt(), args[1].AsInt()
 			if bm < 0 || bm >= int64(len(w.bitmaps)) {

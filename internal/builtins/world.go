@@ -235,6 +235,16 @@ func wo(tags ...string) effects.Decl {
 	return d
 }
 
+// keyed marks argument arg as selecting the disjoint element of tag that the
+// builtin touches (e.g. bitmap_set(bm, key) accesses only bit `key`).
+func keyed(d effects.Decl, tag string, arg int) effects.Decl {
+	if d.KeyedBy == nil {
+		d.KeyedBy = map[effects.Loc]int{}
+	}
+	d.KeyedBy[effects.TagLoc(tag)] = arg
+	return d
+}
+
 func (w *World) registerCore() {
 	w.register("print_str", []ast.Type{ast.TString}, ast.TVoid, wo("io.console"),
 		func(args []value.Value) (value.Value, int64, error) {

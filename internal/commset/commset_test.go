@@ -1,6 +1,7 @@
 package commset_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/ast"
@@ -125,5 +126,61 @@ void main() { outer(1); }
 	m.CheckWellFormed(cg, diags, "t.mc")
 	if !diags.HasErrors() {
 		t.Error("expected member-calls-member violation")
+	}
+}
+
+func TestWellFormedMemberRecursion(t *testing.T) {
+	m, cg, diags := buildModel(t, `
+#pragma commset decl G
+
+#pragma commset member G
+void spin(int x) {
+	if (x > 0) {
+		spin(x - 1);
+	}
+	emit(x);
+}
+
+void main() { spin(3); }
+`)
+	m.CheckWellFormed(cg, diags, "t.mc")
+	if !diags.HasErrors() {
+		t.Fatal("expected recursion to violate condition (b)")
+	}
+	if !strings.Contains(diags.String(), "member spin transitively calls member spin") {
+		t.Errorf("wrong message:\n%s", diags.String())
+	}
+}
+
+func TestWellFormedCommsetGraphCycle(t *testing.T) {
+	// S1 -> S2 (a calls b) and S2 -> S1 (c calls d): the COMMSET graph has
+	// a cycle even though no set violates condition (b) on its own.
+	m, cg, diags := buildModel(t, `
+#pragma commset decl S1
+#pragma commset decl S2
+
+#pragma commset member S2
+void b(int x) { emit(x); }
+
+#pragma commset member S1
+void a(int x) { b(x); }
+
+#pragma commset member S1
+void d(int x) { emit(x + 1); }
+
+#pragma commset member S2
+void c(int x) { d(x); }
+
+void main() {
+	a(1);
+	c(2);
+}
+`)
+	m.CheckWellFormed(cg, diags, "t.mc")
+	if !diags.HasErrors() {
+		t.Fatal("expected a commset-graph cycle error")
+	}
+	if !strings.Contains(diags.String(), "commset graph has a cycle involving") {
+		t.Errorf("wrong message:\n%s", diags.String())
 	}
 }

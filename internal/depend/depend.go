@@ -195,6 +195,7 @@ func (a *Analyzer) annotate() {
 			continue // Lines 3-5: both endpoints must be member calls
 		}
 		best := pdg.CommNone
+		seen := map[*types.Set]bool{}
 		for _, m1 := range m1s {
 			for _, m2 := range m2s {
 				if m1.set != m2.set {
@@ -204,12 +205,10 @@ func (a *Analyzer) annotate() {
 				if c > best {
 					best = c
 				}
-				if best == pdg.CommUCO {
-					break
+				if c > pdg.CommNone && !seen[m1.set] {
+					seen[m1.set] = true
+					e.CommBy = append(e.CommBy, m1.set)
 				}
-			}
-			if best == pdg.CommUCO {
-				break
 			}
 		}
 		e.Comm = best

@@ -33,9 +33,18 @@ func GlobalLoc(name string) Loc { return Loc("g:" + name) }
 func TagLoc(tag string) Loc { return Loc("t:" + tag) }
 
 // Decl lists the abstract locations an operation reads and writes.
+//
+// KeyedBy optionally records, per location, the index of the argument that
+// selects the disjoint element of that location the operation touches (e.g.
+// bitmap_set(bm, key) touches only bit `key` of "t:bitmaps", so KeyedBy maps
+// that location to argument 1). The analyzer uses it to recognize that a
+// COMMSETPREDICATE over the keying argument genuinely constrains accesses to
+// the location even without a lock.
 type Decl struct {
 	Reads  []Loc
 	Writes []Loc
+
+	KeyedBy map[Loc]int
 }
 
 // Table maps builtin names to their declared effects.
@@ -152,6 +161,18 @@ func Summarize(prog *ir.Program, builtins Table) *Summary {
 		}
 	}
 	return s
+}
+
+// KeyedArg reports which argument of builtin name keys its accesses to loc,
+// if the builtin declares one. User functions never declare keys directly;
+// the analyzer reasons about their bodies instead.
+func (s *Summary) KeyedArg(name string, loc Loc) (int, bool) {
+	decl, ok := s.Builtins[name]
+	if !ok || decl.KeyedBy == nil {
+		return -1, false
+	}
+	idx, ok := decl.KeyedBy[loc]
+	return idx, ok
 }
 
 // CallEffects returns the abstract reads/writes of a call to name: the

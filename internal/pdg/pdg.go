@@ -28,6 +28,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/effects"
 	"repro/internal/ir"
+	"repro/internal/types"
 )
 
 // DepKind classifies a dependence edge.
@@ -94,6 +95,11 @@ type Edge struct {
 	// SlotID identifies local-slot edges: slot index + 1, or 0 when the
 	// edge is not a local-slot dependence.
 	SlotID int
+	// CommBy lists the commutative sets that justified a non-None Comm
+	// annotation (filled by the dependence analyzer). Analysis tools use it
+	// to audit whether each justifying set's predicate and synchronization
+	// actually cover the edge's conflicting locations.
+	CommBy []*types.Set
 }
 
 // LocalSlot returns the slot index of a local-slot edge and whether the

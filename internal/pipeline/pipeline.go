@@ -118,6 +118,21 @@ func (c *Compiled) AnalyzeLoop(fnName string, header int) (*LoopAnalysis, error)
 	return &LoopAnalysis{Fn: f, G: g, Loop: loop, Units: units, PDG: p, Dep: dep}, nil
 }
 
+// AnalyzeFuncLoops analyzes every recorded loop of the named function in
+// source order — the whole-program view analysis tools need (a pragma may
+// target a setup loop rather than the hot loop).
+func (c *Compiled) AnalyzeFuncLoops(fnName string) ([]*LoopAnalysis, error) {
+	var out []*LoopAnalysis
+	for _, lu := range c.Loops(fnName) {
+		la, err := c.AnalyzeLoop(fnName, lu.Header)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, la)
+	}
+	return out, nil
+}
+
 // Loops returns every recorded loop of the named function, outermost first
 // (by unit-record order, which follows source order).
 func (c *Compiled) Loops(fnName string) []*lower.LoopUnits {

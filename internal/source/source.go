@@ -126,18 +126,47 @@ func (s Severity) String() string {
 	return "unknown"
 }
 
-// Diagnostic is one compiler message anchored to a source position.
+// Note is a secondary location attached to a diagnostic, e.g. the race
+// analyzer's "conflicting write here". Span.End may be the zero Pos when the
+// note anchors to a single position.
+type Note struct {
+	File string
+	Span Span
+	Msg  string
+}
+
+// Diagnostic is one compiler message anchored to a source position, with
+// optional related notes pointing at secondary spans.
 type Diagnostic struct {
 	Sev  Severity
 	File string
 	Pos  Pos
 	Msg  string
+
+	Notes []Note
+}
+
+// Related appends a secondary-span note to the diagnostic and returns it for
+// chaining.
+func (d *Diagnostic) Related(file string, span Span, format string, args ...any) *Diagnostic {
+	d.Notes = append(d.Notes, Note{File: file, Span: span, Msg: fmt.Sprintf(format, args...)})
+	return d
 }
 
 // Error implements the error interface so a single Diagnostic can be
-// returned directly from compiler entry points.
+// returned directly from compiler entry points. Related notes render
+// gcc-style, one indented line each, below the primary message.
 func (d *Diagnostic) Error() string {
-	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Sev, d.Msg)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s: %s: %s", d.File, d.Pos, d.Sev, d.Msg)
+	for _, n := range d.Notes {
+		loc := n.Span.Start.String()
+		if n.Span.End.IsValid() {
+			loc = n.Span.String()
+		}
+		fmt.Fprintf(&b, "\n\t%s:%s: note: %s", n.File, loc, n.Msg)
+	}
+	return b.String()
 }
 
 // DiagList accumulates diagnostics across a compilation. The zero value is
@@ -146,19 +175,27 @@ type DiagList struct {
 	Diags []Diagnostic
 }
 
-// Errorf appends an error-severity diagnostic.
-func (l *DiagList) Errorf(file string, pos Pos, format string, args ...any) {
-	l.Diags = append(l.Diags, Diagnostic{Sev: SevError, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+// Errorf appends an error-severity diagnostic and returns it so callers can
+// attach related notes.
+func (l *DiagList) Errorf(file string, pos Pos, format string, args ...any) *Diagnostic {
+	return l.add(SevError, file, pos, format, args...)
 }
 
-// Warnf appends a warning-severity diagnostic.
-func (l *DiagList) Warnf(file string, pos Pos, format string, args ...any) {
-	l.Diags = append(l.Diags, Diagnostic{Sev: SevWarning, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+// Warnf appends a warning-severity diagnostic and returns it so callers can
+// attach related notes.
+func (l *DiagList) Warnf(file string, pos Pos, format string, args ...any) *Diagnostic {
+	return l.add(SevWarning, file, pos, format, args...)
 }
 
-// Notef appends a note-severity diagnostic.
-func (l *DiagList) Notef(file string, pos Pos, format string, args ...any) {
-	l.Diags = append(l.Diags, Diagnostic{Sev: SevNote, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+// Notef appends a note-severity diagnostic and returns it so callers can
+// attach related notes.
+func (l *DiagList) Notef(file string, pos Pos, format string, args ...any) *Diagnostic {
+	return l.add(SevNote, file, pos, format, args...)
+}
+
+func (l *DiagList) add(sev Severity, file string, pos Pos, format string, args ...any) *Diagnostic {
+	l.Diags = append(l.Diags, Diagnostic{Sev: sev, File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	return &l.Diags[len(l.Diags)-1]
 }
 
 // HasErrors reports whether any error-severity diagnostic was recorded.
@@ -212,17 +249,26 @@ func (l *DiagList) String() string {
 	return b.String()
 }
 
-// Sort orders diagnostics by file, then position, then severity (errors
-// first), giving deterministic output for tests and tools.
-func (l *DiagList) Sort() {
-	sort.SliceStable(l.Diags, func(i, j int) bool {
-		a, b := &l.Diags[i], &l.Diags[j]
+// SortDiagnostics orders diagnostics by (file, position, message), with
+// severity (errors first) as the final tie-break — the deterministic order
+// commsetc and commsetvet print, independent of analysis traversal order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := &diags[i], &diags[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
 		if a.Pos != b.Pos {
 			return a.Pos.Before(b.Pos)
 		}
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
 		return a.Sev > b.Sev
 	})
+}
+
+// Sort orders the list's diagnostics deterministically (see SortDiagnostics).
+func (l *DiagList) Sort() {
+	SortDiagnostics(l.Diags)
 }

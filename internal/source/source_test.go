@@ -110,3 +110,19 @@ func TestSeverityStrings(t *testing.T) {
 		t.Error("unknown severity")
 	}
 }
+
+func TestDiagnosticRelatedNotes(t *testing.T) {
+	var d DiagList
+	d.Errorf("f.mc", Pos{Line: 1, Col: 2}, "boom").
+		Related("f.mc", Span{Start: Pos{Line: 3, Col: 4}}, "see %s", "here").
+		Related("g.mc", Span{Start: Pos{Line: 5, Col: 6}, End: Pos{Line: 5, Col: 9}}, "and here")
+	got := d.Diags[0].Error()
+	want := "f.mc:1:2: error: boom\n\tf.mc:3:4: note: see here\n\tg.mc:5:6-5:9: note: and here"
+	if got != want {
+		t.Errorf("rendered = %q, want %q", got, want)
+	}
+	// String() must include the notes too.
+	if !strings.Contains(d.String(), "see here") {
+		t.Errorf("DiagList.String() lost the notes:\n%s", d.String())
+	}
+}

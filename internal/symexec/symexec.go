@@ -100,6 +100,27 @@ func EvalPredicate(expr ast.Expr, env Env, assume Assumption) Tri {
 	return e.evalBool(expr)
 }
 
+// ProvablyFalse reports whether a predicate evaluates to definitely-False
+// with every parameter bound to an opaque loop-invariant value — i.e. the
+// predicate can never hold, regardless of the member arguments, so the
+// annotation it guards can never relax an edge. Each distinct parameter name
+// gets its own Invariant identity: cross-parameter comparisons stay Unknown
+// (the arguments might be anything), while a parameter compared against
+// itself stays decidable, so only structurally false predicates (e.g.
+// `false`, `k1 != k1`) are reported.
+func ProvablyFalse(expr ast.Expr, paramGroups ...[]string) bool {
+	env := Env{}
+	for _, group := range paramGroups {
+		for _, p := range group {
+			if _, ok := env[p]; !ok {
+				env[p] = Invariant("p:" + p)
+			}
+		}
+	}
+	return EvalPredicate(expr, env, SameIteration) == False &&
+		EvalPredicate(expr, env, DifferentIteration) == False
+}
+
 type evaluator struct {
 	env    Env
 	assume Assumption

@@ -151,3 +151,23 @@ func TestMixedInstanceArithmeticIsUnknown(t *testing.T) {
 		t.Errorf("mixed-instance arithmetic = %v, want unknown", got)
 	}
 }
+
+func TestProvablyFalse(t *testing.T) {
+	p1, p2 := []string{"a"}, []string{"b"}
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"a != a", true},
+		{"false", true},
+		{"a == a && a != a", true},
+		{"a != b", false},           // holds for distinct instances
+		{"a == b", false},           // unknown across instances
+		{"a != a || a == b", false}, // the second disjunct is unknown
+	}
+	for _, c := range cases {
+		if got := ProvablyFalse(expr(t, c.text), p1, p2); got != c.want {
+			t.Errorf("ProvablyFalse(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}

@@ -241,7 +241,15 @@ func (c *checker) exportNamedBlock(fn *ast.FuncDecl, name string, pos source.Pos
 // argument names using lookup.
 func (c *checker) resolveMemberList(refs []pragma.SetRef, pos source.Pos, lookup func(string) (ast.Type, bool), argKind string) []*Membership {
 	var membs []*Membership
+	seen := map[string]bool{}
 	for _, ref := range refs {
+		if !ref.Self {
+			if seen[ref.Name] {
+				c.errorf(pos, "duplicate membership in commset %s", ref.Name)
+				continue
+			}
+			seen[ref.Name] = true
+		}
 		if ref.Self {
 			c.anonID++
 			set := &Set{

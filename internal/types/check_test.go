@@ -219,6 +219,16 @@ void f() {
 	checkErr(t, `
 #pragma commset decl A
 void f() {
+	#pragma commset member A, A
+	{ }
+}`, "duplicate membership in commset A")
+	checkErr(t, `
+#pragma commset decl A
+#pragma commset member A, A
+void f(int i) { }`, "duplicate membership in commset A")
+	checkErr(t, `
+#pragma commset decl A
+void f() {
 	#pragma commset member A(x)
 	{ }
 }`, "unpredicated")
