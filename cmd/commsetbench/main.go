@@ -5,11 +5,19 @@
 //	commsetbench -figure6           speedup-vs-threads series (Figure 6 a–i)
 //	commsetbench -figure3           the three md5sum schedules (Figure 3)
 //	commsetbench -claims            Section 5 qualitative claims checklist
+//	commsetbench -faults            deterministic fault-injection campaign
 //	commsetbench -all               everything
 //
 // All results are simulated virtual-time speedups over the sequential run
 // of the same program on the same substrate (see DESIGN.md for the
 // simulator substitution).
+//
+// Before any simulation runs, every workload variant is passed through the
+// commsetvet -werror gate (misannotation, race, and lint checks); -novet
+// skips it. The -faults campaign sweeps workloads × schedules × sync modes
+// under seeded fault plans (-faultseed) and asserts sequential-equivalent
+// output for every recoverable plan; -smoke restricts it to the CI-sized
+// subset.
 package main
 
 import (
@@ -31,17 +39,30 @@ func main() {
 		figure3  = flag.Bool("figure3", false, "print Figure 3 (md5sum schedules)")
 		claims   = flag.Bool("claims", false, "check Section 5 qualitative claims")
 		ablation = flag.Bool("ablation", false, "run the annotation and synchronization ablations")
+		faults   = flag.Bool("faults", false, "run the deterministic fault-injection campaign")
+		smoke    = flag.Bool("smoke", false, "with -faults: run the CI-sized smoke subset")
+		seed     = flag.Uint64("faultseed", 1, "with -faults: fault plan seed")
+		novet    = flag.Bool("novet", false, "skip the commsetvet -werror pre-simulation gate")
 		all      = flag.Bool("all", false, "print everything")
 		threads  = flag.Int("threads", 8, "maximum thread count")
 	)
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *figure6, *figure3, *claims, *ablation = true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation {
+	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// The vet gate runs before any simulation: a misannotated workload fails
+	// fast with its diagnostics instead of a wrong-output mystery later.
+	if simulating := *table2 || *figure6 || *figure3 || *claims || *ablation || *faults; simulating && !*novet {
+		if err := bench.VetWorkloads(os.Stdout, *threads); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 
 	if *table1 {
@@ -82,6 +103,14 @@ func main() {
 			if _, err := bench.SyncAblation(os.Stdout, workloads.ByName(name), *threads); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if *faults {
+		fmt.Println()
+		if _, err := bench.FaultCampaign(os.Stdout, bench.CampaignOptions{
+			Threads: *threads, Seed: *seed, Smoke: *smoke,
+		}); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/builtins"
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+	"repro/internal/source"
+	"repro/internal/transform"
+	"repro/internal/vm/des"
+	"repro/internal/vm/exec"
+	"repro/internal/workloads"
+)
+
+// Effectful derives the builtins with externally visible writes from the
+// substrate's effect table; the resilient executor refuses to re-execute a
+// DOALL iteration that already completed one of them.
+func Effectful(w *builtins.World) map[string]bool {
+	out := map[string]bool{}
+	for name, d := range w.EffectTable() {
+		if len(d.Writes) > 0 {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// DefaultPlans is the standard fault campaign: five recoverable plans (one
+// per fault class) and one permanent plan that every schedule must convert
+// into a diagnosed error.
+func DefaultPlans(seed uint64) []faults.Plan {
+	return []faults.Plan{
+		{Name: "transient-burst", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Transient, Builtin: "*", After: 40, Count: 3},
+		}},
+		{Name: "transient-io", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Transient, Builtin: "*", Prob: 0.01},
+		}},
+		{Name: "latency-spikes", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Latency, Builtin: "*", Prob: 0.05, Delay: 20000},
+		}},
+		{Name: "queue-stall", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.QueueStall, Queue: "q", After: 3, Count: 8, Delay: 15000},
+		}},
+		{Name: "tm-storm", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.TMStorm, After: 1, Count: 50, Aborts: 2},
+		}},
+		{Name: "permanent", Seed: seed, Specs: []faults.Spec{
+			{Kind: faults.Permanent, Builtin: "*", After: 60},
+		}},
+	}
+}
+
+// CampaignOptions configures FaultCampaign.
+type CampaignOptions struct {
+	Threads int
+	Seed    uint64
+	// Smoke restricts the sweep to two workloads and the deterministic
+	// plans — the CI-sized campaign.
+	Smoke bool
+}
+
+// CampaignSummary aggregates the campaign outcomes.
+type CampaignSummary struct {
+	Runs      int
+	Clean     int // no faults fired (or none applied to the configuration)
+	Recovered int // faults absorbed by retries / iteration re-execution
+	Degraded  int // sequential fallback produced the accepted output
+	Diagnosed int // run terminated with a diagnosed unrecoverable fault
+}
+
+// campaignKinds is the schedule sweep of the campaign, in fixed order.
+var campaignKinds = []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP}
+
+// FaultCampaign sweeps workloads × {DOALL, DSWP, PS-DSWP} × sync modes ×
+// fault plans through the resilient executor. Every recoverable plan must
+// end with sequential-equivalent output (clean, recovered, or degraded);
+// every permanent plan must end in a diagnosed error — any other outcome
+// fails the campaign. The sweep order and, given a seed, every outcome are
+// deterministic.
+func FaultCampaign(out io.Writer, opts CampaignOptions) (*CampaignSummary, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	wls := workloads.All()
+	plans := DefaultPlans(opts.Seed)
+	if opts.Smoke {
+		wls = []*workloads.Workload{workloads.ByName("md5sum"), workloads.ByName("kmeans")}
+		plans = []faults.Plan{plans[0], plans[3], plans[5]}
+	}
+
+	fmt.Fprintf(out, "Fault campaign: %d workloads, seed %d, %d threads\n", len(wls), opts.Seed, opts.Threads)
+	fmt.Fprintf(out, "  %-10s %-8s %-6s %-16s %-10s %s\n", "workload", "kind", "sync", "plan", "outcome", "detail")
+
+	sum := &CampaignSummary{}
+	var violations []string
+	for _, wl := range wls {
+		cp, err := Compile(wl, "comm", opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range campaignKinds {
+			sched := cp.Schedule(kind)
+			if sched == nil {
+				continue
+			}
+			for _, mode := range wl.Syncs() {
+				for _, plan := range plans {
+					outcome, detail, err := runFaulted(cp, sched, kind, mode, opts.Threads, plan)
+					if err != nil {
+						return nil, err
+					}
+					sum.Runs++
+					switch outcome {
+					case "clean":
+						sum.Clean++
+					case "recovered":
+						sum.Recovered++
+					case "degraded":
+						sum.Degraded++
+					case "diagnosed":
+						sum.Diagnosed++
+					}
+					ok := outcome == "diagnosed" != plan.Recoverable
+					if !ok {
+						violations = append(violations, fmt.Sprintf(
+							"%s %v/%v plan %s: outcome %s violates recoverable=%v (%s)",
+							wl.Name, kind, mode, plan.Name, outcome, plan.Recoverable, detail))
+					}
+					fmt.Fprintf(out, "  %-10s %-8v %-6v %-16s %-10s %s\n",
+						wl.Name, kind, mode, plan.Name, outcome, detail)
+				}
+			}
+		}
+	}
+	fmt.Fprintf(out, "  %d runs: %d clean, %d recovered, %d degraded, %d diagnosed\n",
+		sum.Runs, sum.Clean, sum.Recovered, sum.Degraded, sum.Diagnosed)
+	if len(violations) > 0 {
+		return sum, fmt.Errorf("bench: fault campaign failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return sum, nil
+}
+
+// runFaulted executes one workload/schedule/sync/plan cell resiliently and
+// classifies the outcome.
+func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mode exec.SyncMode, threads int, plan faults.Plan) (outcome, detail string, err error) {
+	var lastW *builtins.World
+	fresh := func() exec.Config {
+		w := freshWorld(cp.WL)
+		lastW = w
+		inj := faults.NewInjector(plan)
+		return exec.Config{
+			Prog:        cp.C.Low.Prog,
+			Builtins:    inj.Wrap(w.Fns()),
+			Model:       cp.C.Model,
+			Cost:        des.DefaultCostModel(),
+			Recovery:    exec.DefaultRecovery(),
+			Watchdog:    des.Watchdog{MaxEvents: 5_000_000},
+			PushDelay:   inj.QueueDelay,
+			ExtraAborts: inj.ExtraAborts,
+			Effectful:   Effectful(w),
+		}
+	}
+	accept := func(parallel bool) error {
+		// Sequential fallbacks replay the exact sequential output; parallel
+		// schedules are held to the same standard the main harness uses.
+		ordered := !parallel || kind == transform.DSWP
+		return cp.WL.Validate(cp.SeqWorld, lastW, ordered)
+	}
+	res, runErr := exec.RunResilient(exec.ResilientOptions{
+		LA:      cp.LA,
+		Sched:   sched,
+		Mode:    mode,
+		Threads: threads,
+		Fresh:   fresh,
+		Accept:  accept,
+	})
+	if runErr != nil {
+		return "diagnosed", runErr.Error(), nil
+	}
+	switch {
+	case res.FellBack:
+		return "degraded", fmt.Sprintf("attempts=%d", res.Attempts), nil
+	case res.Recovered:
+		return "recovered", fmt.Sprintf("call-retries=%d iter-retries=%d", res.CallRetries, res.IterRetries), nil
+	}
+	return "clean", "", nil
+}
+
+// VetWorkloads is the commsetvet -werror gate of the benchmark harness: it
+// runs the full static check suite over every variant of every workload and
+// fails if any diagnostic (error or warning) is reported, so a misannotated
+// variant fails fast before any simulation runs.
+func VetWorkloads(out io.Writer, threads int) error {
+	checked := 0
+	var bad []string
+	for _, wl := range workloads.All() {
+		for _, v := range wl.Variants {
+			world := builtins.NewWorld()
+			c, err := pipeline.Compile(pipeline.Options{
+				File:    source.NewFile(fmt.Sprintf("%s[%s]", wl.Name, v.Name), v.Source),
+				Sigs:    world.Sigs(),
+				Effects: world.EffectTable(),
+			})
+			if err != nil {
+				return fmt.Errorf("bench: vet gate: compile %s/%s: %w", wl.Name, v.Name, err)
+			}
+			diags, err := analysis.Run(c, analysis.Options{Checks: analysis.DefaultChecks(), Threads: threads})
+			if err != nil {
+				return fmt.Errorf("bench: vet gate: %s/%s: %w", wl.Name, v.Name, err)
+			}
+			checked++
+			// -werror semantics: errors and warnings fail the gate;
+			// informational notes do not.
+			failed := false
+			for i := range diags.Diags {
+				if diags.Diags[i].Sev >= source.SevWarning {
+					failed = true
+					fmt.Fprintln(out, diags.Diags[i].Error())
+				}
+			}
+			if failed {
+				bad = append(bad, fmt.Sprintf("%s/%s", wl.Name, v.Name))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench: vet gate (-werror): misannotated variants: %s", strings.Join(bad, ", "))
+	}
+	fmt.Fprintf(out, "vet gate: %d workload variants clean (commsetvet -werror)\n", checked)
+	return nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestVetWorkloadsClean: the shipped workload variants must pass the
+// commsetvet -werror gate — zero diagnostics of any severity.
+func TestVetWorkloadsClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := VetWorkloads(&buf, 4); err != nil {
+		t.Fatalf("vet gate failed:\n%s%v", buf.String(), err)
+	}
+	if !strings.Contains(buf.String(), "variants clean") {
+		t.Errorf("unexpected gate output: %q", buf.String())
+	}
+}
+
+// TestSmokeCampaign runs the CI-sized fault campaign: every recoverable
+// plan must end sequential-equivalent, every permanent plan diagnosed.
+func TestSmokeCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	sum, err := FaultCampaign(&buf, CampaignOptions{Threads: 4, Seed: 1, Smoke: true})
+	if err != nil {
+		t.Fatalf("campaign failed:\n%s%v", buf.String(), err)
+	}
+	if sum.Runs == 0 {
+		t.Fatal("campaign executed no runs")
+	}
+	if sum.Recovered == 0 {
+		t.Errorf("no run exercised recovery: %+v", *sum)
+	}
+	if sum.Diagnosed == 0 {
+		t.Errorf("no permanent fault was diagnosed: %+v", *sum)
+	}
+}
+
+// TestCampaignDeterministic: the same seed must reproduce the identical
+// campaign report byte for byte — outcomes, retry counts, diagnostics.
+func TestCampaignDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if _, err := FaultCampaign(&buf, CampaignOptions{Threads: 4, Seed: 7, Smoke: true}); err != nil {
+			t.Fatalf("campaign failed:\n%s%v", buf.String(), err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("campaign report not reproducible:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

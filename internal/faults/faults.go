@@ -1,0 +1,364 @@
+// Package faults provides deterministic, seedable fault injection for the
+// COMMSET runtime. A Plan describes a reproducible campaign of substrate
+// faults — transient and permanent builtin failures, latency spikes,
+// transactional-memory conflict storms, and pipeline-queue stalls — and an
+// Injector instantiates the plan over any substrate's builtin table.
+//
+// Determinism is the defining property: the discrete-event simulator
+// serializes all execution, so the global sequence of builtin calls, queue
+// pushes, and TM commits is identical from run to run, and every injection
+// decision is a pure function of (plan seed, spec index, event stream,
+// event index). The same seed and plan therefore produce bit-identical
+// fault sequences, diagnostics, and outputs — the property the resilience
+// layer's tests and the `commsetbench -faults` campaign assert.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// Kind enumerates the fault classes a Spec can inject.
+type Kind int
+
+// Fault classes.
+const (
+	// Transient fails a builtin call cleanly (before the builtin runs, so
+	// no substrate state changes) for a bounded window of calls; later
+	// calls succeed. Recoverable by per-call retry.
+	Transient Kind = iota
+	// Permanent fails every call of the target builtin once triggered.
+	// Not recoverable: the run must terminate with a diagnosed error.
+	Permanent
+	// Latency adds Delay virtual-cost units to an affected call without
+	// failing it (a slow disk, a page fault, a cache-cold library).
+	Latency
+	// TMStorm charges extra synthetic aborts on transactional-memory
+	// commits (a burst of optimistic-concurrency conflicts).
+	TMStorm
+	// QueueStall delays token visibility on pipeline queues (a slow
+	// consumer core, NUMA interconnect congestion).
+	QueueStall
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Latency:
+		return "latency"
+	case TMStorm:
+		return "tm-storm"
+	case QueueStall:
+		return "queue-stall"
+	}
+	return "?"
+}
+
+// Spec is one fault source inside a plan. A spec targets an event stream —
+// builtin calls (Transient, Permanent, Latency), queue pushes (QueueStall),
+// or TM commits (TMStorm) — and fires either deterministically by event
+// index (After/Count) or probabilistically per event (Prob), seeded by the
+// plan so both forms are reproducible.
+type Spec struct {
+	Kind Kind
+
+	// Builtin targets one builtin by name; "" or "*" targets every builtin
+	// (the event index is then the global call index across all builtins).
+	// Ignored by TMStorm and QueueStall.
+	Builtin string
+
+	// Queue restricts QueueStall to queues whose name has this prefix
+	// ("" = every queue).
+	Queue string
+
+	// After is the 1-based event index at which the fault starts firing;
+	// 0 selects probabilistic firing via Prob instead.
+	After int
+	// Count bounds how many events the fault affects once started
+	// (Transient, Latency, TMStorm, QueueStall; <= 0 means 1).
+	// Permanent ignores Count: once triggered it never clears.
+	Count int
+	// Prob fires the fault on each event independently with this
+	// probability (deterministically derived from the seed). For
+	// Permanent, the first probabilistic hit latches the fault on.
+	Prob float64
+
+	// Delay is the extra virtual cost charged by Latency and QueueStall.
+	Delay int64
+	// Aborts is the number of extra conflict aborts charged per affected
+	// TM commit by TMStorm.
+	Aborts int
+}
+
+// window reports whether a 1-based event index falls in the spec's
+// deterministic firing window.
+func (s *Spec) window(idx int) bool {
+	if s.After <= 0 {
+		return false
+	}
+	if s.Kind == Permanent {
+		return idx >= s.After
+	}
+	n := s.Count
+	if n <= 0 {
+		n = 1
+	}
+	return idx >= s.After && idx < s.After+n
+}
+
+// matchesBuiltin reports whether the spec targets the named builtin.
+func (s *Spec) matchesBuiltin(name string) bool {
+	return s.Builtin == "" || s.Builtin == "*" || s.Builtin == name
+}
+
+// wildcard reports whether the spec targets every builtin (and therefore
+// counts events on the global call stream).
+func (s *Spec) wildcard() bool { return s.Builtin == "" || s.Builtin == "*" }
+
+// describe renders the spec for plan listings.
+func (s *Spec) describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", s.Kind)
+	switch s.Kind {
+	case TMStorm:
+	case QueueStall:
+		if s.Queue != "" {
+			fmt.Fprintf(&b, " queue=%s*", s.Queue)
+		}
+	default:
+		target := s.Builtin
+		if s.wildcard() {
+			target = "*"
+		}
+		fmt.Fprintf(&b, " builtin=%s", target)
+	}
+	if s.After > 0 {
+		fmt.Fprintf(&b, " after=%d count=%d", s.After, s.Count)
+	} else {
+		fmt.Fprintf(&b, " prob=%g", s.Prob)
+	}
+	if s.Delay > 0 {
+		fmt.Fprintf(&b, " delay=%d", s.Delay)
+	}
+	if s.Aborts > 0 {
+		fmt.Fprintf(&b, " aborts=%d", s.Aborts)
+	}
+	return b.String()
+}
+
+// Plan is a named, seeded set of fault specs.
+type Plan struct {
+	Name  string
+	Seed  uint64
+	Specs []Spec
+
+	// Recoverable declares the plan's expectation: true means a resilient
+	// executor must absorb every injected fault and produce
+	// sequential-equivalent output; false means runs are expected to
+	// terminate with a diagnosed error (never a hang or panic).
+	Recoverable bool
+}
+
+// String renders the plan header and its specs on one line.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Specs))
+	for i := range p.Specs {
+		parts[i] = p.Specs[i].describe()
+	}
+	return fmt.Sprintf("%s(seed=%d): %s", p.Name, p.Seed, strings.Join(parts, "; "))
+}
+
+// Error is an injected builtin failure. The resilience layer inspects
+// IsTransient to decide between retry and orderly shutdown.
+type Error struct {
+	Builtin string
+	Call    int // event index at which the fault fired
+	Perm    bool
+}
+
+// Error renders the diagnosed failure.
+func (e *Error) Error() string {
+	kind := "transient"
+	if e.Perm {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("injected %s fault in builtin %s (call %d)", kind, e.Builtin, e.Call)
+}
+
+// IsTransient reports whether retrying the call can succeed.
+func (e *Error) IsTransient() bool { return !e.Perm }
+
+// Injector instantiates one plan over a substrate. Create a fresh Injector
+// per execution attempt: its event counters define the plan's timeline.
+// All methods are called from simulated threads, which the discrete-event
+// scheduler serializes, so no internal locking is needed.
+type Injector struct {
+	plan Plan
+
+	calls   map[string]int // per-builtin call counters
+	total   int            // global builtin call counter
+	pushes  map[string]int // per-queue push counters
+	commits int            // TM commit counter
+
+	latched []bool // Permanent Prob specs that have fired
+
+	injected int
+	events   []string
+}
+
+// maxTrace bounds the retained injection trace.
+const maxTrace = 64
+
+// NewInjector prepares a fresh instantiation of the plan.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{
+		plan:    plan,
+		calls:   map[string]int{},
+		pushes:  map[string]int{},
+		latched: make([]bool, len(plan.Specs)),
+	}
+}
+
+// Plan returns the injector's plan.
+func (inj *Injector) Plan() Plan { return inj.plan }
+
+// Injected reports how many fault events have fired so far.
+func (inj *Injector) Injected() int { return inj.injected }
+
+// Trace returns the (bounded) log of fired fault events, in order.
+func (inj *Injector) Trace() []string { return inj.events }
+
+// note records one fired fault event.
+func (inj *Injector) note(format string, args ...any) {
+	inj.injected++
+	if len(inj.events) < maxTrace {
+		inj.events = append(inj.events, fmt.Sprintf(format, args...))
+	}
+}
+
+// roll returns a deterministic uniform [0,1) draw for one (spec, stream,
+// index) triple.
+func (inj *Injector) roll(spec int, stream string, idx int) float64 {
+	h := inj.plan.Seed ^ 0x9e3779b97f4a7c15
+	for _, c := range []byte(stream) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	h ^= uint64(spec+1) * 0xff51afd7ed558ccd
+	h ^= uint64(idx) * 0xc4ceb9fe1a85ec53
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+// fires decides whether spec si fires on event idx of the named stream.
+func (inj *Injector) fires(si int, s *Spec, stream string, idx int) bool {
+	if s.After > 0 {
+		return s.window(idx)
+	}
+	if s.Prob <= 0 {
+		return false
+	}
+	if s.Kind == Permanent {
+		if inj.latched[si] {
+			return true
+		}
+		if inj.roll(si, stream, idx) < s.Prob {
+			inj.latched[si] = true
+			return true
+		}
+		return false
+	}
+	return inj.roll(si, stream, idx) < s.Prob
+}
+
+// Wrap interposes the plan on a builtin table. The returned table is a
+// drop-in replacement: unaffected calls forward to the original builtin
+// unchanged; failed calls return an *Error without running the builtin (so
+// an injected failure never leaves partial substrate state behind).
+func (inj *Injector) Wrap(fns map[string]interp.BuiltinFn) map[string]interp.BuiltinFn {
+	out := make(map[string]interp.BuiltinFn, len(fns))
+	for name, base := range fns {
+		name, base := name, base
+		out[name] = func(args []value.Value) (value.Value, int64, error) {
+			inj.total++
+			inj.calls[name]++
+			var extra int64
+			for si := range inj.plan.Specs {
+				s := &inj.plan.Specs[si]
+				if !s.matchesBuiltin(name) {
+					continue
+				}
+				idx := inj.calls[name]
+				if s.wildcard() {
+					idx = inj.total
+				}
+				switch s.Kind {
+				case Transient, Permanent:
+					if inj.fires(si, s, "call:"+s.Builtin, idx) {
+						perm := s.Kind == Permanent
+						inj.note("%v %s call %d", s.Kind, name, idx)
+						return value.Value{}, 0, &Error{Builtin: name, Call: idx, Perm: perm}
+					}
+				case Latency:
+					if inj.fires(si, s, "lat:"+s.Builtin, idx) {
+						inj.note("latency +%d on %s call %d", s.Delay, name, idx)
+						extra += s.Delay
+					}
+				}
+			}
+			v, cost, err := base(args)
+			return v, cost + extra, err
+		}
+	}
+	return out
+}
+
+// QueueDelay reports the extra virtual latency to charge for the next push
+// on the named queue (0 when no QueueStall spec fires). Call exactly once
+// per push: the call advances the queue's event counter.
+func (inj *Injector) QueueDelay(queue string) int64 {
+	inj.pushes[queue]++
+	idx := inj.pushes[queue]
+	var d int64
+	for si := range inj.plan.Specs {
+		s := &inj.plan.Specs[si]
+		if s.Kind != QueueStall || !strings.HasPrefix(queue, s.Queue) {
+			continue
+		}
+		if inj.fires(si, s, "queue:"+queue, idx) {
+			inj.note("queue-stall +%d on %s push %d", s.Delay, queue, idx)
+			d += s.Delay
+		}
+	}
+	return d
+}
+
+// ExtraAborts reports the synthetic additional conflict aborts to charge
+// for the next TM commit. Call exactly once per commit: the call advances
+// the commit event counter.
+func (inj *Injector) ExtraAborts() int {
+	inj.commits++
+	n := 0
+	for si := range inj.plan.Specs {
+		s := &inj.plan.Specs[si]
+		if s.Kind != TMStorm {
+			continue
+		}
+		if inj.fires(si, s, "tm", inj.commits) {
+			inj.note("tm-storm +%d aborts on commit %d", s.Aborts, inj.commits)
+			n += s.Aborts
+		}
+	}
+	return n
+}

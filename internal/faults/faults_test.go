@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/vm/interp"
+	"repro/internal/vm/value"
+)
+
+// table builds a tiny builtin table with call recording.
+func table(calls *[]string) map[string]interp.BuiltinFn {
+	mk := func(name string) interp.BuiltinFn {
+		return func(args []value.Value) (value.Value, int64, error) {
+			*calls = append(*calls, name)
+			return value.Int(int64(len(*calls))), 10, nil
+		}
+	}
+	return map[string]interp.BuiltinFn{"alpha": mk("alpha"), "beta": mk("beta")}
+}
+
+func TestTransientWindowClears(t *testing.T) {
+	var calls []string
+	inj := NewInjector(Plan{Seed: 1, Specs: []Spec{
+		{Kind: Transient, Builtin: "alpha", After: 2, Count: 2},
+	}})
+	fns := inj.Wrap(table(&calls))
+	for i := 1; i <= 5; i++ {
+		_, _, err := fns["alpha"](nil)
+		wantFail := i == 2 || i == 3
+		if (err != nil) != wantFail {
+			t.Errorf("call %d: err = %v, want fail=%v", i, err, wantFail)
+		}
+		if err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) || !fe.IsTransient() {
+				t.Errorf("call %d: not a transient fault error: %v", i, err)
+			}
+		}
+	}
+	// Failed calls must not run the base builtin.
+	if len(calls) != 3 {
+		t.Errorf("base builtin ran %d times, want 3", len(calls))
+	}
+	if inj.Injected() != 2 || len(inj.Trace()) != 2 {
+		t.Errorf("injected = %d trace = %v", inj.Injected(), inj.Trace())
+	}
+}
+
+func TestPermanentNeverClears(t *testing.T) {
+	var calls []string
+	inj := NewInjector(Plan{Seed: 1, Specs: []Spec{
+		{Kind: Permanent, Builtin: "*", After: 3},
+	}})
+	fns := inj.Wrap(table(&calls))
+	seq := []string{"alpha", "beta", "alpha", "beta", "alpha"}
+	for i, name := range seq {
+		_, _, err := fns[name](nil)
+		wantFail := i+1 >= 3 // global call index
+		if (err != nil) != wantFail {
+			t.Errorf("global call %d (%s): err = %v, want fail=%v", i+1, name, err, wantFail)
+		}
+		if err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) || fe.IsTransient() {
+				t.Errorf("call %d: want permanent fault, got %v", i+1, err)
+			}
+		}
+	}
+}
+
+func TestProbabilisticPermanentLatches(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 7, Specs: []Spec{
+		{Kind: Permanent, Builtin: "*", Prob: 0.2},
+	}})
+	var calls []string
+	fns := inj.Wrap(table(&calls))
+	failedAt := -1
+	for i := 1; i <= 200; i++ {
+		if _, _, err := fns["alpha"](nil); err != nil {
+			failedAt = i
+			break
+		}
+	}
+	if failedAt < 0 {
+		t.Fatal("prob=0.2 permanent fault never fired in 200 calls")
+	}
+	// Once latched, every later call fails.
+	for i := 0; i < 10; i++ {
+		if _, _, err := fns["beta"](nil); err == nil {
+			t.Fatal("permanent fault cleared after latching")
+		}
+	}
+}
+
+func TestLatencyAddsCostWithoutError(t *testing.T) {
+	var calls []string
+	inj := NewInjector(Plan{Seed: 1, Specs: []Spec{
+		{Kind: Latency, Builtin: "alpha", After: 1, Count: 1, Delay: 500},
+	}})
+	fns := inj.Wrap(table(&calls))
+	_, cost, err := fns["alpha"](nil)
+	if err != nil || cost != 510 {
+		t.Errorf("spiked call: cost = %d err = %v, want 510 nil", cost, err)
+	}
+	_, cost, err = fns["alpha"](nil)
+	if err != nil || cost != 10 {
+		t.Errorf("clean call: cost = %d err = %v, want 10 nil", cost, err)
+	}
+}
+
+func TestQueueDelayAndAborts(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 3, Specs: []Spec{
+		{Kind: QueueStall, Queue: "q0", After: 2, Count: 1, Delay: 700},
+		{Kind: TMStorm, After: 1, Count: 2, Aborts: 3},
+	}})
+	if d := inj.QueueDelay("q0.0"); d != 0 {
+		t.Errorf("push 1 delay = %d, want 0", d)
+	}
+	if d := inj.QueueDelay("q0.0"); d != 700 {
+		t.Errorf("push 2 delay = %d, want 700", d)
+	}
+	if d := inj.QueueDelay("join"); d != 0 {
+		t.Errorf("non-matching queue delayed: %d", d)
+	}
+	if n := inj.ExtraAborts(); n != 3 {
+		t.Errorf("commit 1 aborts = %d, want 3", n)
+	}
+	if n := inj.ExtraAborts(); n != 3 {
+		t.Errorf("commit 2 aborts = %d, want 3", n)
+	}
+	if n := inj.ExtraAborts(); n != 0 {
+		t.Errorf("commit 3 aborts = %d, want 0", n)
+	}
+}
+
+// TestDeterministicReplay is the package's core property: two injectors of
+// the same plan make identical decisions over identical event sequences.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{Seed: 42, Specs: []Spec{
+		{Kind: Transient, Builtin: "*", Prob: 0.15},
+		{Kind: Latency, Builtin: "beta", Prob: 0.3, Delay: 111},
+		{Kind: QueueStall, Prob: 0.25, Delay: 222},
+		{Kind: TMStorm, Prob: 0.5, Aborts: 2},
+	}}
+	run := func() (errs []bool, costs []int64, delays []int64, aborts []int) {
+		var calls []string
+		inj := NewInjector(plan)
+		fns := inj.Wrap(table(&calls))
+		for i := 0; i < 100; i++ {
+			name := "alpha"
+			if i%3 == 0 {
+				name = "beta"
+			}
+			_, c, err := fns[name](nil)
+			errs = append(errs, err != nil)
+			costs = append(costs, c)
+		}
+		for i := 0; i < 50; i++ {
+			delays = append(delays, inj.QueueDelay("q1.0"))
+			aborts = append(aborts, inj.ExtraAborts())
+		}
+		return
+	}
+	e1, c1, d1, a1 := run()
+	e2, c2, d2, a2 := run()
+	for i := range e1 {
+		if e1[i] != e2[i] || c1[i] != c2[i] {
+			t.Fatalf("call %d diverged: (%v,%d) vs (%v,%d)", i, e1[i], c1[i], e2[i], c2[i])
+		}
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] || a1[i] != a2[i] {
+			t.Fatalf("event %d diverged", i)
+		}
+	}
+	any := false
+	for _, e := range e1 {
+		any = any || e
+	}
+	if !any {
+		t.Error("prob=0.15 transient spec never fired in 100 calls")
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	pattern := func(seed uint64) string {
+		inj := NewInjector(Plan{Seed: seed, Specs: []Spec{
+			{Kind: Transient, Builtin: "*", Prob: 0.3},
+		}})
+		var calls []string
+		fns := inj.Wrap(table(&calls))
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if _, _, err := fns["alpha"](nil); err != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	if pattern(1) == pattern(2) {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Name: "storm", Seed: 9, Specs: []Spec{
+		{Kind: Transient, Builtin: "*", After: 4, Count: 2},
+		{Kind: QueueStall, Queue: "q0", Prob: 0.5, Delay: 10},
+	}}
+	s := p.String()
+	for _, want := range []string{"storm", "seed=9", "transient", "after=4", "queue-stall", "prob=0.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ package des
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // CostModel holds the virtual-cost parameters of the simulated machine.
@@ -92,6 +93,11 @@ type Queue struct {
 	Name string
 	Cap  int
 
+	// Stall, when set, returns extra visibility latency for the next
+	// pushed token (fault injection: pipeline-queue stalls). It is called
+	// exactly once per successful push, in deterministic order.
+	Stall func() int64
+
 	items   []queueItem
 	waiters []*Thread // blocked poppers
 	blocked []*Thread // blocked pushers
@@ -148,6 +154,12 @@ type Thread struct {
 	state   threadState
 	started bool
 	body    func(*Thread) error
+
+	// Blocked-state bookkeeping for stall diagnostics.
+	blockLock  *Lock
+	blockQueue *Queue
+	blockOp    string
+	holds      []*Lock
 }
 
 type threadState int
@@ -198,9 +210,26 @@ func (t *Thread) Sleep(d int64) {
 	t.yield(request{kind: reqSleep, d: d})
 }
 
+// Watchdog bounds a simulation so livelock and runaway stalls become
+// diagnosed errors instead of hangs. Zero fields disable the checks.
+type Watchdog struct {
+	// MaxVTime aborts the run when the next event would execute past this
+	// virtual time (a progress budget: a healthy run finishes well inside
+	// it, a stalled run keeps burning virtual time without completing).
+	MaxVTime int64
+	// MaxEvents aborts the run after this many scheduler events (a
+	// livelock budget: threads exchanging events forever at little or no
+	// virtual-time cost).
+	MaxEvents int64
+}
+
 // Scheduler coordinates all threads of one simulation.
 type Scheduler struct {
 	Cost CostModel
+
+	// Watchdog, when set, converts stalls and livelocks into diagnosed
+	// StallErrors naming every live thread and what it waits on.
+	Watchdog Watchdog
 
 	threads []*Thread
 	yieldCh chan *Thread
@@ -248,21 +277,31 @@ func (s *Scheduler) Spawn(name string, start int64, body func(*Thread) error) *T
 }
 
 // Run executes the simulation to completion and returns the maximum thread
-// finish time (the makespan) or the first thread error.
+// finish time (the makespan) or the first thread error. A simulation that
+// ends with blocked threads, exceeds the watchdog's virtual-time budget, or
+// exceeds its event budget returns a *StallError diagnosing every live
+// thread.
 func (s *Scheduler) Run() (int64, error) {
+	var events int64
 	for {
 		t := s.pickNext()
 		if t == nil {
 			break
 		}
+		if s.Watchdog.MaxVTime > 0 && t.reqTime > s.Watchdog.MaxVTime {
+			return s.makespan(), s.stallError("watchdog",
+				fmt.Sprintf("no completion by virtual time %d (budget %d)", t.reqTime, s.Watchdog.MaxVTime))
+		}
+		events++
+		if s.Watchdog.MaxEvents > 0 && events > s.Watchdog.MaxEvents {
+			return s.makespan(), s.stallError("watchdog",
+				fmt.Sprintf("livelock suspected: %d scheduler events without completion (budget %d)", events, s.Watchdog.MaxEvents))
+		}
 		s.step(t)
 	}
-	var makespan int64
+	makespan := s.makespan()
 	blocked := 0
 	for _, t := range s.threads {
-		if t.VTime > makespan {
-			makespan = t.VTime
-		}
 		if t.state == tBlocked {
 			blocked++
 		}
@@ -271,9 +310,104 @@ func (s *Scheduler) Run() (int64, error) {
 		return makespan, s.firstErr
 	}
 	if blocked > 0 {
-		return makespan, fmt.Errorf("des: deadlock — %d thread(s) still blocked at end of simulation", blocked)
+		return makespan, s.stallError("deadlock",
+			fmt.Sprintf("%d thread(s) still blocked at end of simulation", blocked))
 	}
 	return makespan, nil
+}
+
+// makespan returns the maximum thread virtual time reached so far.
+func (s *Scheduler) makespan() int64 {
+	var m int64
+	for _, t := range s.threads {
+		if t.VTime > m {
+			m = t.VTime
+		}
+	}
+	return m
+}
+
+// ThreadDiag is one live thread's state inside a StallError.
+type ThreadDiag struct {
+	Name  string
+	VTime int64
+	// State describes what the thread is doing: ready, or blocked on a
+	// named lock (with its current owner) or queue (with its occupancy).
+	State string
+	// Holds names the locks the thread currently owns.
+	Holds []string
+}
+
+// StallError diagnoses a deadlocked, livelocked, or stalled simulation:
+// every non-finished thread with what it waits on and what it holds.
+type StallError struct {
+	Kind    string // "deadlock" or "watchdog"
+	Reason  string
+	Threads []ThreadDiag
+}
+
+// Error renders the multi-line diagnostic.
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "des: %s — %s", e.Kind, e.Reason)
+	for _, t := range e.Threads {
+		fmt.Fprintf(&b, "\n  thread %s @t=%d: %s", t.Name, t.VTime, t.State)
+		if len(t.Holds) > 0 {
+			fmt.Fprintf(&b, "; holds [%s]", strings.Join(t.Holds, ", "))
+		}
+	}
+	return b.String()
+}
+
+// stallError builds a StallError over every live thread, in thread order.
+func (s *Scheduler) stallError(kind, reason string) *StallError {
+	e := &StallError{Kind: kind, Reason: reason}
+	for _, t := range s.threads {
+		if t.state == tDone {
+			continue
+		}
+		d := ThreadDiag{Name: t.Name, VTime: t.VTime, State: t.describe()}
+		for _, l := range t.holds {
+			d.Holds = append(d.Holds, l.Name)
+		}
+		e.Threads = append(e.Threads, d)
+	}
+	return e
+}
+
+// describe renders what the thread is waiting for.
+func (t *Thread) describe() string {
+	if t.state != tBlocked {
+		return fmt.Sprintf("ready (next event at t=%d)", t.reqTime)
+	}
+	switch {
+	case t.blockLock != nil:
+		owner := "nobody"
+		if t.blockLock.owner != nil {
+			owner = t.blockLock.owner.Name
+		}
+		return fmt.Sprintf("blocked acquiring lock %s (held by %s, %d waiter(s))",
+			t.blockLock.Name, owner, len(t.blockLock.waiters))
+	case t.blockQueue != nil && t.blockOp == "pop":
+		return fmt.Sprintf("blocked popping queue %s (empty, %d pusher(s) blocked)",
+			t.blockQueue.Name, len(t.blockQueue.blocked))
+	case t.blockQueue != nil && t.blockOp == "push":
+		return fmt.Sprintf("blocked pushing queue %s (full %d/%d, %d popper(s) waiting)",
+			t.blockQueue.Name, len(t.blockQueue.items), t.blockQueue.Cap, len(t.blockQueue.waiters))
+	}
+	return "blocked"
+}
+
+// block records why the thread is parked (for stall diagnostics).
+func (t *Thread) block(l *Lock, q *Queue, op string) {
+	t.state = tBlocked
+	t.blockLock, t.blockQueue, t.blockOp = l, q, op
+}
+
+// unblock marks the thread runnable again and clears the bookkeeping.
+func (t *Thread) unblock() {
+	t.state = tReady
+	t.blockLock, t.blockQueue, t.blockOp = nil, nil, ""
 }
 
 // pickNext returns the ready thread with the smallest (reqTime, ID), or nil
@@ -357,6 +491,7 @@ func (s *Scheduler) acquire(t *Thread, l *Lock) {
 	if !l.held {
 		l.held = true
 		l.owner = t
+		t.holds = append(t.holds, l)
 		cost := s.Cost.MutexAcquire
 		if l.Kind == Spin {
 			cost = s.Cost.SpinAcquire
@@ -364,7 +499,7 @@ func (s *Scheduler) acquire(t *Thread, l *Lock) {
 		s.resume(t, grant{vtime: t.VTime + cost})
 		return
 	}
-	t.state = tBlocked
+	t.block(l, nil, "acquire")
 	l.waiters = append(l.waiters, t)
 }
 
@@ -381,6 +516,12 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 		relCost = s.Cost.SpinRelease
 	}
 	relTime := t.VTime + relCost
+	for i, h := range t.holds {
+		if h == l {
+			t.holds = append(t.holds[:i], t.holds[i+1:]...)
+			break
+		}
+	}
 
 	if len(l.waiters) > 0 {
 		// Grant to the earliest requester (FIFO by request time, then ID).
@@ -394,6 +535,7 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 		w := l.waiters[0]
 		l.waiters = l.waiters[1:]
 		l.owner = w
+		w.holds = append(w.holds, l)
 		wake := maxI64(w.reqTime, relTime)
 		switch l.Kind {
 		case Mutex:
@@ -403,7 +545,7 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 			// cache-line penalty per remaining contender.
 			wake += s.Cost.SpinAcquire + s.Cost.SpinContention*int64(len(l.waiters)+1)
 		}
-		w.state = tReady
+		w.unblock()
 		w.reqTime = wake
 		w.VTime = wake
 		w.pending = request{kind: reqWake}
@@ -416,19 +558,23 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 
 func (s *Scheduler) push(t *Thread, q *Queue, v any) {
 	if len(q.items) >= q.Cap {
-		t.state = tBlocked
+		t.block(nil, q, "push")
 		q.blocked = append(q.blocked, t)
 		return
 	}
 	pushTime := t.VTime + s.Cost.QueuePush
-	q.items = append(q.items, queueItem{val: v, ready: pushTime + s.Cost.QueueLatency})
+	latency := s.Cost.QueueLatency
+	if q.Stall != nil {
+		latency += q.Stall()
+	}
+	q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
 	// Wake the earliest blocked popper, if any.
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		item := q.items[0]
 		q.items = q.items[1:]
-		w.state = tReady
+		w.unblock()
 		w.reqTime = maxI64(w.reqTime, item.ready) + s.Cost.QueuePop
 		w.VTime = w.reqTime
 		w.pending = request{kind: reqWake, val: item.val}
@@ -438,7 +584,7 @@ func (s *Scheduler) push(t *Thread, q *Queue, v any) {
 
 func (s *Scheduler) pop(t *Thread, q *Queue) {
 	if len(q.items) == 0 {
-		t.state = tBlocked
+		t.block(nil, q, "pop")
 		q.waiters = append(q.waiters, t)
 		return
 	}
@@ -448,7 +594,7 @@ func (s *Scheduler) pop(t *Thread, q *Queue) {
 	if len(q.blocked) > 0 {
 		w := q.blocked[0]
 		q.blocked = q.blocked[1:]
-		w.state = tReady
+		w.unblock()
 		w.reqTime = maxI64(w.reqTime, t.VTime)
 		w.VTime = w.reqTime
 		w.pending = request{kind: reqPush, q: q, val: w.pending.val}

@@ -1,6 +1,8 @@
 package des
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -366,5 +368,145 @@ func TestLockMutualExclusionQuick(t *testing.T) {
 	}
 	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDeadlockDiagnosticNamesThreadsAndQueues(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("stage.q", 1)
+	l := s.NewLock("set:FSET", Mutex)
+	s.Spawn("consumer", 0, func(th *Thread) error {
+		th.Acquire(l)
+		th.Pop(q) // nobody will ever push: deadlock while holding the lock
+		return nil
+	})
+	s.Spawn("rival", 0, func(th *Thread) error {
+		th.Sleep(10)
+		th.Acquire(l) // blocks forever behind consumer
+		return nil
+	})
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StallError", err)
+	}
+	if se.Kind != "deadlock" || len(se.Threads) != 2 {
+		t.Fatalf("kind=%q threads=%d: %v", se.Kind, len(se.Threads), err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"thread consumer", "blocked popping queue stage.q",
+		"holds [set:FSET]",
+		"thread rival", "blocked acquiring lock set:FSET (held by consumer",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestDeadlockDiagnosticFullQueue(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("out", 1)
+	s.Spawn("producer", 0, func(th *Thread) error {
+		th.Push(q, 1)
+		th.Push(q, 2) // queue full, no consumer: blocks forever
+		return nil
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(err.Error(), "blocked pushing queue out (full 1/1") {
+		t.Errorf("diagnostic = %v", err)
+	}
+}
+
+func TestWatchdogVTimeBudget(t *testing.T) {
+	s := New(flatCost())
+	s.Watchdog = Watchdog{MaxVTime: 1000}
+	s.Spawn("spinner", 0, func(th *Thread) error {
+		for {
+			th.Sleep(100) // burns virtual time forever
+		}
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) || se.Kind != "watchdog" {
+		t.Fatalf("err = %v, want watchdog StallError", err)
+	}
+	if !strings.Contains(err.Error(), "virtual time") || !strings.Contains(err.Error(), "spinner") {
+		t.Errorf("diagnostic = %v", err)
+	}
+}
+
+func TestWatchdogEventBudget(t *testing.T) {
+	s := New(flatCost())
+	s.Watchdog = Watchdog{MaxEvents: 500}
+	s.Spawn("livelock", 0, func(th *Thread) error {
+		for {
+			th.Sleep(0) // infinite events at zero virtual cost
+		}
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) || se.Kind != "watchdog" {
+		t.Fatalf("err = %v, want watchdog StallError", err)
+	}
+	if !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("diagnostic = %v", err)
+	}
+}
+
+func TestWatchdogDoesNotFireOnHealthyRun(t *testing.T) {
+	s := New(DefaultCostModel())
+	s.Watchdog = Watchdog{MaxVTime: 1 << 40, MaxEvents: 1 << 40}
+	q := s.NewQueue("q", 4)
+	s.Spawn("p", 0, func(th *Thread) error {
+		for i := 0; i < 50; i++ {
+			th.Push(q, i)
+		}
+		return nil
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		for i := 0; i < 50; i++ {
+			th.Pop(q)
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("healthy run tripped watchdog: %v", err)
+	}
+}
+
+func TestQueueStallHookDelaysTokens(t *testing.T) {
+	run := func(stall int64) int64 {
+		s := New(flatCost())
+		q := s.NewQueue("q", 4)
+		if stall > 0 {
+			st := stall
+			q.Stall = func() int64 { return st }
+		}
+		s.Spawn("p", 0, func(th *Thread) error {
+			th.Push(q, 1)
+			return nil
+		})
+		s.Spawn("c", 0, func(th *Thread) error {
+			th.Pop(q)
+			return nil
+		})
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base, stalled := run(0), run(900)
+	if stalled != base+900 {
+		t.Errorf("stalled makespan = %d, base = %d, want +900", stalled, base)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/vm/des"
+	"repro/internal/vm/value"
 )
 
 // runCond evaluates the loop condition group on the stepper's frame and
@@ -26,6 +27,51 @@ type doallDone struct {
 	lastIter int64
 }
 
+// runIterBody executes one DOALL iteration's body units. In resilient mode
+// a transiently failed iteration is re-executed from its start snapshot —
+// but only when the failed attempt externalized nothing (no member commits,
+// shared-cell writes, effectful builtin calls, or global stores), so a
+// retry can never duplicate a visible update.
+func (m *machine) runIterBody(st *stepper, fr *frame) error {
+	runUnits := func() error {
+		for _, unit := range m.la.Units.Units {
+			if _, err := st.runGroup(unit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r := m.cfg.Recovery
+	if r == nil {
+		return runUnits()
+	}
+	snapLocals := append([]value.Value(nil), fr.locals...)
+	snapRegs := append([]value.Value(nil), fr.regs...)
+	snapShared := make(map[int]int, len(fr.sharedSrc))
+	for k, v := range fr.sharedSrc {
+		snapShared[k] = v
+	}
+	effects0, writes0 := st.effects, st.it.HeapWrites
+	for attempt := 0; ; attempt++ {
+		err := runUnits()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= r.iterRetries() ||
+			st.effects != effects0 || st.it.HeapWrites != writes0 {
+			return err
+		}
+		copy(fr.locals, snapLocals)
+		copy(fr.regs, snapRegs)
+		fr.sharedSrc = make(map[int]int, len(snapShared))
+		for k, v := range snapShared {
+			fr.sharedSrc[k] = v
+		}
+		m.stats.iterRetries++
+		st.th.Sleep(r.backoff(attempt))
+	}
+}
+
 // runDOALL executes the loop with iterations statically scheduled
 // round-robin over `threads` workers (the calling thread acts as worker 0).
 // Every worker privately executes the loop-control machinery — the
@@ -38,25 +84,46 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 		fr := mainFr.clone()
 		st := m.newStepper(th, fr)
 		st.sharedActive = true
+		role := fmt.Sprintf("doall worker %d", w)
 		lastIter := int64(-1)
+		// bail handles a worker-fatal error: legacy mode aborts the whole
+		// simulation; resilient mode records the diagnosis and shuts the
+		// worker down in an orderly fashion (join message still sent).
+		bail := func(err error) (abort bool, fatal error) {
+			if !m.resilient() {
+				return true, err
+			}
+			m.fail(role, err)
+			return false, nil
+		}
 		for iter := int64(0); ; iter++ {
+			if m.resilient() && m.failed() {
+				break // a sibling hit an unrecoverable fault; stop early
+			}
 			exit, err := m.runCond(st)
 			if err != nil {
-				return err
+				if abort, fatal := bail(err); abort {
+					return fatal
+				}
+				break
 			}
 			if exit {
 				break
 			}
 			if iter%int64(threads) == int64(w) {
-				for _, unit := range m.la.Units.Units {
-					if _, err := st.runGroup(unit); err != nil {
-						return err
+				if err := m.runIterBody(st, fr); err != nil {
+					if abort, fatal := bail(err); abort {
+						return fatal
 					}
+					break
 				}
 				lastIter = iter
 			}
 			if _, err := st.runGroup(m.la.Units.Post); err != nil {
-				return err
+				if abort, fatal := bail(err); abort {
+					return fatal
+				}
+				break
 			}
 		}
 		th.Push(join, doallDone{worker: w, fr: fr, lastIter: lastIter})
@@ -87,6 +154,9 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 			lastIter = d.lastIter
 			lastFr = d.fr
 		}
+	}
+	if m.failDiag != nil {
+		return m.failDiag
 	}
 	src := lastFr
 	if src == nil {

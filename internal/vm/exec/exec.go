@@ -78,6 +78,26 @@ type Config struct {
 
 	// QueueCap bounds pipeline queues (default 32).
 	QueueCap int
+
+	// Recovery enables the fault-recovery policies (nil keeps the legacy
+	// abort-on-first-error behavior).
+	Recovery *Recovery
+
+	// Watchdog bounds virtual time and scheduler events; forwarded to the
+	// simulator so livelocks and stalls become diagnosed errors.
+	Watchdog des.Watchdog
+
+	// PushDelay, when set, returns extra virtual latency for a push on the
+	// named pipeline queue (wired to a fault injector's QueueDelay).
+	PushDelay func(queue string) int64
+
+	// ExtraAborts, when set, returns synthetic additional TM conflict
+	// aborts to charge on the next commit (a TM conflict storm).
+	ExtraAborts func() int
+
+	// Effectful names builtins with externally visible effects: a failed
+	// DOALL iteration that completed one cannot be re-executed.
+	Effectful map[string]bool
 }
 
 func (c *Config) queueCap() int {
@@ -93,17 +113,48 @@ type Result struct {
 	Threads     int
 	Schedule    string
 	Sync        SyncMode
+
+	// Resilience statistics (zero unless recovery is enabled).
+	CallRetries int  // transient member/builtin calls retried
+	IterRetries int  // DOALL iterations re-executed
+	Attempts    int  // execution attempts consumed by RunResilient
+	FellBack    bool // RunResilient degraded to the sequential fallback
+	Recovered   bool // injected faults were absorbed
 }
 
 // RunSequential executes the program sequentially and returns its virtual
-// time — the baseline for every speedup in the evaluation.
+// time — the baseline for every speedup in the evaluation. When recovery is
+// enabled, transient builtin failures are retried with exponential backoff
+// charged as virtual cost.
 func RunSequential(cfg Config) (*Result, error) {
 	env := interp.NewEnv(cfg.Prog, cfg.Builtins)
 	th := interp.NewThread(env)
+	retries := 0
+	if r := cfg.Recovery; r != nil {
+		th.Interceptor = func(t *interp.Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+			if cfg.Prog.Funcs[in.Name] != nil {
+				return invoke() // user function: inner builtin calls retry individually
+			}
+			for attempt := 0; ; attempt++ {
+				rets, err := invoke()
+				if err == nil || !IsTransient(err) || attempt >= r.callRetries() {
+					return rets, err
+				}
+				retries++
+				t.Cost += r.backoff(attempt)
+			}
+		}
+	}
 	if err := th.RunMain(); err != nil {
 		return nil, err
 	}
-	return &Result{VirtualTime: th.Cost, Threads: 1, Schedule: "Sequential"}, nil
+	return &Result{
+		VirtualTime: th.Cost,
+		Threads:     1,
+		Schedule:    "Sequential",
+		CallRetries: retries,
+		Recovered:   retries > 0,
+	}, nil
 }
 
 // Run executes the program with the target loop parallelized per the
@@ -127,6 +178,7 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 
 	m := newMachine(cfg, la, sched, mode)
 	sim := des.New(cfg.Cost)
+	sim.Watchdog = cfg.Watchdog
 	m.sim = sim
 	for _, set := range cfg.Model.Sets {
 		kind := des.Mutex
@@ -144,9 +196,14 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 		}
 		return err
 	})
-	makespan, err := sim.Run()
-	if err != nil {
-		return nil, err
+	makespan, simErr := sim.Run()
+	// A diagnosed unrecoverable fault is the root cause; prefer it over the
+	// watchdog/deadlock report it may have triggered downstream.
+	if m.failDiag != nil {
+		return nil, m.failDiag
+	}
+	if simErr != nil {
+		return nil, simErr
 	}
 	if runErr != nil {
 		return nil, runErr
@@ -156,6 +213,9 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 		Threads:     threads,
 		Schedule:    sched.String(),
 		Sync:        mode,
+		CallRetries: m.stats.callRetries,
+		IterRetries: m.stats.iterRetries,
+		Recovered:   m.stats.callRetries > 0 || m.stats.iterRetries > 0,
 	}, nil
 }
 
@@ -184,7 +244,29 @@ type machine struct {
 	unitOf map[int]int
 	// exitBlock is the loop's unique exit target.
 	exitBlock int
+
+	// failDiag records the first unrecoverable fault (resilient mode only);
+	// the simulator serializes threads, so plain fields suffice.
+	failDiag *FailureDiag
+	stats    struct {
+		callRetries int
+		iterRetries int
+	}
 }
+
+// resilient reports whether recovery policies are enabled.
+func (m *machine) resilient() bool { return m.cfg.Recovery != nil }
+
+// fail records the first unrecoverable fault; under deterministic
+// scheduling the first failure is the root cause, later ones are fallout.
+func (m *machine) fail(role string, err error) {
+	if m.failDiag == nil {
+		m.failDiag = &FailureDiag{Thread: role, Sched: m.sched.String(), Sync: m.mode, Err: err}
+	}
+}
+
+// failed reports whether an unrecoverable fault has been recorded.
+func (m *machine) failed() bool { return m.failDiag != nil }
 
 type instrLoc struct {
 	block int

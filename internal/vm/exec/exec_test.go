@@ -33,6 +33,7 @@ func (w *world) sigs() map[string]*types.Sig {
 		"fclose":    {Name: "fclose", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
 		"digest":    {Name: "digest", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
 		"print_int": {Name: "print_int", Params: []ast.Type{ast.TInt}, Result: ast.TVoid},
+		"bound":     {Name: "bound", Params: []ast.Type{ast.TInt}, Result: ast.TInt},
 	}
 }
 
@@ -45,6 +46,7 @@ func (w *world) effects() effects.Table {
 		"fclose":    {Reads: []effects.Loc{fs}, Writes: []effects.Loc{fs}},
 		"digest":    {},
 		"print_int": {Writes: []effects.Loc{console}},
+		"bound":     {},
 	}
 }
 
@@ -69,6 +71,11 @@ func (w *world) builtins() map[string]interp.BuiltinFn {
 		"print_int": func(args []value.Value) (value.Value, int64, error) {
 			w.prints = append(w.prints, fmt.Sprintf("%d", args[0].AsInt()))
 			return value.Void(), 100, nil
+		},
+		// bound is a pure loop-bound helper: calling it in a for-condition
+		// plants a builtin call inside the loop-control units.
+		"bound": func(args []value.Value) (value.Value, int64, error) {
+			return value.Int(args[0].AsInt()), 30, nil
 		},
 	}
 }

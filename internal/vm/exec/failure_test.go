@@ -10,17 +10,23 @@ import (
 	"repro/internal/vm/value"
 )
 
-// failingWorld injects a builtin error on the Nth call to digest.
+// failingWorld injects a builtin error on the Nth call to one builtin
+// (digest by default).
 type failingWorld struct {
 	world
+	name   string
 	failAt int
 	calls  int
 }
 
 func (w *failingWorld) builtins() map[string]interp.BuiltinFn {
+	name := w.name
+	if name == "" {
+		name = "digest"
+	}
 	fns := w.world.builtins()
-	base := fns["digest"]
-	fns["digest"] = func(args []value.Value) (value.Value, int64, error) {
+	base := fns[name]
+	fns[name] = func(args []value.Value) (value.Value, int64, error) {
 		w.calls++
 		if w.calls == w.failAt {
 			return value.Value{}, 0, errTest
@@ -36,9 +42,12 @@ func (testErr) Error() string { return "injected substrate failure" }
 
 var errTest = testErr{}
 
+// allSyncModes is every synchronization mechanism of Section 4.6.
+var allSyncModes = []exec.SyncMode{exec.SyncMutex, exec.SyncSpin, exec.SyncTM, exec.SyncLib}
+
 // TestWorkerErrorPropagates injects a builtin failure mid-run for every
-// schedule kind and thread count: the run must return the error, not hang
-// or panic, and the simulator must not deadlock.
+// schedule kind and every sync mode: the run must return the error, not
+// hang or panic, and the simulator must not deadlock.
 func TestWorkerErrorPropagates(t *testing.T) {
 	for _, src := range []string{md5Full, md5Det} {
 		cp := compileFor(t, src, 8)
@@ -47,17 +56,91 @@ func TestWorkerErrorPropagates(t *testing.T) {
 			if s == nil {
 				continue
 			}
-			for _, failAt := range []int{1, 7, 16} {
-				fw := &failingWorld{failAt: failAt}
+			for _, mode := range allSyncModes {
+				for _, failAt := range []int{1, 7, 16} {
+					fw := &failingWorld{failAt: failAt}
+					cfg := cp.cfg
+					cfg.Builtins = fw.builtins()
+					_, err := exec.Run(cfg, cp.la, s, mode, 4)
+					if err == nil {
+						t.Errorf("%v/%v failAt=%d: error not propagated", kind, mode, failAt)
+						continue
+					}
+					if !strings.Contains(err.Error(), "injected substrate failure") {
+						t.Errorf("%v/%v failAt=%d: err = %v", kind, mode, failAt, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// boundedLoop calls the pure builtin bound() in the for-condition, planting
+// a builtin call inside the loop-control units (executed by every DOALL
+// worker and by the pipeline dispatcher).
+const boundedLoop = `
+#pragma commset decl FSET
+#pragma commset predicate FSET (i1)(i2) : i1 != i2
+void main() {
+	int total = 0;
+	for (int i = 0; i < bound(24); i++) {
+		int d = digest(i);
+		#pragma commset member FSET(i), SELF
+		{ total += d; }
+	}
+	print_int(total);
+}
+`
+
+// TestFaultInLoopControl lands the failure inside the loop-control units:
+// the bound() call of the for-condition. Every schedule kind must propagate
+// it without hanging (loop control runs on every DOALL worker and on the
+// pipeline dispatcher).
+func TestFaultInLoopControl(t *testing.T) {
+	cp := compileFor(t, boundedLoop, 8)
+	for _, kind := range []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP} {
+		s := cp.sched[kind]
+		if s == nil {
+			continue
+		}
+		for _, mode := range allSyncModes {
+			fw := &failingWorld{name: "bound", failAt: 10}
+			cfg := cp.cfg
+			cfg.Builtins = fw.builtins()
+			_, err := exec.Run(cfg, cp.la, s, mode, 4)
+			if err == nil {
+				t.Errorf("%v/%v: loop-control fault not propagated", kind, mode)
+				continue
+			}
+			if !strings.Contains(err.Error(), "injected substrate failure") {
+				t.Errorf("%v/%v: err = %v", kind, mode, err)
+			}
+		}
+	}
+}
+
+// TestFaultInMergeStage lands the failure inside the in-order merge stage:
+// md5Det's print_int runs in the final sequential stage of DSWP/PS-DSWP,
+// which merges parallel-stage tokens back into iteration order.
+func TestFaultInMergeStage(t *testing.T) {
+	cp := compileFor(t, md5Det, 8)
+	for _, kind := range []transform.Kind{transform.DSWP, transform.PSDSWP} {
+		s := cp.sched[kind]
+		if s == nil {
+			continue
+		}
+		for _, mode := range allSyncModes {
+			for _, failAt := range []int{1, 5, 20} {
+				fw := &failingWorld{name: "print_int", failAt: failAt}
 				cfg := cp.cfg
 				cfg.Builtins = fw.builtins()
-				_, err := exec.Run(cfg, cp.la, s, exec.SyncSpin, 4)
+				_, err := exec.Run(cfg, cp.la, s, mode, 4)
 				if err == nil {
-					t.Errorf("%v failAt=%d: error not propagated", kind, failAt)
+					t.Errorf("%v/%v failAt=%d: merge-stage fault not propagated", kind, mode, failAt)
 					continue
 				}
 				if !strings.Contains(err.Error(), "injected substrate failure") {
-					t.Errorf("%v failAt=%d: err = %v", kind, failAt, err)
+					t.Errorf("%v/%v failAt=%d: err = %v", kind, mode, failAt, err)
 				}
 			}
 		}

@@ -12,9 +12,13 @@ import (
 // token is one iteration's payload flowing through the pipeline: the frame
 // slot values as of the end of the producing stage. Dependences between
 // stages are satisfied by these lock-free-queue tokens (paper Section 4.5).
+// A stop token ends the stream; a poisoned stop is the pill a failed stage
+// (or the dispatcher, once a failure is recorded) forwards downstream so
+// every stage shuts down in order instead of blocking on a dead producer.
 type token struct {
 	iter   int64
 	stop   bool
+	poison bool
 	locals []value.Value
 }
 
@@ -67,7 +71,12 @@ func (m *machine) runPipeline(mainTh *des.Thread, mainFr *frame, threads int) er
 		}
 		qs[i] = make([]*des.Queue, n)
 		for k := 0; k < n; k++ {
-			qs[i][k] = m.sim.NewQueue(fmt.Sprintf("q%d.%d", i, k), m.cfg.queueCap())
+			q := m.sim.NewQueue(fmt.Sprintf("q%d.%d", i, k), m.cfg.queueCap())
+			if m.cfg.PushDelay != nil {
+				name := q.Name
+				q.Stall = func() int64 { return m.cfg.PushDelay(name) }
+			}
+			qs[i][k] = q
 		}
 	}
 
@@ -114,6 +123,9 @@ func (m *machine) runPipeline(mainTh *des.Thread, mainFr *frame, threads int) er
 		if j.lastIter > finals[j.stage].iter {
 			finals[j.stage] = best{iter: j.lastIter, fr: j.fr}
 		}
+	}
+	if m.failDiag != nil {
+		return m.failDiag
 	}
 	for slot, stg := range owner {
 		if m.isShared(slot) {
@@ -229,10 +241,28 @@ func (m *machine) dispatch(th *des.Thread, mainFr *frame, reps []int, qs [][]*de
 	out := qs[0]
 	lastIter := int64(-1)
 
+	// bail handles a dispatcher-fatal error: legacy mode aborts the whole
+	// simulation; resilient mode records the diagnosis and falls through to
+	// the orderly stop-token broadcast below.
+	bail := func(err error) (abort bool, fatal error) {
+		if !m.resilient() {
+			return true, err
+		}
+		m.fail("dispatcher", err)
+		return false, nil
+	}
+
+loop:
 	for iter := int64(0); ; iter++ {
+		if m.resilient() && m.failed() {
+			break // a stage died: stop generating iterations
+		}
 		exit, err := m.runCond(st)
 		if err != nil {
-			return err
+			if abort, fatal := bail(err); abort {
+				return fatal
+			}
+			break
 		}
 		if exit {
 			break
@@ -241,7 +271,10 @@ func (m *machine) dispatch(th *des.Thread, mainFr *frame, reps []int, qs [][]*de
 		copy(locals, fr.locals) // iteration-start snapshot
 		for _, u := range m.sched.Stages[0].Units {
 			if _, err := st.runGroup(m.la.Units.Units[u]); err != nil {
-				return err
+				if abort, fatal := bail(err); abort {
+					return fatal
+				}
+				break loop
 			}
 		}
 		for slot := range ff[0] {
@@ -250,13 +283,16 @@ func (m *machine) dispatch(th *des.Thread, mainFr *frame, reps []int, qs [][]*de
 		st.flush()
 		th.Push(out[int(iter)%len(out)], token{iter: iter, locals: locals})
 		if _, err := st.runGroup(m.la.Units.Post); err != nil {
-			return err
+			if abort, fatal := bail(err); abort {
+				return fatal
+			}
+			break
 		}
 		lastIter = iter
 	}
 	st.flush()
 	for _, q := range out {
-		th.Push(q, token{stop: true})
+		th.Push(q, token{stop: true, poison: m.failed()})
 	}
 	th.Push(join, pipeJoin{stage: 0, rep: 0, lastIter: lastIter, fr: fr})
 	return nil
@@ -283,32 +319,61 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 		owned = m.stageWrites(si)
 	}
 
+	role := fmt.Sprintf("stage %d replica %d", si, rep)
 	lastIter := int64(-1)
 	seq := int64(0) // next expected iteration for round-robin input
 	if stage.Parallel {
 		seq = int64(rep)
 	}
-	for {
-		var inQ *des.Queue
+	advance := func() {
 		if stage.Parallel {
-			inQ = in[rep]
+			seq += int64(reps[si])
 		} else {
-			inQ = in[int(seq)%len(in)]
+			seq++
 		}
-		tok := th.Pop(inQ).(token)
+	}
+	// dead marks this worker as failed: it keeps draining (and discarding)
+	// its input so upstream producers never block on a full queue, then
+	// forwards exactly one poisoned stop per output queue.
+	dead := false
+	for {
+		var inIdx int
+		if stage.Parallel {
+			inIdx = rep
+		} else {
+			inIdx = int(seq) % len(in)
+		}
+		tok := th.Pop(in[inIdx]).(token)
 		if tok.stop {
+			poison := tok.poison || m.failed()
 			if out != nil {
 				st.flush()
 				if stage.Parallel {
 					// Each replica forwards its stop on its own queue.
-					th.Push(out[rep%len(out)], token{stop: true})
+					th.Push(out[rep%len(out)], token{stop: true, poison: poison})
 				} else {
 					for _, q := range out {
-						th.Push(q, token{stop: true})
+						th.Push(q, token{stop: true, poison: poison})
+					}
+				}
+			}
+			// On failure a sequential stage also drains its sibling input
+			// queues to their stops, so live upstream replicas still
+			// pushing in-flight tokens can always complete.
+			if m.resilient() && m.failed() && !stage.Parallel {
+				for k := range in {
+					if k == inIdx {
+						continue
+					}
+					for !th.Pop(in[k]).(token).stop {
 					}
 				}
 			}
 			break
+		}
+		if dead || (m.resilient() && m.failed()) {
+			advance()
+			continue // discard: the run is already diagnosed as failed
 		}
 		// Install the incoming frame, preserving stage-owned slots.
 		for i, v := range tok.locals {
@@ -319,8 +384,17 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 		}
 		for _, u := range stage.Units {
 			if _, err := st.runGroup(m.la.Units.Units[u]); err != nil {
-				return err
+				if !m.resilient() {
+					return err
+				}
+				m.fail(role, err)
+				dead = true
+				break
 			}
+		}
+		if dead {
+			advance()
+			continue
 		}
 		lastIter = tok.iter
 		if out != nil {
@@ -341,11 +415,7 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 			}
 			th.Push(q, token{iter: tok.iter, locals: locals})
 		}
-		if stage.Parallel {
-			seq += int64(reps[si])
-		} else {
-			seq++
-		}
+		advance()
 	}
 	th.Push(join, pipeJoin{stage: si, rep: rep, lastIter: lastIter, fr: fr})
 	return nil

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/transform"
+)
+
+// Recovery configures the fault-recovery policies of the parallel executors.
+// All recovery cost is charged in virtual time, so a recovered run's makespan
+// honestly reflects the retries it paid for.
+type Recovery struct {
+	// MaxCallRetries bounds per-call retries of transient builtin failures;
+	// 0 selects the default (3), negative disables call-level retry.
+	MaxCallRetries int
+	// BackoffBase is the virtual-time backoff charged before the first
+	// retry; it doubles on each subsequent attempt. 0 selects 200.
+	BackoffBase int64
+	// MaxIterRetries bounds DOALL iteration re-executions after call-level
+	// retry is exhausted; 0 selects the default (2), negative disables
+	// iteration retry.
+	MaxIterRetries int
+}
+
+// DefaultRecovery returns the standard policy (3 call retries, backoff base
+// 200, 2 iteration retries).
+func DefaultRecovery() *Recovery { return &Recovery{} }
+
+func (r *Recovery) callRetries() int {
+	switch {
+	case r.MaxCallRetries < 0:
+		return 0
+	case r.MaxCallRetries == 0:
+		return 3
+	}
+	return r.MaxCallRetries
+}
+
+func (r *Recovery) iterRetries() int {
+	switch {
+	case r.MaxIterRetries < 0:
+		return 0
+	case r.MaxIterRetries == 0:
+		return 2
+	}
+	return r.MaxIterRetries
+}
+
+// backoff returns the virtual-time penalty before retry attempt `attempt`
+// (0-based), doubling per attempt.
+func (r *Recovery) backoff(attempt int) int64 {
+	b := r.BackoffBase
+	if b <= 0 {
+		b = 200
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	return b << uint(attempt)
+}
+
+// IsTransient reports whether the error (anywhere in its chain) declares
+// itself transient — i.e. retrying the failed operation can succeed. The
+// executor stays decoupled from the fault-injection package by depending
+// only on this interface.
+func IsTransient(err error) bool {
+	var t interface{ IsTransient() bool }
+	return errors.As(err, &t) && t.IsTransient()
+}
+
+// FailureDiag is the diagnosed outcome of an unrecoverable fault: it names
+// the simulated thread that observed the fault, the schedule it was running,
+// and wraps the root cause.
+type FailureDiag struct {
+	Thread string
+	Sched  string
+	Sync   SyncMode
+	Err    error
+}
+
+// Error renders the diagnosis.
+func (d *FailureDiag) Error() string {
+	return fmt.Sprintf("exec: unrecoverable fault in %s (%s/%s): %v", d.Thread, d.Sched, d.Sync, d.Err)
+}
+
+// Unwrap exposes the root cause (e.g. a *faults.Error) to errors.As.
+func (d *FailureDiag) Unwrap() error { return d.Err }
+
+// ResilientOptions configures RunResilient.
+type ResilientOptions struct {
+	LA      *pipeline.LoopAnalysis
+	Sched   *transform.Schedule
+	Mode    SyncMode
+	Threads int
+
+	// Fresh builds a fresh Config (new substrate state, new fault-injector
+	// instantiation) for each execution attempt.
+	Fresh func() Config
+
+	// Accept, when set, validates the outcome of the attempt that just
+	// succeeded (e.g. output equivalence against the sequential reference);
+	// a non-nil error rejects the attempt. parallel reports whether the
+	// accepted run used the parallel schedule or the sequential fallback.
+	Accept func(parallel bool) error
+
+	// MaxAttempts bounds parallel-schedule attempts before degrading to the
+	// sequential fallback (default 2).
+	MaxAttempts int
+}
+
+// RunResilient executes the schedule with graceful degradation: up to
+// MaxAttempts parallel runs (each on a fresh substrate), then — if the
+// parallel schedule keeps failing or its output is rejected — a sequential
+// re-run whose output is validated the same way. Permanent (non-transient)
+// failures skip straight to the fallback, since re-running a deterministic
+// schedule cannot change the outcome.
+func RunResilient(opts ResilientOptions) (*Result, error) {
+	max := opts.MaxAttempts
+	if max <= 0 {
+		max = 2
+	}
+	attempts := 0
+	parallel := opts.Sched != nil && opts.Sched.Kind != transform.Sequential
+	var lastErr error
+	if parallel {
+		for a := 0; a < max; a++ {
+			attempts++
+			res, err := Run(opts.Fresh(), opts.LA, opts.Sched, opts.Mode, opts.Threads)
+			if err == nil {
+				if opts.Accept != nil {
+					if aerr := opts.Accept(true); aerr != nil {
+						lastErr = fmt.Errorf("exec: parallel output rejected: %w", aerr)
+						continue
+					}
+				}
+				res.Attempts = attempts
+				res.Recovered = res.CallRetries > 0 || res.IterRetries > 0
+				return res, nil
+			}
+			lastErr = err
+			if !IsTransient(err) {
+				break
+			}
+		}
+	}
+
+	// Graceful degradation: sequential re-run on a fresh substrate.
+	attempts++
+	res, err := RunSequential(opts.Fresh())
+	if err != nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("exec: parallel schedule failed (%v); sequential fallback failed: %w", lastErr, err)
+		}
+		return nil, err
+	}
+	if opts.Accept != nil {
+		if aerr := opts.Accept(false); aerr != nil {
+			return nil, fmt.Errorf("exec: sequential fallback produced divergent output: %w", aerr)
+		}
+	}
+	res.Sync = opts.Mode
+	if parallel {
+		res.Schedule = opts.Sched.String() + " (sequential fallback)"
+	}
+	res.Attempts = attempts
+	res.FellBack = parallel
+	res.Recovered = res.FellBack || res.CallRetries > 0
+	return res, nil
+}

@@ -55,6 +55,11 @@ type stepper struct {
 	// parallelized loop, after promotion).
 	sharedActive bool
 
+	// effects counts externalized events this stepper performed: member
+	// commits, shared-cell writes, and effectful builtin calls. Together
+	// with interp.Thread.HeapWrites it gates DOALL iteration re-execution.
+	effects int
+
 	flushed int64 // portion of it.Cost already charged to th
 }
 
@@ -63,12 +68,50 @@ func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
 	st.it = interp.NewThread(m.env)
 	st.it.ID = th.ID
 	st.it.Interceptor = func(t *interp.Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error) {
-		if len(m.cfg.Model.SetsOf[in.Name]) == 0 {
-			return invoke()
+		member := len(m.cfg.Model.SetsOf[in.Name]) > 0
+		builtin := m.env.Prog.Funcs[in.Name] == nil
+		switch {
+		case builtin:
+			// Builtins fail atomically (an injected failure fires before
+			// the builtin runs), so call-level retry is safe.
+			return st.invokeBuiltin(in.Name, member, invoke)
+		case member:
+			return st.withMemberSync(in.Name, invoke)
 		}
-		return st.withMemberSync(in.Name, invoke)
+		return invoke()
 	}
 	return st
+}
+
+// invokeBuiltin runs one builtin call — member-synchronized when member —
+// retrying transient injected failures with exponential backoff charged in
+// virtual time. User-function calls are never retried here: they may have
+// externalized partial work, and their inner builtin calls retry
+// individually through the interceptor.
+func (st *stepper) invokeBuiltin(name string, member bool, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+	run := func() ([]value.Value, error) {
+		if member {
+			return st.withMemberSync(name, invoke)
+		}
+		rets, err := invoke()
+		st.flush()
+		return rets, err
+	}
+	r := st.m.cfg.Recovery
+	for attempt := 0; ; attempt++ {
+		rets, err := run()
+		if err == nil {
+			if st.m.cfg.Effectful[name] {
+				st.effects++
+			}
+			return rets, nil
+		}
+		if r == nil || !IsTransient(err) || attempt >= r.callRetries() {
+			return nil, err
+		}
+		st.m.stats.callRetries++
+		st.th.Sleep(r.backoff(attempt))
+	}
 }
 
 // flush charges interpreter-accumulated cost to the simulated thread.
@@ -87,9 +130,21 @@ func (st *stepper) call(name string, args []value.Value) ([]value.Value, error) 
 }
 
 // withMemberSync executes body under the synchronization required for a
+// commutative member; a successful call counts as an externalized effect
+// (its commit is visible to other threads, so the iteration that made it
+// cannot be re-executed).
+func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
+	rets, err := st.memberSyncInner(name, body)
+	if err == nil {
+		st.effects++
+	}
+	return rets, err
+}
+
+// memberSyncInner executes body under the synchronization required for a
 // commutative member: locks of every (non-nosync) set the member belongs
 // to, acquired in global rank order and released in reverse (Section 4.6).
-func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
+func (st *stepper) memberSyncInner(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
 	m := st.m
 	lockSets := m.cfg.Model.LockSets(name)
 	st.flush()
@@ -127,6 +182,9 @@ func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error
 			st.th.Release(m.locks[lockSets[i]])
 		}
 		aborts := m.tm.conflicts(lockSets, tStart, st.th.VTime)
+		if m.cfg.ExtraAborts != nil {
+			aborts += m.cfg.ExtraAborts()
+		}
 		st.th.Charge(m.cfg.Cost.TMCommit + int64(aborts)*(workCost+m.cfg.Cost.TMAbortPenalty))
 		m.tm.record(lockSets, tStart, st.th.VTime)
 		return rets, err
@@ -239,6 +297,7 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 		}
 	case ir.OpStoreLocal:
 		if st.sharedActive && st.m.isShared(in.Slot) {
+			st.effects++
 			st.m.cells[in.Slot].v = fr.regs[in.A]
 		} else {
 			fr.locals[in.Slot] = fr.regs[in.A]
@@ -247,6 +306,7 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 		clearTag(in.Dst)
 		fr.regs[in.Dst] = st.m.env.Globals.Get(in.Name)
 	case ir.OpStoreGlobal:
+		st.it.HeapWrites++
 		st.m.env.Globals.Set(in.Name, fr.regs[in.A])
 	case ir.OpBin:
 		clearTag(in.Dst)
@@ -308,6 +368,7 @@ func (st *stepper) execCall(in *ir.Instr) error {
 		if member && st.sharedActive {
 			for i, slot := range in.OutSlots {
 				if st.m.isShared(slot) {
+					st.effects++
 					st.m.cells[slot].v = rets[i]
 				}
 			}
@@ -317,9 +378,13 @@ func (st *stepper) execCall(in *ir.Instr) error {
 
 	var rets []value.Value
 	var err error
-	if member {
+	builtin := st.m.env.Prog.Funcs[in.Name] == nil
+	switch {
+	case builtin:
+		rets, err = st.invokeBuiltin(in.Name, member, invoke)
+	case member:
 		rets, err = st.withMemberSync(in.Name, invoke)
-	} else {
+	default:
 		rets, err = invoke()
 		st.flush()
 	}
@@ -339,6 +404,7 @@ func (st *stepper) execCall(in *ir.Instr) error {
 		for i, slot := range in.OutSlots {
 			if st.sharedActive && st.m.isShared(slot) {
 				if !member {
+					st.effects++
 					st.m.cells[slot].v = rets[i]
 				}
 				// Member writes already landed in the cell under the lock.

@@ -94,6 +94,11 @@ type Thread struct {
 	Env  *Env
 	Cost int64 // accumulated virtual cost units
 
+	// HeapWrites counts global stores performed by this thread. The
+	// resilient executor uses it to tell whether a failed loop iteration
+	// externalized state (and therefore cannot be re-executed).
+	HeapWrites int
+
 	// ID identifies the logical thread inside the simulator (0 for the
 	// sequential reference executor).
 	ID int
@@ -204,6 +209,7 @@ func (t *Thread) step(f *ir.Func, in *ir.Instr, regs, locals []value.Value) (nex
 	case ir.OpLoadGlobal:
 		regs[in.Dst] = t.Env.Globals.Get(in.Name)
 	case ir.OpStoreGlobal:
+		t.HeapWrites++
 		t.Env.Globals.Set(in.Name, regs[in.A])
 	case ir.OpBin:
 		v, e := EvalBin(in.BinOp, regs[in.A], regs[in.B])
