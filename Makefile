@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race verify
+.PHONY: all build test vet fmt race vet-precision verify
 
 all: build
 
@@ -21,6 +21,11 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: build, vet, formatting, and the race-enabled
-# test suite.
-verify: build vet fmt race
+# Analyzer precision gate: corpus expectations + workload cleanliness,
+# with per-check diagnostic counts written to vet-precision.json.
+vet-precision:
+	$(GO) run ./cmd/commsetbench -vetprecision -precision-json vet-precision.json
+
+# The full pre-merge gate: build, vet, formatting, the race-enabled test
+# suite, and the analyzer precision gate.
+verify: build vet fmt race vet-precision

@@ -6,6 +6,7 @@
 //	commsetbench -figure3           the three md5sum schedules (Figure 3)
 //	commsetbench -claims            Section 5 qualitative claims checklist
 //	commsetbench -faults            deterministic fault-injection campaign
+//	commsetbench -vetprecision      analyzer precision gate (corpus + workloads)
 //	commsetbench -all               everything
 //
 // All results are simulated virtual-time speedups over the sequential run
@@ -23,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -43,17 +45,26 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "with -faults: run the CI-sized smoke subset")
 		seed     = flag.Uint64("faultseed", 1, "with -faults: fault plan seed")
 		novet    = flag.Bool("novet", false, "skip the commsetvet -werror pre-simulation gate")
+		vetprec  = flag.Bool("vetprecision", false, "run the analyzer precision gate (corpus + workloads, per-check counts)")
+		precJSON = flag.String("precision-json", "", "with -vetprecision: write the per-check JSON report to this file")
 		all      = flag.Bool("all", false, "print everything")
 		threads  = flag.Int("threads", 8, "maximum thread count")
 	)
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults = true, true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *vetprec = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults {
+	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*vetprec {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *vetprec {
+		if err := runVetPrecision(*precJSON, *threads); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 
 	// The vet gate runs before any simulation: a misannotated workload fails
@@ -150,6 +161,22 @@ func printFigure3(threads int) error {
 	fmt.Printf("  %-34s %12d %9.2f  (out-of-order prints)\n", doall.Schedule, doall.VirtualTime, doall.Speedup)
 	fmt.Printf("  paper: DOALL 7.6x, PS-DSWP 5.8x\n")
 	return nil
+}
+
+// runVetPrecision runs the analyzer precision gate and optionally writes
+// the per-check JSON report (the CI artifact) to jsonPath.
+func runVetPrecision(jsonPath string, threads int) error {
+	var jsonOut io.Writer
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonOut = f
+	}
+	_, err := bench.VetPrecision(os.Stdout, jsonOut, threads)
+	return err
 }
 
 func fatal(err error) {

@@ -40,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads  = fs.Int("threads", 8, "thread count for schedule generation in the race detector")
 		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
 		werror   = fs.Bool("werror", false, "treat analyzer warnings as errors")
+		baseline = fs.String("baseline", "", "suppress findings recorded in this JSON baseline (from -json); fail only on new ones")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: commsetvet [flags] (-workload NAME | program.mc)")
@@ -86,6 +87,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// With -baseline, findings already recorded in the saved JSON report are
+	// accepted debt: they are still printed (marked) but only findings absent
+	// from the baseline decide the exit status.
+	isNew := func(i int) bool { return true }
+	if *baseline != "" {
+		known, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "commsetvet:", err)
+			return 2
+		}
+		isNew = func(i int) bool {
+			d := &diags.Diags[i]
+			k := baselineKey(d.Sev.String(), d.File, d.Msg)
+			if known[k] > 0 {
+				known[k]--
+				return false
+			}
+			return true
+		}
+	}
+	newAt := make([]bool, len(diags.Diags))
+	for i := range diags.Diags {
+		newAt[i] = isNew(i)
+	}
+
 	if *jsonOut {
 		if err := writeJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "commsetvet:", err)
@@ -93,22 +119,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		for i := range diags.Diags {
+			if *baseline != "" && !newAt[i] {
+				fmt.Fprintln(stdout, "[baseline] "+diags.Diags[i].Error())
+				continue
+			}
 			fmt.Fprintln(stdout, diags.Diags[i].Error())
 		}
 	}
 
-	failed := diags.HasErrors()
-	if *werror {
-		for i := range diags.Diags {
-			if diags.Diags[i].Sev == source.SevWarning {
-				failed = true
-			}
+	failed := false
+	for i := range diags.Diags {
+		if !newAt[i] {
+			continue
+		}
+		sev := diags.Diags[i].Sev
+		if sev == source.SevError || (*werror && sev == source.SevWarning) {
+			failed = true
 		}
 	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// baselineKey identifies a finding for baseline comparison. Line and column
+// are deliberately excluded so unrelated edits that shift positions do not
+// resurface accepted findings; severity, file, and message must all match.
+func baselineKey(sev, file, msg string) string {
+	return sev + "\x00" + file + "\x00" + msg
+}
+
+// loadBaseline reads a saved -json report and returns a multiset of its
+// finding keys: each recorded finding forgives one identical finding now.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var saved []jsonDiag
+	if err := json.Unmarshal(data, &saved); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	known := make(map[string]int, len(saved))
+	for _, d := range saved {
+		known[baselineKey(d.Severity, d.File, d.Message)]++
+	}
+	return known, nil
 }
 
 // parseChecks turns the -checks flag into an analysis.Checks selection.

@@ -115,3 +115,62 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("two files must be a usage error")
 	}
 }
+
+func TestBaselineSuppressesKnownFindings(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "unsound_nosync.mc")
+
+	// Record a baseline from the current findings.
+	code, jsonText, _ := runVet(t, "-json", path)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(jsonText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Against its own baseline every finding is known: exit 0, findings
+	// still printed but marked.
+	code, stdout, stderr := runVet(t, "-baseline", base, path)
+	if code != 0 {
+		t.Fatalf("baselined run exit = %d, stderr:\n%s\nstdout:\n%s", code, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "[baseline] ") || !strings.Contains(stdout, "unsound commutativity") {
+		t.Errorf("known findings should be printed with the baseline mark:\n%s", stdout)
+	}
+
+	// A baseline that misses one finding must fail on exactly that finding.
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(jsonText), &diags); err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(t.TempDir(), "short.json")
+	trimmed, err := json.Marshal(diags[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(short, trimmed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t, "-baseline", short, path)
+	if code != 1 {
+		t.Fatalf("new finding must fail: exit = %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[baseline] ") {
+		t.Errorf("remaining known findings should still be marked:\n%s", stdout)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	path := filepath.Join("..", "..", "internal", "analysis", "testdata", "unsound_nosync.mc")
+	if code, _, stderr := runVet(t, "-baseline", "/nonexistent/b.json", path); code != 2 || !strings.Contains(stderr, "baseline") {
+		t.Errorf("missing baseline file: exit = %d, stderr:\n%s", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runVet(t, "-baseline", bad, path); code != 2 || !strings.Contains(stderr, "baseline") {
+		t.Errorf("malformed baseline: exit = %d, stderr:\n%s", code, stderr)
+	}
+}

@@ -62,6 +62,10 @@ type vet struct {
 	diags *source.DiagList
 	loops []loopCtx
 
+	// kf caches the whole-program key-flow/instance-flow summaries
+	// (computed lazily by keyflow()).
+	kf *keyFlow
+
 	// seen deduplicates reports: symmetric PDG edges and repeated schedules
 	// would otherwise report the same finding several times.
 	seen map[string]bool

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/source"
+)
+
+// The precision corpus is a set of small COMMSET programs, each seeded
+// with a known-true finding (a misannotation the analyzer must keep
+// reporting) or a known-false one (a precision trap the analyzer used to
+// warn about and must stay silent on). bench.VetPrecision runs every
+// analyzer pass over the corpus and fails when a true positive is lost or
+// a known false positive reappears, so precision and recall regressions
+// are caught the same way correctness regressions are.
+//
+// Expectations live in the program source as comment directives (the
+// lexer drops // comments, so they are invisible to compilation):
+//
+//	// vet:clean                               no warnings or errors at all
+//	// vet:expect error substr; substr...      ≥1 matching diagnostic must exist
+//	// vet:forbid warning substr; substr...    no diagnostic may match
+//
+// A diagnostic matches a directive when its severity equals the
+// directive's and its message contains every "; "-separated substring.
+// vet:expect lines are the seeded true positives; vet:forbid lines pin
+// resolved false positives.
+
+//go:embed testdata/corpus/*.mc
+var corpusFS embed.FS
+
+// CorpusMatch is one severity-plus-substrings diagnostic pattern.
+type CorpusMatch struct {
+	Sev    source.Severity
+	Substr []string
+}
+
+func (m CorpusMatch) String() string {
+	return m.Sev.String() + " " + strings.Join(m.Substr, "; ")
+}
+
+// matches reports whether diagnostic d satisfies the pattern.
+func (m CorpusMatch) matches(d *source.Diagnostic) bool {
+	if d.Sev != m.Sev {
+		return false
+	}
+	for _, s := range m.Substr {
+		if !strings.Contains(d.Msg, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// CorpusEntry is one corpus program with its parsed expectations.
+type CorpusEntry struct {
+	Name   string
+	Source string
+	// Expect patterns are seeded true positives: each must match at least
+	// one diagnostic.
+	Expect []CorpusMatch
+	// Forbid patterns are resolved false positives: none may match any
+	// diagnostic.
+	Forbid []CorpusMatch
+	// Clean requires zero diagnostics of warning severity or worse.
+	Clean bool
+}
+
+// Corpus returns the embedded precision corpus in name order.
+func Corpus() []CorpusEntry {
+	names, err := corpusFS.ReadDir("testdata/corpus")
+	if err != nil {
+		panic(fmt.Sprintf("analysis: corpus: %v", err))
+	}
+	var out []CorpusEntry
+	for _, de := range names {
+		if !strings.HasSuffix(de.Name(), ".mc") {
+			continue
+		}
+		src, err := corpusFS.ReadFile("testdata/corpus/" + de.Name())
+		if err != nil {
+			panic(fmt.Sprintf("analysis: corpus: %v", err))
+		}
+		e, err := parseCorpusEntry(strings.TrimSuffix(de.Name(), ".mc"), string(src))
+		if err != nil {
+			panic(fmt.Sprintf("analysis: corpus: %v", err))
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// parseCorpusEntry extracts the vet: directives from a corpus source.
+func parseCorpusEntry(name, src string) (CorpusEntry, error) {
+	e := CorpusEntry{Name: name, Source: src}
+	for ln, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "//") {
+			continue
+		}
+		t = strings.TrimSpace(strings.TrimPrefix(t, "//"))
+		if !strings.HasPrefix(t, "vet:") {
+			continue
+		}
+		t = strings.TrimPrefix(t, "vet:")
+		switch {
+		case t == "clean":
+			e.Clean = true
+		case strings.HasPrefix(t, "expect "), strings.HasPrefix(t, "forbid "):
+			kind, rest, _ := strings.Cut(t, " ")
+			m, err := parseCorpusMatch(rest)
+			if err != nil {
+				return e, fmt.Errorf("%s.mc:%d: %v", name, ln+1, err)
+			}
+			if kind == "expect" {
+				e.Expect = append(e.Expect, m)
+			} else {
+				e.Forbid = append(e.Forbid, m)
+			}
+		default:
+			return e, fmt.Errorf("%s.mc:%d: unknown vet: directive %q", name, ln+1, t)
+		}
+	}
+	if !e.Clean && len(e.Expect) == 0 && len(e.Forbid) == 0 {
+		return e, fmt.Errorf("%s.mc: no vet: directives", name)
+	}
+	return e, nil
+}
+
+func parseCorpusMatch(rest string) (CorpusMatch, error) {
+	sev, subs, ok := strings.Cut(strings.TrimSpace(rest), " ")
+	if !ok {
+		return CorpusMatch{}, fmt.Errorf("want \"<severity> <substr>[; <substr>...]\", got %q", rest)
+	}
+	m := CorpusMatch{}
+	switch sev {
+	case "error":
+		m.Sev = source.SevError
+	case "warning":
+		m.Sev = source.SevWarning
+	case "note":
+		m.Sev = source.SevNote
+	default:
+		return m, fmt.Errorf("unknown severity %q", sev)
+	}
+	for _, s := range strings.Split(subs, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			m.Substr = append(m.Substr, s)
+		}
+	}
+	if len(m.Substr) == 0 {
+		return m, fmt.Errorf("empty substring list in %q", rest)
+	}
+	return m, nil
+}
+
+// CheckCorpus verifies the analyzer output for one corpus entry, returning
+// one violation string per failed expectation (empty means the entry
+// passed).
+func (e *CorpusEntry) CheckCorpus(diags *source.DiagList) []string {
+	var bad []string
+	for _, m := range e.Expect {
+		found := false
+		for i := range diags.Diags {
+			if m.matches(&diags.Diags[i]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("%s: lost true positive: no diagnostic matches [%s]", e.Name, m))
+		}
+	}
+	for _, m := range e.Forbid {
+		for i := range diags.Diags {
+			if m.matches(&diags.Diags[i]) {
+				bad = append(bad, fmt.Sprintf("%s: false positive reappeared: %q matches [%s]",
+					e.Name, diags.Diags[i].Msg, m))
+			}
+		}
+	}
+	if e.Clean {
+		for i := range diags.Diags {
+			if diags.Diags[i].Sev >= source.SevWarning {
+				bad = append(bad, fmt.Sprintf("%s: expected clean, got: %s", e.Name, diags.Diags[i].Error()))
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrecisionCorpus compiles and vets every corpus entry and enforces
+// its expectations: seeded true positives must still be reported, resolved
+// false positives must not reappear, and clean entries must stay clean.
+func TestPrecisionCorpus(t *testing.T) {
+	entries := Corpus()
+	if len(entries) < 18 {
+		t.Fatalf("corpus has %d entries, want at least 18", len(entries))
+	}
+	var tns, tps int
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			diags := vetSource(t, e.Name+".mc", e.Source)
+			for _, v := range e.CheckCorpus(diags) {
+				t.Error(v)
+			}
+			if t.Failed() {
+				t.Logf("diagnostics:\n%s", diags)
+			}
+		})
+		if strings.HasPrefix(e.Name, "tn_") {
+			tns++
+		}
+		if strings.HasPrefix(e.Name, "tp_") {
+			tps++
+		}
+	}
+	if tns < 5 || tps < 5 {
+		t.Errorf("corpus balance: %d true negatives, %d true positives; want at least 5 of each", tns, tps)
+	}
+}

@@ -146,22 +146,30 @@ func (v *vet) accessKeyPositions(f *ir.Func, b *ir.Block, in *ir.Instr, m memb, 
 		if !r[loc] && !w[loc] {
 			return nil, false
 		}
-		k, ok := v.c.Summary.KeyedArg(in.Name, loc)
-		if !ok || k < 0 || k >= len(in.Args) {
-			return map[int]bool{}, true
-		}
-		def := defBefore(b, in, in.Args[k])
-		if def == nil || def.Op != ir.OpLoadLocal {
-			return map[int]bool{}, true
-		}
-		slot := def.Slot
-		if slot >= f.Params || slotStored(f, slot) {
+		// Keying callee positions: a declared key argument for builtins, the
+		// interprocedural key-flow summary for user callees — a predicate key
+		// forwarded through a helper still keys the access.
+		ks := v.keyedParams(in.Name, loc)
+		if len(ks) == 0 {
 			return map[int]bool{}, true
 		}
 		ps = map[int]bool{}
-		for j, p := range m.params {
-			if p == slot {
-				ps[j] = true
+		for _, k := range ks {
+			if k < 0 || k >= len(in.Args) {
+				continue
+			}
+			def := defBefore(b, in, in.Args[k])
+			if def == nil || def.Op != ir.OpLoadLocal {
+				continue
+			}
+			slot := def.Slot
+			if slot >= f.Params || slotStored(f, slot) {
+				continue
+			}
+			for j, p := range m.params {
+				if p == slot {
+					ps[j] = true
+				}
 			}
 		}
 		return ps, true
@@ -184,8 +192,9 @@ func blockOf(f *ir.Func, in *ir.Instr) *ir.Block {
 // argPosition maps a membership-argument register to the call operand
 // position carrying the same value. Lowering may evaluate the membership
 // argument into its own register, separate from the call operand, so when
-// no operand is the register itself, match through defining loads of the
-// same local slot with no intervening store.
+// no operand is the register itself, match through the root loads of both
+// registers: loads of the same local slot with no intervening store, with
+// plain local-to-local copies (j = i) traced back to the copied slot.
 func argPosition(b *ir.Block, call *ir.Instr, reg int) int {
 	for j, a := range call.Args {
 		if a == reg {
@@ -195,24 +204,63 @@ func argPosition(b *ir.Block, call *ir.Instr, reg int) int {
 	if b == nil {
 		return -1
 	}
-	def := defBefore(b, call, reg)
-	if def == nil || def.Op != ir.OpLoadLocal {
+	root := rootLoad(b, call, reg, 0)
+	if root == nil {
 		return -1
 	}
 	for j, a := range call.Args {
-		d := defBefore(b, call, a)
-		if d == nil || d.Op != ir.OpLoadLocal || d.Slot != def.Slot {
+		d := rootLoad(b, call, a, 0)
+		if d == nil || d.Slot != root.Slot {
 			continue
 		}
-		first := def
+		first := root
 		if instrIndex(b, d) < instrIndex(b, first) {
 			first = d
 		}
-		if !storedBetween(b, first, call, def.Slot) {
+		if !storedBetween(b, first, call, root.Slot) {
 			return j
 		}
 	}
 	return -1
+}
+
+// rootLoad resolves a register used by `before` to the earliest local-slot
+// load in b carrying the same value: the defining load itself, or — when
+// the loaded slot was last written by a plain copy of another load (j = i)
+// whose source slot is not overwritten before `before` — the copied load,
+// recursively. Returns nil when the register is not defined by a load.
+func rootLoad(b *ir.Block, before *ir.Instr, reg, depth int) *ir.Instr {
+	if depth > 4 {
+		return nil
+	}
+	def := defBefore(b, before, reg)
+	if def == nil || def.Op != ir.OpLoadLocal {
+		return nil
+	}
+	// Find the latest in-block write to the loaded slot before the load; a
+	// call output is not a traceable copy, so it ends the chain at def.
+	var st *ir.Instr
+	for _, in := range b.Instrs {
+		if in == def {
+			break
+		}
+		if in.Op == ir.OpStoreLocal && in.Slot == def.Slot {
+			st = in
+		}
+		if in.Op == ir.OpCall {
+			for _, s := range in.OutSlots {
+				if s == def.Slot {
+					st = nil
+				}
+			}
+		}
+	}
+	if st != nil {
+		if src := rootLoad(b, st, st.A, depth+1); src != nil && !storedBetween(b, src, before, src.Slot) {
+			return src
+		}
+	}
+	return def
 }
 
 // instrIndex returns the position of in within b.

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// regionCallMembs finds the first region call carrying CallMembs in main and
+// returns the vet, the containing block, the call, and its ArgRegs.
+func regionCallMembs(t *testing.T, src string) (*vet, *ir.Block, *ir.Instr, []int) {
+	t.Helper()
+	v := compileForVet(t, src)
+	f := v.c.Low.Prog.Funcs["main"]
+	if f == nil {
+		t.Fatal("no main")
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			if refs, ok := v.c.Low.CallMembs[in]; ok && len(refs) > 0 {
+				return v, b, in, refs[0].ArgRegs
+			}
+		}
+	}
+	t.Fatal("no region call with memberships in main")
+	return nil, nil, nil, nil
+}
+
+// TestArgPositionDirect covers the easy case: the membership argument and a
+// call operand load the same local slot.
+func TestArgPositionDirect(t *testing.T) {
+	_, b, call, regs := regionCallMembs(t, `
+#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int g = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member BSET(i)
+		{
+			bitmap_set(g, i);
+		}
+	}
+}`)
+	if len(regs) != 1 {
+		t.Fatalf("ArgRegs = %v", regs)
+	}
+	j := argPosition(b, call, regs[0])
+	if j < 0 || j >= len(call.Args) {
+		t.Fatalf("argPosition = %d, want a valid operand index", j)
+	}
+}
+
+// TestArgPositionThroughCopy traces the membership argument through a local
+// copy: the pragma names j, the region body consumes i, and j = i makes
+// them the same value at the call.
+func TestArgPositionThroughCopy(t *testing.T) {
+	_, b, call, regs := regionCallMembs(t, `
+#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int g = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		int j = i;
+		#pragma commset member BSET(j)
+		{
+			bitmap_set(g, i);
+		}
+	}
+}`)
+	if len(regs) != 1 {
+		t.Fatalf("ArgRegs = %v", regs)
+	}
+	j := argPosition(b, call, regs[0])
+	if j < 0 || j >= len(call.Args) {
+		t.Fatalf("argPosition = %d: copy of the loop variable not traced to the call operand", j)
+	}
+}
+
+// TestArgPositionRejectsClobberedCopy ensures the copy chain is not
+// followed when the source slot is overwritten between the copy and the
+// call: j and i then hold different values.
+func TestArgPositionRejectsClobberedCopy(t *testing.T) {
+	_, b, call, regs := regionCallMembs(t, `
+#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int g = bitmap_new(64);
+	int i = 0;
+	for (int n = 0; n < 8; n++) {
+		int j = i;
+		i = i + 2;
+		#pragma commset member BSET(j)
+		{
+			bitmap_set(g, i);
+		}
+	}
+}`)
+	if len(regs) != 1 {
+		t.Fatalf("ArgRegs = %v", regs)
+	}
+	if j := argPosition(b, call, regs[0]); j >= 0 {
+		// The operand carrying i must not be matched to j: i was
+		// reassigned after the copy.
+		for idx, a := range call.Args {
+			if idx != j {
+				continue
+			}
+			d := defBefore(b, call, a)
+			if d != nil && d.Op == ir.OpLoadLocal {
+				dj := defBefore(b, call, regs[0])
+				if dj != nil && dj.Op == ir.OpLoadLocal && dj.Slot != d.Slot {
+					t.Fatalf("argPosition matched clobbered copy: operand %d (slot %d) for membership slot %d", j, d.Slot, dj.Slot)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/effects"
+)
+
+// bitmapsLoc finds the abstract location of the bitmap registry in a
+// function's key-flow summary.
+func bitmapsLoc(t *testing.T, fn *fnKeyFlow) effects.Loc {
+	t.Helper()
+	for loc := range fn.keyed {
+		if strings.Contains(string(loc), "bitmaps") {
+			return loc
+		}
+	}
+	for loc := range fn.inst {
+		if strings.Contains(string(loc), "bitmaps") {
+			return loc
+		}
+	}
+	t.Fatal("no bitmaps location in summary")
+	return ""
+}
+
+// TestKeyflowHelperSummary checks the core summary shape for a one-hop
+// helper: mark(bm, k) forwards k into the keyed position and bm into the
+// instance position of bitmap_set, so its summary must say "parameter 1
+// keys every bitmaps access" and "parameter 0 is the handle".
+func TestKeyflowHelperSummary(t *testing.T) {
+	v := compileForVet(t, `
+void mark(int bm, int k) {
+	bitmap_set(bm, k);
+}
+
+void main() {
+	int g = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		mark(g, i);
+	}
+	print_int(bitmap_count(g));
+}`)
+	kf := v.keyflow()
+	fn := kf.fns["mark"]
+	if fn == nil {
+		t.Fatal("no summary for mark")
+	}
+	loc := bitmapsLoc(t, fn)
+	if !fn.keyed[loc][1] {
+		t.Errorf("mark: parameter 1 must key %s; keyed = %v", loc, fn.keyed[loc])
+	}
+	if fn.keyed[loc][0] {
+		t.Errorf("mark: parameter 0 is the handle, not a key; keyed = %v", fn.keyed[loc])
+	}
+	d := fn.inst[loc]
+	if d.kind != iParam || d.param != 0 {
+		t.Errorf("mark: instance = %v, want iParam(0)", d)
+	}
+	// keyedParams consults the summary for user functions.
+	if ps := v.keyedParams("mark", loc); len(ps) != 1 || ps[0] != 1 {
+		t.Errorf("keyedParams(mark) = %v, want [1]", ps)
+	}
+}
+
+// TestKeyflowChainAndLostKey checks a two-hop chain keeps the key and that
+// dropping the parameter (a constant key inside the helper) empties it.
+func TestKeyflowChainAndLostKey(t *testing.T) {
+	v := compileForVet(t, `
+void mark(int bm, int k) {
+	bitmap_set(bm, k);
+}
+
+void mark2(int bm, int k) {
+	mark(bm, k);
+}
+
+void pin(int bm, int k) {
+	bitmap_set(bm, 7);
+}
+
+void main() {
+	int g = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		mark2(g, i);
+		pin(g, i);
+	}
+}`)
+	kf := v.keyflow()
+	m2 := kf.fns["mark2"]
+	if m2 == nil {
+		t.Fatal("no summary for mark2")
+	}
+	loc := bitmapsLoc(t, m2)
+	if !m2.keyed[loc][1] {
+		t.Errorf("mark2: key must survive two hops; keyed = %v", m2.keyed[loc])
+	}
+	pin := kf.fns["pin"]
+	if pin == nil {
+		t.Fatal("no summary for pin")
+	}
+	if len(pin.keyed[loc]) != 0 {
+		t.Errorf("pin: constant key inside the helper must not be attributed to a parameter; keyed = %v", pin.keyed[loc])
+	}
+}
+
+// TestKeyflowRecursiveFixedPoint checks the SCC fixed point: a
+// self-recursive forwarder converges with the key parameter intact.
+func TestKeyflowRecursiveFixedPoint(t *testing.T) {
+	c, err := compileSourceErr("recursive.mc", recursiveKeySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &vet{c: c, seen: map[string]bool{}}
+	fn := v.keyflow().fns["mark_depth"]
+	if fn == nil {
+		t.Fatal("no summary for mark_depth")
+	}
+	loc := bitmapsLoc(t, fn)
+	if !fn.keyed[loc][1] {
+		t.Errorf("mark_depth: keyed = %v, want parameter 1", fn.keyed[loc])
+	}
+	d := fn.inst[loc]
+	if d.kind != iParam || d.param != 0 {
+		t.Errorf("mark_depth: instance = %v, want iParam(0)", d)
+	}
+}
+
+// TestKeyflowMixedHandlesGoTop checks the instance lattice join: a helper
+// touching two different handles must not claim a single one.
+func TestKeyflowMixedHandlesGoTop(t *testing.T) {
+	v := compileForVet(t, `
+void both(int a, int b, int k) {
+	bitmap_set(a, k);
+	bitmap_set(b, k);
+}
+
+void main() {
+	int g1 = bitmap_new(64);
+	int g2 = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		both(g1, g2, i);
+	}
+}`)
+	fn := v.keyflow().fns["both"]
+	if fn == nil {
+		t.Fatal("no summary for both")
+	}
+	loc := bitmapsLoc(t, fn)
+	if d := fn.inst[loc]; d.kind != iTop {
+		t.Errorf("both: instance = %v, want iTop (two distinct handles)", d)
+	}
+	// The key still holds: both accesses are keyed by parameter 2.
+	if !fn.keyed[loc][2] {
+		t.Errorf("both: keyed = %v, want parameter 2", fn.keyed[loc])
+	}
+}

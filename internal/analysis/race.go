@@ -91,7 +91,7 @@ func (v *vet) checkSchedule(lc loopCtx, g *transform.UnitGraph, sched *transform
 		if in1 == nil || in2 == nil {
 			continue
 		}
-		for _, loc := range v.conflictLocs(in1.Name, in2.Name) {
+		for _, loc := range v.conflictLocsAt(la, e, n1, n2) {
 			if v.raceProtected(la, e, n1, n2, loc) {
 				continue
 			}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestVetPrecision runs the full precision gate: every corpus expectation
+// must hold and every workload variant must stay warning-free under each
+// individual check.
+func TestVetPrecision(t *testing.T) {
+	var out, jsonOut bytes.Buffer
+	rep, err := VetPrecision(&out, &jsonOut, 4)
+	if err != nil {
+		t.Fatalf("VetPrecision: %v\n%s", err, out.String())
+	}
+	if rep.CorpusEntries < 18 {
+		t.Errorf("corpus entries = %d, want at least 18", rep.CorpusEntries)
+	}
+	if rep.Workloads < 8 {
+		t.Errorf("workloads = %d, want at least 8", rep.Workloads)
+	}
+	if rep.TruePositives == 0 {
+		t.Error("no true positives held: the corpus is not exercising the recall side")
+	}
+	if rep.FalsePositivesHeld == 0 {
+		t.Error("no false positives held off: the corpus is not exercising the precision side")
+	}
+	// The unsound check must account for the seeded errors; the corpus is
+	// designed so each pass has at least one firing entry.
+	if c := rep.Corpus["unsound"]; c.Errors == 0 {
+		t.Error("unsound check reported no corpus errors")
+	}
+	if c := rep.Corpus["lint"]; c.Warnings == 0 {
+		t.Error("lint check reported no corpus warnings")
+	}
+
+	// The JSON artifact must round-trip and agree with the report.
+	var back PrecisionReport
+	if err := json.Unmarshal(jsonOut.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if back.CorpusEntries != rep.CorpusEntries || back.TruePositives != rep.TruePositives {
+		t.Errorf("JSON round-trip mismatch: got %d/%d, want %d/%d",
+			back.CorpusEntries, back.TruePositives, rep.CorpusEntries, rep.TruePositives)
+	}
+	if !strings.Contains(out.String(), "vet precision:") {
+		t.Errorf("summary output missing header:\n%s", out.String())
+	}
+}
+
+// TestVetPrecisionNilJSON checks the JSON writer is optional.
+func TestVetPrecisionNilJSON(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := VetPrecision(&out, nil, 2); err != nil {
+		t.Fatalf("VetPrecision: %v\n%s", err, out.String())
+	}
+}

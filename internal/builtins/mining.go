@@ -77,13 +77,13 @@ func (w *World) registerMining() {
 		})
 
 	// --- Bitmap itemsets (geti) ---
-	w.register("bitmap_new", []ast.Type{ast.TInt}, ast.TInt, rw("bitmaps"),
+	w.register("bitmap_new", []ast.Type{ast.TInt}, ast.TInt, allocates(rw("bitmaps"), "bitmaps"),
 		func(args []value.Value) (value.Value, int64, error) {
 			n := args[0].AsInt()
 			w.bitmaps = append(w.bitmaps, make([]uint64, (n+63)/64))
 			return value.Int(int64(len(w.bitmaps) - 1)), 80, nil
 		})
-	w.register("bitmap_set", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, keyed(rw("bitmaps"), "bitmaps", 1),
+	w.register("bitmap_set", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, instanced(keyed(rw("bitmaps"), "bitmaps", 1), "bitmaps", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			bm, key := args[0].AsInt(), args[1].AsInt()
 			if bm < 0 || bm >= int64(len(w.bitmaps)) {
@@ -96,7 +96,7 @@ func (w *World) registerMining() {
 			b[key/64] |= 1 << (uint(key) % 64)
 			return value.Void(), 50, nil
 		})
-	w.register("bitmap_get", []ast.Type{ast.TInt, ast.TInt}, ast.TBool, keyed(rw("bitmaps"), "bitmaps", 1),
+	w.register("bitmap_get", []ast.Type{ast.TInt, ast.TInt}, ast.TBool, instanced(keyed(rw("bitmaps"), "bitmaps", 1), "bitmaps", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			bm, key := args[0].AsInt(), args[1].AsInt()
 			if bm < 0 || bm >= int64(len(w.bitmaps)) {
@@ -108,7 +108,7 @@ func (w *World) registerMining() {
 			}
 			return value.Bool(b[key/64]&(1<<(uint(key)%64)) != 0), 50, nil
 		})
-	w.register("bitmap_count", []ast.Type{ast.TInt}, ast.TInt, rw("bitmaps"),
+	w.register("bitmap_count", []ast.Type{ast.TInt}, ast.TInt, instanced(rw("bitmaps"), "bitmaps", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			bm := args[0].AsInt()
 			if bm < 0 || bm >= int64(len(w.bitmaps)) {
@@ -124,12 +124,12 @@ func (w *World) registerMining() {
 		})
 
 	// --- STL-like vector (geti output container) ---
-	w.register("vec_new", nil, ast.TInt, rw("vectors"),
+	w.register("vec_new", nil, ast.TInt, allocates(rw("vectors"), "vectors"),
 		func(args []value.Value) (value.Value, int64, error) {
 			w.vectors = append(w.vectors, nil)
 			return value.Int(int64(len(w.vectors) - 1)), 40, nil
 		})
-	w.register("vec_push", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, rw("vectors"),
+	w.register("vec_push", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, instanced(rw("vectors"), "vectors", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			v := args[0].AsInt()
 			if v < 0 || v >= int64(len(w.vectors)) {
@@ -138,7 +138,7 @@ func (w *World) registerMining() {
 			w.vectors[v] = append(w.vectors[v], args[1].AsInt())
 			return value.Void(), 45, nil
 		})
-	w.register("vec_len", []ast.Type{ast.TInt}, ast.TInt, rw("vectors"),
+	w.register("vec_len", []ast.Type{ast.TInt}, ast.TInt, instanced(rw("vectors"), "vectors", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			v := args[0].AsInt()
 			if v < 0 || v >= int64(len(w.vectors)) {
@@ -150,12 +150,12 @@ func (w *World) registerMining() {
 	// --- Itemsets (eclat): insertion order is semantically significant
 	// (the intersection code depends on a deterministic prefix), unlike the
 	// list-of-itemsets container with set semantics. ---
-	w.register("iset_new", nil, ast.TInt, rw("itemsets"),
+	w.register("iset_new", nil, ast.TInt, allocates(rw("itemsets"), "itemsets"),
 		func(args []value.Value) (value.Value, int64, error) {
 			w.itemsets = append(w.itemsets, nil)
 			return value.Int(int64(len(w.itemsets) - 1)), 60, nil
 		})
-	w.register("iset_insert", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, rw("itemsets"),
+	w.register("iset_insert", []ast.Type{ast.TInt, ast.TInt}, ast.TVoid, instanced(rw("itemsets"), "itemsets", 0),
 		func(args []value.Value) (value.Value, int64, error) {
 			s := args[0].AsInt()
 			if s < 0 || s >= int64(len(w.itemsets)) {

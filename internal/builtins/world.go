@@ -245,6 +245,28 @@ func keyed(d effects.Decl, tag string, arg int) effects.Decl {
 	return d
 }
 
+// instanced marks argument arg as selecting which handle of tag the builtin
+// touches (e.g. bitmap_count(bm) reads only bitmap `bm`). Operations on
+// provably distinct handles never conflict on the tag. Only per-handle
+// operations qualify: a builtin that also touches the shared handle
+// registry (an allocator's append) must not be instanced.
+func instanced(d effects.Decl, tag string, arg int) effects.Decl {
+	if d.InstanceBy == nil {
+		d.InstanceBy = map[effects.Loc]int{}
+	}
+	d.InstanceBy[effects.TagLoc(tag)] = arg
+	return d
+}
+
+// allocates marks the builtin as returning a globally fresh handle of tag
+// (no earlier or concurrent call ever returned it). The builtin's own
+// registry access stays uninstanced: concurrent allocations still conflict
+// with each other.
+func allocates(d effects.Decl, tag string) effects.Decl {
+	d.Allocates = append(d.Allocates, effects.TagLoc(tag))
+	return d
+}
+
 func (w *World) registerCore() {
 	w.register("print_str", []ast.Type{ast.TString}, ast.TVoid, wo("io.console"),
 		func(args []value.Value) (value.Value, int64, error) {

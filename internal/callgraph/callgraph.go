@@ -70,3 +70,95 @@ func (g *Graph) Calls(from, to string) bool {
 
 // Recursive reports whether fn can transitively call itself.
 func (g *Graph) Recursive(fn string) bool { return g.Calls(fn, fn) }
+
+// SCCs returns the strongly connected components of the call graph
+// restricted to the given function universe (builtin leaves and unknown
+// callees are skipped), in reverse topological order: every component is
+// emitted after all components it calls into. Summary-based analyses
+// process components in this order so callee summaries are final before
+// callers read them, and iterate to a fixed point only within a component
+// (mutual recursion).
+//
+// The implementation is Tarjan's algorithm, iterative so deep call chains
+// cannot overflow the Go stack, seeded in sorted order for determinism.
+func (g *Graph) SCCs(funcs map[string]bool) [][]string {
+	names := make([]string, 0, len(funcs))
+	for n := range funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		fn string
+		ci int // next callee index to visit
+	}
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{fn: root}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			callees := g.Callees[f.fn]
+			advanced := false
+			for f.ci < len(callees) {
+				c := callees[f.ci]
+				f.ci++
+				if !funcs[c] {
+					continue
+				}
+				if _, seen := index[c]; !seen {
+					index[c] = next
+					lowlink[c] = next
+					next++
+					stack = append(stack, c)
+					onStack[c] = true
+					work = append(work, frame{fn: c})
+					advanced = true
+					break
+				}
+				if onStack[c] && index[c] < lowlink[f.fn] {
+					lowlink[f.fn] = index[c]
+				}
+			}
+			if advanced {
+				continue
+			}
+			done := work[len(work)-1].fn
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].fn
+				if lowlink[done] < lowlink[parent] {
+					lowlink[parent] = lowlink[done]
+				}
+			}
+			if lowlink[done] == index[done] {
+				var comp []string
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					comp = append(comp, n)
+					if n == done {
+						break
+					}
+				}
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}

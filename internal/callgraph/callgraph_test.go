@@ -75,3 +75,72 @@ func TestReachabilityCached(t *testing.T) {
 		t.Error("cached query broken")
 	}
 }
+
+func TestSCCsReverseTopoOrder(t *testing.T) {
+	// main -> {a, b}; a <-> b mutual recursion; b -> leaf; solo self-loop.
+	g := Build(mkProg(map[string][]string{
+		"main": {"a", "b"},
+		"a":    {"b"},
+		"b":    {"a", "leaf", "builtin_x"},
+		"leaf": {},
+		"solo": {"solo"},
+	}))
+	universe := map[string]bool{"main": true, "a": true, "b": true, "leaf": true, "solo": true}
+	sccs := g.SCCs(universe)
+
+	pos := map[string]int{}
+	for i, comp := range sccs {
+		for _, fn := range comp {
+			if _, dup := pos[fn]; dup {
+				t.Fatalf("%s appears in two components", fn)
+			}
+			pos[fn] = i
+		}
+	}
+	for _, fn := range []string{"main", "a", "b", "leaf", "solo"} {
+		if _, ok := pos[fn]; !ok {
+			t.Fatalf("%s missing from SCCs", fn)
+		}
+	}
+	if _, ok := pos["builtin_x"]; ok {
+		t.Error("builtin leaf outside the universe must be skipped")
+	}
+	// a and b are mutually recursive: one component.
+	if pos["a"] != pos["b"] {
+		t.Errorf("a and b in different components: %d vs %d", pos["a"], pos["b"])
+	}
+	// Reverse topological: callees before callers.
+	if !(pos["leaf"] < pos["a"]) {
+		t.Errorf("leaf (callee) must precede the a/b component: %d vs %d", pos["leaf"], pos["a"])
+	}
+	if !(pos["a"] < pos["main"]) {
+		t.Errorf("a/b component must precede main: %d vs %d", pos["a"], pos["main"])
+	}
+}
+
+func TestSCCsDeterministic(t *testing.T) {
+	edges := map[string][]string{
+		"m": {"x", "y", "z"},
+		"x": {"y"},
+		"y": {"x"},
+		"z": {},
+	}
+	universe := map[string]bool{"m": true, "x": true, "y": true, "z": true}
+	first := Build(mkProg(edges)).SCCs(universe)
+	for i := 0; i < 10; i++ {
+		again := Build(mkProg(edges)).SCCs(universe)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d components, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if len(first[j]) != len(again[j]) {
+				t.Fatalf("run %d: component %d sizes differ", i, j)
+			}
+			for k := range first[j] {
+				if first[j][k] != again[j][k] {
+					t.Fatalf("run %d: component %d: %v vs %v", i, j, again[j], first[j])
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package effects
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/ir"
@@ -32,6 +33,57 @@ func GlobalLoc(name string) Loc { return Loc("g:" + name) }
 // TagLoc returns the location of a substrate effect tag.
 func TagLoc(tag string) Loc { return Loc("t:" + tag) }
 
+// InstKind discriminates instance descriptors of a qualified location.
+type InstKind int
+
+// Instance descriptor kinds, from most to least precise.
+const (
+	// InstNone: the location is unqualified (whole abstract location).
+	InstNone InstKind = iota
+	// InstConst: the handle is a compile-time integer constant.
+	InstConst
+	// InstSym: the handle is a symbolic identity (an allocation site, an
+	// invariant register, or a parameter), named by Sym.
+	InstSym
+)
+
+// Inst is the optional instance component of a location: which handle
+// (bitmap, open file, pool slot, ...) of the abstract location an access
+// touches. The zero value is "no instance information".
+type Inst struct {
+	Kind InstKind
+	C    int64  // InstConst payload
+	Sym  string // InstSym payload
+}
+
+// ConstInst builds a constant-handle instance.
+func ConstInst(c int64) Inst { return Inst{Kind: InstConst, C: c} }
+
+// SymInst builds a symbolic-handle instance.
+func SymInst(sym string) Inst { return Inst{Kind: InstSym, Sym: sym} }
+
+// String renders the instance component ("#3", "#<g:bm1>", "" for none).
+func (i Inst) String() string {
+	switch i.Kind {
+	case InstConst:
+		return fmt.Sprintf("#%d", i.C)
+	case InstSym:
+		return "#<" + i.Sym + ">"
+	}
+	return ""
+}
+
+// QLoc is an instance-qualified abstract location: a base location plus an
+// optional handle descriptor. "t:bitmaps#3" is bitmap 3 of the bitmap
+// registry; "t:bitmaps#<g:cand>" is the bitmap held by global cand.
+type QLoc struct {
+	Base Loc
+	Inst Inst
+}
+
+// String renders the qualified location.
+func (q QLoc) String() string { return string(q.Base) + q.Inst.String() }
+
 // Decl lists the abstract locations an operation reads and writes.
 //
 // KeyedBy optionally records, per location, the index of the argument that
@@ -40,11 +92,26 @@ func TagLoc(tag string) Loc { return Loc("t:" + tag) }
 // that location to argument 1). The analyzer uses it to recognize that a
 // COMMSETPREDICATE over the keying argument genuinely constrains accesses to
 // the location even without a lock.
+// InstanceBy optionally records, per location, the index of the argument
+// that selects which *instance* (handle) of that location the operation
+// touches (e.g. bitmap_count(bm) reads only bitmap `bm` of "t:bitmaps",
+// so InstanceBy maps that location to argument 0). Where KeyedBy names the
+// disjoint element within one handle, InstanceBy names the handle itself:
+// two operations on provably distinct handles never conflict on the
+// location, even when neither is keyed.
+//
+// Allocates optionally lists the locations for which the operation returns
+// a globally fresh instance handle (e.g. bitmap_new returns a handle no
+// earlier or concurrent call has ever returned). Freshness lets the
+// analyzer prove handles rooted at distinct allocation sites distinct.
 type Decl struct {
 	Reads  []Loc
 	Writes []Loc
 
 	KeyedBy map[Loc]int
+
+	InstanceBy map[Loc]int
+	Allocates  []Loc
 }
 
 // Table maps builtin names to their declared effects.
@@ -173,6 +240,34 @@ func (s *Summary) KeyedArg(name string, loc Loc) (int, bool) {
 	}
 	idx, ok := decl.KeyedBy[loc]
 	return idx, ok
+}
+
+// InstanceArg reports which argument of builtin name selects the handle of
+// loc it touches, if the builtin declares one. As with KeyedArg, user
+// functions never declare instances directly; the analyzer summarizes
+// their bodies instead.
+func (s *Summary) InstanceArg(name string, loc Loc) (int, bool) {
+	decl, ok := s.Builtins[name]
+	if !ok || decl.InstanceBy == nil {
+		return -1, false
+	}
+	idx, ok := decl.InstanceBy[loc]
+	return idx, ok
+}
+
+// AllocatesFresh reports whether builtin name returns a globally fresh
+// instance handle of loc.
+func (s *Summary) AllocatesFresh(name string, loc Loc) bool {
+	decl, ok := s.Builtins[name]
+	if !ok {
+		return false
+	}
+	for _, l := range decl.Allocates {
+		if l == loc {
+			return true
+		}
+	}
+	return false
 }
 
 // CallEffects returns the abstract reads/writes of a call to name: the

@@ -119,3 +119,67 @@ func TestLocConstructors(t *testing.T) {
 		t.Error("TagLoc format")
 	}
 }
+
+func TestInstRendering(t *testing.T) {
+	if got := (Inst{}).String(); got != "" {
+		t.Errorf("zero Inst = %q, want empty", got)
+	}
+	if got := ConstInst(3).String(); got != "#3" {
+		t.Errorf("ConstInst(3) = %q", got)
+	}
+	if got := SymInst("g:cand").String(); got != "#<g:cand>" {
+		t.Errorf("SymInst = %q", got)
+	}
+	q := QLoc{Base: TagLoc("bitmaps"), Inst: ConstInst(3)}
+	if got := q.String(); got != "t:bitmaps#3" {
+		t.Errorf("QLoc = %q", got)
+	}
+	if got := (QLoc{Base: TagLoc("bitmaps")}).String(); got != "t:bitmaps" {
+		t.Errorf("unqualified QLoc = %q", got)
+	}
+}
+
+func TestInstanceArgAndAllocatesFresh(t *testing.T) {
+	bm := TagLoc("bitmaps")
+	tbl := Table{
+		"bitmap_new": {
+			Reads:     []Loc{bm},
+			Writes:    []Loc{bm},
+			Allocates: []Loc{bm},
+		},
+		"bitmap_set": {
+			Reads:      []Loc{bm},
+			Writes:     []Loc{bm},
+			KeyedBy:    map[Loc]int{bm: 1},
+			InstanceBy: map[Loc]int{bm: 0},
+		},
+	}
+	s := Summarize(buildProg(), tbl)
+
+	if idx, ok := s.InstanceArg("bitmap_set", bm); !ok || idx != 0 {
+		t.Errorf("InstanceArg(bitmap_set) = %d, %v; want 0, true", idx, ok)
+	}
+	if _, ok := s.InstanceArg("bitmap_set", TagLoc("io")); ok {
+		t.Error("InstanceArg must miss for an uninstanced location")
+	}
+	if _, ok := s.InstanceArg("bitmap_new", bm); ok {
+		t.Error("InstanceArg must miss for a declaration without InstanceBy")
+	}
+	if _, ok := s.InstanceArg("nope", bm); ok {
+		t.Error("InstanceArg must miss for an unknown callee")
+	}
+
+	if !s.AllocatesFresh("bitmap_new", bm) {
+		t.Error("bitmap_new must allocate a fresh bitmaps handle")
+	}
+	if s.AllocatesFresh("bitmap_new", TagLoc("io")) {
+		t.Error("AllocatesFresh must miss for a location not in Allocates")
+	}
+	if s.AllocatesFresh("bitmap_set", bm) {
+		t.Error("bitmap_set does not allocate")
+	}
+
+	if k, ok := s.KeyedArg("bitmap_set", bm); !ok || k != 1 {
+		t.Errorf("KeyedArg(bitmap_set) = %d, %v; want 1, true", k, ok)
+	}
+}

@@ -53,18 +53,27 @@ const (
 	KConst Kind = iota
 	KAffine
 	KInvariant
+	KAlloc
 	KUnknown
 )
 
 // Val is a symbolic value. Inst records which member instance (1 or 2) the
 // value belongs to, which matters for Affine values: instance 1's induction
-// variable and instance 2's differ under the loop-carried assumption.
+// variable and instance 2's differ under the loop-carried assumption — and
+// for per-iteration Alloc values, which are fresh in every iteration.
 type Val struct {
 	Kind Kind
 	C    value.Value // KConst payload
 	A, B int64       // KAffine: A*iv + B
-	ID   string      // KInvariant identity
-	Inst int         // 1 or 2 (for Affine)
+	ID   string      // KInvariant identity, or KAlloc allocation site
+	Inst int         // 1 or 2 (for Affine and per-iteration Alloc)
+
+	// PerIter marks a KAlloc value re-allocated on every loop iteration (a
+	// handle stored from an allocator call inside the loop body): under the
+	// different-iteration assumption the two instances' handles come from
+	// distinct allocator calls and are therefore unequal even though they
+	// share a site.
+	PerIter bool
 }
 
 // Const wraps a constant.
@@ -78,6 +87,16 @@ func Affine(a, b int64, inst int) Val { return Val{Kind: KAffine, A: a, B: b, In
 
 // Invariant builds a loop-invariant unknown with an identity.
 func Invariant(id string) Val { return Val{Kind: KInvariant, ID: id} }
+
+// Alloc builds an allocator-rooted handle value: a value returned by a
+// fresh-handle allocator (effects.Decl.Allocates) reached through the
+// single store of the named site. Allocator freshness makes handles from
+// distinct sites provably unequal; perIter additionally makes a site's
+// handles unequal across iterations (the site re-allocates every
+// iteration).
+func Alloc(site string, perIter bool, inst int) Val {
+	return Val{Kind: KAlloc, ID: site, PerIter: perIter, Inst: inst}
+}
 
 // UnknownVal is the bottom symbolic value.
 func UnknownVal() Val { return Val{Kind: KUnknown} }
@@ -245,8 +264,37 @@ func arith(op token.Kind, a, b Val) Val {
 	return UnknownVal()
 }
 
+// ValsEqual reports the three-valued equality of two symbolic values under
+// the given iteration assumption. It is the entry point for instance-
+// disjointness queries: two handle values whose equality is definitely
+// False select disjoint instances of a location, so accesses through them
+// cannot conflict.
+func ValsEqual(a, b Val, assume Assumption) Tri {
+	e := evaluator{env: Env{}, assume: assume}
+	return e.equal(a, b)
+}
+
 // equal compares two symbolic values under the iteration assumption.
 func (e *evaluator) equal(a, b Val) Tri {
+	// Allocator-rooted handles: distinct sites never coincide (every
+	// allocator call returns a fresh handle). A shared site is the same
+	// handle unless the site re-allocates per iteration and the instances
+	// run in different iterations. An allocator-rooted handle compared
+	// against a non-allocator value stays Unknown: handles are plain
+	// integers in this model, so an arbitrary integer may numerically
+	// collide with one.
+	if a.Kind == KAlloc && b.Kind == KAlloc {
+		if a.ID != b.ID {
+			return False
+		}
+		if a.PerIter && b.PerIter && e.assume == DifferentIteration && a.Inst != b.Inst {
+			return False
+		}
+		return Unknown
+	}
+	if a.Kind == KAlloc || b.Kind == KAlloc {
+		return Unknown
+	}
 	// Constants (non-int; ints are normalized to affine).
 	if a.Kind == KConst && b.Kind == KConst {
 		if a.C.Equal(b.C) {

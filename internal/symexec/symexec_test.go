@@ -171,3 +171,60 @@ func TestProvablyFalse(t *testing.T) {
 		}
 	}
 }
+
+func TestValsEqualAllocRules(t *testing.T) {
+	// Distinct allocation sites never alias.
+	a := Alloc("g:b1", false, 1)
+	b := Alloc("g:b2", false, 2)
+	if got := ValsEqual(a, b, DifferentIteration); got != False {
+		t.Errorf("distinct sites: %v, want False", got)
+	}
+	// Same site: only disequality is proven; equality stays Unknown
+	// (sound: the analyzer acts only on a definite False).
+	if got := ValsEqual(Alloc("g:b1", false, 1), Alloc("g:b1", false, 2), DifferentIteration); got == False {
+		t.Errorf("same invariant site: %v, must not be False", got)
+	}
+	// A per-iteration site yields a fresh handle each iteration: distinct
+	// instances in distinct iterations, equal within one iteration.
+	p1 := Alloc("s:3", true, 1)
+	p2 := Alloc("s:3", true, 2)
+	if got := ValsEqual(p1, p2, DifferentIteration); got != False {
+		t.Errorf("per-iter site across iterations: %v, want False", got)
+	}
+	if got := ValsEqual(Alloc("s:3", true, 1), Alloc("s:3", true, 1), SameIteration); got == False {
+		t.Errorf("per-iter site same iteration: %v, must not be False", got)
+	}
+	// An allocation compared to an arbitrary value proves nothing.
+	if got := ValsEqual(a, Invariant("x"), DifferentIteration); got != Unknown {
+		t.Errorf("alloc vs invariant: %v, want Unknown", got)
+	}
+	if got := ValsEqual(a, UnknownVal(), SameIteration); got != Unknown {
+		t.Errorf("alloc vs unknown: %v, want Unknown", got)
+	}
+}
+
+func TestValsEqualAffineRules(t *testing.T) {
+	// Constant handles: equality is integer equality.
+	if got := ValsEqual(Affine(0, 4, 1), Affine(0, 4, 2), DifferentIteration); got != True {
+		t.Errorf("equal constants: %v, want True", got)
+	}
+	if got := ValsEqual(Affine(0, 4, 1), Affine(0, 5, 2), DifferentIteration); got != False {
+		t.Errorf("distinct constants: %v, want False", got)
+	}
+	// i vs i across different iterations: provably unequal.
+	if got := ValsEqual(Affine(1, 0, 1), Affine(1, 0, 2), DifferentIteration); got != False {
+		t.Errorf("IV across iterations: %v, want False", got)
+	}
+	// Same iteration, same coefficients: equal.
+	if got := ValsEqual(Affine(1, 0, 1), Affine(1, 0, 1), SameIteration); got != True {
+		t.Errorf("IV same iteration: %v, want True", got)
+	}
+	// 2i vs 2i+1 never collide regardless of iterations.
+	if got := ValsEqual(Affine(2, 0, 1), Affine(2, 1, 2), DifferentIteration); got != False {
+		t.Errorf("2i vs 2i'+1: %v, want False", got)
+	}
+	// i vs i+3 across iterations may collide (i' = i+3).
+	if got := ValsEqual(Affine(1, 0, 1), Affine(1, 3, 2), DifferentIteration); got != Unknown {
+		t.Errorf("i vs i'+3: %v, want Unknown", got)
+	}
+}
