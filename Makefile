@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race vet-precision verify
+.PHONY: all build test vet fmt race vet-precision bench-schedule verify
 
 all: build
 
@@ -26,6 +26,13 @@ race:
 vet-precision:
 	$(GO) run ./cmd/commsetbench -vetprecision -precision-json vet-precision.json
 
+# Schedule-report smoke: run the profile-guided auto-scheduler over every
+# figure cell and write the executed schedules and speedups to
+# BENCH_schedule.json (the CI artifact). -novet: vet-precision already
+# gates the analyzers.
+bench-schedule:
+	$(GO) run ./cmd/commsetbench -json BENCH_schedule.json -auto -novet
+
 # The full pre-merge gate: build, vet, formatting, the race-enabled test
-# suite, and the analyzer precision gate.
-verify: build vet fmt race vet-precision
+# suite, the analyzer precision gate, and the schedule-report smoke.
+verify: build vet fmt race vet-precision bench-schedule

@@ -95,7 +95,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure6Geomean(b *testing.B) {
 	var comm, noann float64
 	for i := 0; i < b.N; i++ {
-		figs, err := bench.PrintFigure6(io.Discard, 8)
+		figs, err := bench.PrintFigure6(io.Discard, 8, false)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
 		werror   = fs.Bool("werror", false, "treat analyzer warnings as errors")
 		baseline = fs.String("baseline", "", "suppress findings recorded in this JSON baseline (from -json); fail only on new ones")
+		priv     = fs.Bool("privatize", false, "analyze under the runtime's privatized-commutative-update tuning (suppresses races a common commset relaxes; the unsound audit still runs)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: commsetvet [flags] (-workload NAME | program.mc)")
@@ -81,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := analysis.Run(c, analysis.Options{Checks: cks, Threads: *threads})
+	diags, err := analysis.Run(c, analysis.Options{Checks: cks, Threads: *threads, Privatize: *priv})
 	if err != nil {
 		fmt.Fprintln(stderr, "commsetvet:", err)
 		return 2

@@ -47,6 +47,17 @@ type Options struct {
 	// detector examines every schedule the compiler would emit). Defaults
 	// to 8.
 	Threads int
+	// Privatize analyzes the program as executed under the runtime's
+	// privatized-commutative-update tuning: every commutative member
+	// update runs against a per-thread shadow copy and is published by one
+	// synchronized merge per worker at loop exit, so cross-iteration
+	// conflicts relaxed by a common commset are no longer concurrent and
+	// the race detector stays quiet about them. Only the race check is
+	// affected: conflicts no commset relaxes still race, and the
+	// unsound-commutativity audit still reports claims the model cannot
+	// support — privatization changes when updates are published, not
+	// whether they commute.
+	Privatize bool
 }
 
 // loopCtx is one analyzed loop with the function that owns it.

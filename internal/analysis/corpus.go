@@ -23,6 +23,7 @@ import (
 //	// vet:clean                               no warnings or errors at all
 //	// vet:expect error substr; substr...      ≥1 matching diagnostic must exist
 //	// vet:forbid warning substr; substr...    no diagnostic may match
+//	// vet:privatize                           analyze under Options.Privatize
 //
 // A diagnostic matches a directive when its severity equals the
 // directive's and its message contains every "; "-separated substring.
@@ -67,6 +68,9 @@ type CorpusEntry struct {
 	Forbid []CorpusMatch
 	// Clean requires zero diagnostics of warning severity or worse.
 	Clean bool
+	// Privatize runs the analyzer with Options.Privatize (the privatized
+	// commutative-update execution model).
+	Privatize bool
 }
 
 // Corpus returns the embedded precision corpus in name order.
@@ -110,6 +114,8 @@ func parseCorpusEntry(name, src string) (CorpusEntry, error) {
 		switch {
 		case t == "clean":
 			e.Clean = true
+		case t == "privatize":
+			e.Privatize = true
 		case strings.HasPrefix(t, "expect "), strings.HasPrefix(t, "forbid "):
 			kind, rest, _ := strings.Cut(t, " ")
 			m, err := parseCorpusMatch(rest)

@@ -17,7 +17,11 @@ func TestPrecisionCorpus(t *testing.T) {
 	for _, e := range entries {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			diags := vetSource(t, e.Name+".mc", e.Source)
+			c := compileSource(t, e.Name+".mc", e.Source)
+			diags, err := Run(c, Options{Checks: DefaultChecks(), Privatize: e.Privatize})
+			if err != nil {
+				t.Fatalf("analyze %s: %v", e.Name, err)
+			}
 			for _, v := range e.CheckCorpus(diags) {
 				t.Error(v)
 			}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/transform"
+)
+
+func countContaining(diags *source.DiagList, substr string) int {
+	n := 0
+	for i := range diags.Diags {
+		if strings.Contains(diags.Diags[i].Msg, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPrivatizeSuppressesRelaxedRace: raceySrc has a commset-relaxed but
+// key-uncovered console conflict. Without Privatize the race detector
+// reports it; with Privatize the update is analyzed as a per-thread
+// shadow write with a synchronized merge, so only the race goes away —
+// the unsound-commutativity audit of the claim itself must survive.
+func TestPrivatizeSuppressesRelaxedRace(t *testing.T) {
+	c := compileSource(t, "racey.mc", raceySrc)
+
+	plain, err := Run(c, Options{Checks: DefaultChecks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countContaining(plain, "data race") == 0 {
+		t.Fatal("no race reported without privatization — test premise broken")
+	}
+	if countContaining(plain, "unsound commutativity") == 0 {
+		t.Fatal("no unsound report without privatization — test premise broken")
+	}
+
+	priv, err := Run(c, Options{Checks: DefaultChecks(), Privatize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countContaining(priv, "data race"); n != 0 {
+		t.Errorf("privatized analysis still reports %d race(s):\n%s", n, priv)
+	}
+	if countContaining(priv, "unsound commutativity") == 0 {
+		t.Errorf("privatization silenced the unsound-commutativity audit:\n%s", priv)
+	}
+}
+
+// TestPrivatizeKeepsUnrelaxedRace: a conflict no commset relaxes is not
+// rescued by privatization — there is no commutative set to merge under,
+// so the partitioner-violation race must still be reported.
+func TestPrivatizeKeepsUnrelaxedRace(t *testing.T) {
+	v := compileForVet(t, `
+void main() {
+	for (int i = 0; i < 8; i++) {
+		print_int(i);
+	}
+}`)
+	v.opts.Threads = 4
+	v.opts.Privatize = true
+	v.diags = &source.DiagList{}
+	prepare(t, v)
+	if len(v.loops) == 0 {
+		t.Fatal("no loops analyzed")
+	}
+	lc := v.loops[0]
+	g := transform.BuildUnitGraph(lc.la, nil)
+	units := make([]int, 0, g.NumUnits)
+	for u := 0; u < g.NumUnits; u++ {
+		units = append(units, u)
+	}
+	sched := &transform.Schedule{
+		Kind:   transform.DOALL,
+		Stages: []transform.Stage{{Units: units, Parallel: true}},
+	}
+	v.checkSchedule(lc, g, sched)
+	if countContaining(v.diags, "data race") == 0 {
+		t.Error("privatization wrongly rescued an unrelaxed conflict")
+	}
+}

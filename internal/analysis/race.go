@@ -95,6 +95,12 @@ func (v *vet) checkSchedule(lc loopCtx, g *transform.UnitGraph, sched *transform
 			if v.raceProtected(la, e, n1, n2, loc) {
 				continue
 			}
+			if v.opts.Privatize && v.privatizable(la, e, n1, n2) {
+				// Under the privatization tuning the commutative update
+				// runs on per-thread shadow state and merges once under
+				// the set's sync mode — the conflict is never concurrent.
+				continue
+			}
 			key := fmt.Sprintf("race|%s|%s", orderedPosKey(in1.Pos, in2.Pos), loc)
 			if !v.once(key) {
 				continue
@@ -124,6 +130,28 @@ func (v *vet) raceProtected(la *pipeline.LoopAnalysis, e *pdg.Edge, n1, n2 int, 
 		m1, ok1 := membIn(m1s, s)
 		m2, ok2 := membIn(m2s, s)
 		if ok1 && ok2 && v.covers(s, m1, m2, loc) {
+			return true
+		}
+	}
+	return false
+}
+
+// privatizable reports whether the privatization tuning serializes the
+// conflict: both instances are members of a common commset that relaxes
+// the edge, so their updates land in per-thread shadow state and publish
+// through one synchronized merge per worker. A conflict that touches
+// state no commset declares commutative (CommNone, or no common set) is
+// not rescued — its merge would touch non-commutative state.
+func (v *vet) privatizable(la *pipeline.LoopAnalysis, e *pdg.Edge, n1, n2 int) bool {
+	if e.Comm == pdg.CommNone {
+		return false
+	}
+	m1s := v.membsOf(la, n1)
+	m2s := v.membsOf(la, n2)
+	for _, s := range e.CommBy {
+		_, ok1 := membIn(m1s, s)
+		_, ok2 := membIn(m2s, s)
+		if ok1 && ok2 {
 			return true
 		}
 	}

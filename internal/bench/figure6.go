@@ -18,6 +18,10 @@ type Series struct {
 	Kind     transform.Kind
 	Sync     exec.SyncMode
 	Speedups []float64 // index 0 = 1 thread
+
+	// Schedule is the executed schedule label at max threads, including
+	// any auto-selected tuning (e.g. "DOALL {chunked(8)+priv}").
+	Schedule string
 }
 
 // At returns the speedup at the given thread count.
@@ -94,8 +98,9 @@ func specsFor(wl *workloads.Workload) []seriesSpec {
 	return specs
 }
 
-// Figure6 measures the speedup-vs-threads series for one workload.
-func Figure6(wl *workloads.Workload, maxThreads int) (*Figure, error) {
+// Figure6 measures the speedup-vs-threads series for one workload. With
+// auto, every run goes through the profile-guided auto-scheduler.
+func Figure6(wl *workloads.Workload, maxThreads int, auto bool) (*Figure, error) {
 	fig := &Figure{WL: wl}
 	compiled := map[string]*Compiled{}
 	for _, spec := range specsFor(wl) {
@@ -118,13 +123,14 @@ func Figure6(wl *workloads.Workload, maxThreads int) (*Figure, error) {
 		}
 		schedLabel := ""
 		for t := 1; t <= maxThreads; t++ {
-			m, err := cp.Run(spec.kind, spec.sync, t)
+			m, err := cp.run(spec.kind, spec.sync, t, auto)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s %v+%v@%d: %w", wl.Name, spec.kind, spec.sync, t, err)
 			}
 			ser.Speedups = append(ser.Speedups, m.Speedup)
 			schedLabel = m.Schedule
 		}
+		ser.Schedule = schedLabel
 		ser.Label = SchemeLabel(spec.variant, spec.kind, schedLabel, spec.sync)
 		if spec.variant != "comm" && spec.variant != "noannot" {
 			ser.Label += " (" + spec.variant + ")"
@@ -160,10 +166,11 @@ func (f *Figure) FindSeries(variant string, kind transform.Kind, sync exec.SyncM
 }
 
 // PrintFigure6 renders every subfigure (a)–(h) plus the geomean (i).
-func PrintFigure6(w io.Writer, maxThreads int) ([]*Figure, error) {
+// With auto, every run is auto-scheduled.
+func PrintFigure6(w io.Writer, maxThreads int, auto bool) ([]*Figure, error) {
 	var figs []*Figure
 	for _, wl := range workloads.All() {
-		fig, err := Figure6(wl, maxThreads)
+		fig, err := Figure6(wl, maxThreads, auto)
 		if err != nil {
 			return nil, err
 		}

@@ -90,7 +90,7 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 		}
 		all := &source.DiagList{}
 		for _, pc := range precisionChecks {
-			diags, err := analysis.Run(c, analysis.Options{Checks: pc.checks, Threads: threads})
+			diags, err := analysis.Run(c, analysis.Options{Checks: pc.checks, Threads: threads, Privatize: e.Privatize})
 			if err != nil {
 				return nil, fmt.Errorf("bench: precision: %s [%s]: %w", e.Name, pc.name, err)
 			}

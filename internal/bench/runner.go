@@ -17,6 +17,7 @@ import (
 	"repro/internal/transform"
 	"repro/internal/vm/des"
 	"repro/internal/vm/exec"
+	"repro/internal/vm/interp"
 	"repro/internal/workloads"
 )
 
@@ -136,6 +137,10 @@ type Measurement struct {
 	Sync     exec.SyncMode
 	Threads  int
 
+	// Tune is the adaptive tuning the run executed under (zero for the
+	// paper's fixed policies; the auto-scheduler's pick for RunAuto).
+	Tune transform.Tuning
+
 	VirtualTime int64
 	Speedup     float64
 	Validated   bool
@@ -150,6 +155,18 @@ type Measurement struct {
 // stages (Sequential and DSWP always; PS-DSWP's sequential stages preserve
 // iteration order; DOALL never).
 func (cp *Compiled) Run(kind transform.Kind, mode exec.SyncMode, threads int) (*Measurement, error) {
+	return cp.run(kind, mode, threads, false)
+}
+
+// RunAuto is Run with the profile-guided auto-scheduler enabled: the
+// executor calibrates schedule/chunk/batch/privatization candidates on
+// short slices (each against a throwaway world) and the measured run
+// adopts the fastest tuning.
+func (cp *Compiled) RunAuto(kind transform.Kind, mode exec.SyncMode, threads int) (*Measurement, error) {
+	return cp.run(kind, mode, threads, true)
+}
+
+func (cp *Compiled) run(kind transform.Kind, mode exec.SyncMode, threads int, auto bool) (*Measurement, error) {
 	sched := cp.Schedule(kind)
 	if sched == nil {
 		return nil, fmt.Errorf("bench: %s/%s: schedule %v not applicable", cp.WL.Name, cp.Variant, kind)
@@ -160,6 +177,11 @@ func (cp *Compiled) Run(kind transform.Kind, mode exec.SyncMode, threads int) (*
 		Builtins: world.Fns(),
 		Model:    cp.C.Model,
 		Cost:     des.DefaultCostModel(),
+	}
+	if auto {
+		cfg.Auto = &exec.AutoOptions{
+			Fresh: func() map[string]interp.BuiltinFn { return freshWorld(cp.WL).Fns() },
+		}
 	}
 	res, err := exec.Run(cfg, cp.LA, sched, mode, threads)
 	if err != nil {
@@ -174,6 +196,7 @@ func (cp *Compiled) Run(kind transform.Kind, mode exec.SyncMode, threads int) (*
 	m := &Measurement{
 		Workload: cp.WL.Name, Variant: cp.Variant,
 		Kind: kind, Schedule: res.Schedule, Sync: mode, Threads: threads,
+		Tune:        res.Tune,
 		VirtualTime: res.VirtualTime,
 		Validated:   true,
 		World:       world,

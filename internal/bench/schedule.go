@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ScheduleReport is the machine-readable summary behind
+// BENCH_schedule.json: the geomean speedups and, per workload, the best
+// scheme with its executed schedule (including any auto-selected tuning)
+// plus every measured series. CI uploads it as an artifact so scheduling
+// regressions show up as a diff, not a rerun.
+type ScheduleReport struct {
+	Threads int  `json:"threads"`
+	Auto    bool `json:"auto"`
+
+	// Geomeans at the max thread count, over the best COMMSET and best
+	// non-COMMSET scheme of each workload (Figure 6(i)).
+	GeomeanCommset    float64 `json:"geomean_best_commset"`
+	GeomeanNonCommset float64 `json:"geomean_best_non_commset"`
+
+	Workloads []WorkloadReport `json:"workloads"`
+}
+
+// WorkloadReport summarizes one subfigure.
+type WorkloadReport struct {
+	Name      string         `json:"name"`
+	PaperBest float64        `json:"paper_best"`
+	Best      SeriesReport   `json:"best"`
+	Series    []SeriesReport `json:"series"`
+}
+
+// SeriesReport is one measured scheme.
+type SeriesReport struct {
+	Label    string    `json:"label"`
+	Schedule string    `json:"schedule"`
+	Speedup  float64   `json:"speedup"` // at the report's thread count
+	Speedups []float64 `json:"speedups,omitempty"`
+}
+
+// BuildScheduleReport condenses measured figures into a ScheduleReport.
+func BuildScheduleReport(figs []*Figure, threads int, auto bool) *ScheduleReport {
+	rep := &ScheduleReport{Threads: threads, Auto: auto}
+	rep.GeomeanCommset, rep.GeomeanNonCommset = GeoPairAt(figs, threads)
+	for _, f := range figs {
+		wr := WorkloadReport{Name: f.WL.Name, PaperBest: f.WL.PaperBest}
+		for _, s := range f.Series {
+			sr := SeriesReport{
+				Label:    s.Label,
+				Schedule: s.Schedule,
+				Speedup:  s.At(threads),
+				Speedups: s.Speedups,
+			}
+			wr.Series = append(wr.Series, sr)
+			if sr.Speedup > wr.Best.Speedup {
+				best := sr
+				best.Speedups = nil
+				wr.Best = best
+			}
+		}
+		rep.Workloads = append(rep.Workloads, wr)
+	}
+	return rep
+}
+
+// WriteScheduleJSON writes the report for the given figures to path and
+// prints a one-line confirmation to w.
+func WriteScheduleJSON(w io.Writer, path string, figs []*Figure, threads int, auto bool) error {
+	rep := BuildScheduleReport(figs, threads, auto)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (auto=%v, geomean best COMMSET %.2fx)\n", path, auto, rep.GeomeanCommset)
+	return nil
+}

@@ -1,0 +1,100 @@
+package transform
+
+import "fmt"
+
+// SchedKind selects how DOALL iterations are assigned to worker threads.
+type SchedKind int
+
+// Iteration schedules (cf. OpenMP's schedule clause).
+const (
+	// SchedStatic is the paper's fixed round-robin: worker w owns every
+	// iteration i with i % threads == w.
+	SchedStatic SchedKind = iota
+	// SchedChunked assigns contiguous blocks of Chunk iterations
+	// round-robin: worker w owns iteration i when (i/Chunk) % threads == w.
+	SchedChunked
+	// SchedGuided hands out shrinking chunks from a shared dispenser with
+	// a work-stealing fallback; assignment is dynamic but deterministic
+	// under the simulator's virtual-time order.
+	SchedGuided
+)
+
+// String names the schedule kind.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedStatic:
+		return "static"
+	case SchedChunked:
+		return "chunked"
+	case SchedGuided:
+		return "guided"
+	}
+	return "?"
+}
+
+// Tuning is the adaptive-scheduling knob set applied on top of a
+// Schedule: the DOALL iteration schedule, the pipeline-queue batch size,
+// and whether commutative updates are privatized into per-thread shadow
+// state merged at loop exit. The zero value reproduces the paper's fixed
+// policies (static round-robin, per-token queues, shared updates).
+type Tuning struct {
+	// Sched is the DOALL iteration schedule; ignored by pipeline kinds.
+	Sched SchedKind
+	// Chunk is the block size for SchedChunked (≤1 means 1) and the
+	// initial chunk hint for SchedGuided (≤0 means auto).
+	Chunk int
+	// Batch is the pipeline-queue transfer batch size; values ≤1 keep
+	// per-token Push/Pop.
+	Batch int
+	// Privatize executes commutative member updates against per-thread
+	// shadow state and merges once per thread at loop exit under the
+	// set's sync mode — legal because COMMSET declares the interleaving
+	// of member calls irrelevant, so any merge order is a valid one.
+	Privatize bool
+}
+
+// IsZero reports whether the tuning leaves every fixed policy in place.
+func (t Tuning) IsZero() bool {
+	return t.Sched == SchedStatic && t.Batch <= 1 && !t.Privatize
+}
+
+// String renders the non-default knobs, e.g. "chunked(4)+batch(8)+priv".
+func (t Tuning) String() string {
+	var parts []string
+	switch t.Sched {
+	case SchedChunked:
+		parts = append(parts, fmt.Sprintf("chunked(%d)", t.ChunkSize()))
+	case SchedGuided:
+		parts = append(parts, "guided")
+	}
+	if t.Batch > 1 {
+		parts = append(parts, fmt.Sprintf("batch(%d)", t.Batch))
+	}
+	if t.Privatize {
+		parts = append(parts, "priv")
+	}
+	if len(parts) == 0 {
+		return "static"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "+" + p
+	}
+	return out
+}
+
+// ChunkSize returns the effective chunk size for SchedChunked.
+func (t Tuning) ChunkSize() int {
+	if t.Chunk < 1 {
+		return 1
+	}
+	return t.Chunk
+}
+
+// BatchSize returns the effective queue batch size (≥1).
+func (t Tuning) BatchSize() int {
+	if t.Batch < 1 {
+		return 1
+	}
+	return t.Batch
+}

@@ -46,6 +46,13 @@ type CostModel struct {
 	QueuePop     int64
 	QueueLatency int64
 
+	// QueuePushPer/QueuePopPer are the marginal costs of the second and
+	// subsequent tokens of a batched PushN/PopN: the first token of a
+	// batch pays the full QueuePush/QueuePop, each additional token only
+	// the marginal cost (amortized enqueue/dequeue on hot edges).
+	QueuePushPer int64
+	QueuePopPer  int64
+
 	// TMCommit is the per-transaction commit cost; TMAbortPenalty is added
 	// to the re-execution cost on each abort.
 	TMCommit       int64
@@ -63,6 +70,7 @@ func DefaultCostModel() CostModel {
 		MutexAcquire: 30, MutexRelease: 20, MutexWake: 600,
 		SpinAcquire: 15, SpinRelease: 10, SpinContention: 40,
 		QueuePush: 40, QueuePop: 40, QueueLatency: 120,
+		QueuePushPer: 8, QueuePopPer: 8,
 		TMCommit: 60, TMAbortPenalty: 150,
 		ThreadSpawn: 1000,
 	}
@@ -94,8 +102,10 @@ type Queue struct {
 	Cap  int
 
 	// Stall, when set, returns extra visibility latency for the next
-	// pushed token (fault injection: pipeline-queue stalls). It is called
-	// exactly once per successful push, in deterministic order.
+	// pushed token or batch (fault injection: pipeline-queue stalls). It
+	// is called exactly once per successful push *operation*, in
+	// deterministic order — a batched PushN charges one stall for the
+	// whole batch, not one per token.
 	Stall func() int64
 
 	items   []queueItem
@@ -119,7 +129,9 @@ const (
 	reqAcquire
 	reqRelease
 	reqPush
+	reqPushN
 	reqPop
+	reqPopN
 	reqSleep
 	reqWake // internal: resume a woken thread, delivering pending.val
 	reqDone
@@ -130,6 +142,8 @@ type request struct {
 	lock *Lock
 	q    *Queue
 	val  any
+	vals []any // batch payload of a reqPushN
+	n    int   // requested batch size of a reqPopN
 	d    int64
 	err  error
 }
@@ -202,6 +216,41 @@ func (t *Thread) Push(q *Queue, v any) {
 func (t *Thread) Pop(q *Queue) any {
 	g := t.yield(request{kind: reqPop, q: q})
 	return g.val
+}
+
+// PushN enqueues a batch of tokens in one scheduler event: the first
+// token pays QueuePush, each additional token only QueuePushPer, and the
+// queue's Stall hook fires once for the whole batch. A batch larger than
+// the queue capacity is split into capacity-sized sub-batches. Blocks in
+// virtual time until the whole (sub-)batch fits.
+func (t *Thread) PushN(q *Queue, vs []any) {
+	switch len(vs) {
+	case 0:
+		return
+	case 1:
+		t.Push(q, vs[0])
+		return
+	}
+	for len(vs) > 0 {
+		n := len(vs)
+		if q.Cap > 0 && n > q.Cap {
+			n = q.Cap
+		}
+		t.yield(request{kind: reqPushN, q: q, vals: vs[:n:n]})
+		vs = vs[n:]
+	}
+}
+
+// PopN dequeues up to max buffered tokens in one scheduler event,
+// blocking in virtual time while the queue is empty (so it returns at
+// least one token). The first token pays QueuePop, each additional token
+// only QueuePopPer.
+func (t *Thread) PopN(q *Queue, max int) []any {
+	if max <= 1 {
+		return []any{t.Pop(q)}
+	}
+	g := t.yield(request{kind: reqPopN, q: q, n: max})
+	return g.val.([]any)
 }
 
 // Sleep advances the thread's clock by d through the scheduler (so other
@@ -389,11 +438,21 @@ func (t *Thread) describe() string {
 		return fmt.Sprintf("blocked acquiring lock %s (held by %s, %d waiter(s))",
 			t.blockLock.Name, owner, len(t.blockLock.waiters))
 	case t.blockQueue != nil && t.blockOp == "pop":
-		return fmt.Sprintf("blocked popping queue %s (empty, %d pusher(s) blocked)",
-			t.blockQueue.Name, len(t.blockQueue.blocked))
+		batch := ""
+		if t.pending.kind == reqPopN {
+			batch = fmt.Sprintf(" for a batch of up to %d", t.pending.n)
+		}
+		return fmt.Sprintf("blocked popping queue %s%s (empty, %d pusher(s) blocked)",
+			t.blockQueue.Name, batch, len(t.blockQueue.blocked))
 	case t.blockQueue != nil && t.blockOp == "push":
-		return fmt.Sprintf("blocked pushing queue %s (full %d/%d, %d popper(s) waiting)",
-			t.blockQueue.Name, len(t.blockQueue.items), t.blockQueue.Cap, len(t.blockQueue.waiters))
+		// A stalled batch names its queue once, with the token count —
+		// not one diagnostic line per token.
+		batch := ""
+		if t.pending.kind == reqPushN {
+			batch = fmt.Sprintf(" a batch of %d to", len(t.pending.vals))
+		}
+		return fmt.Sprintf("blocked pushing%s queue %s (full %d/%d, %d popper(s) waiting)",
+			batch, t.blockQueue.Name, len(t.blockQueue.items), t.blockQueue.Cap, len(t.blockQueue.waiters))
 	}
 	return "blocked"
 }
@@ -474,8 +533,12 @@ func (s *Scheduler) step(t *Thread) {
 		s.release(t, r.lock)
 	case reqPush:
 		s.push(t, r.q, r.val)
+	case reqPushN:
+		s.pushN(t, r.q, r.vals)
 	case reqPop:
 		s.pop(t, r.q)
+	case reqPopN:
+		s.popN(t, r.q, r.n)
 	case reqSleep:
 		// Reschedule the wake as an ordered event rather than resuming
 		// immediately, so threads with earlier virtual times run first.
@@ -568,17 +631,28 @@ func (s *Scheduler) push(t *Thread, q *Queue, v any) {
 		latency += q.Stall()
 	}
 	q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
-	// Wake the earliest blocked popper, if any.
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		item := q.items[0]
-		q.items = q.items[1:]
-		w.unblock()
-		w.reqTime = maxI64(w.reqTime, item.ready) + s.Cost.QueuePop
-		w.VTime = w.reqTime
-		w.pending = request{kind: reqWake, val: item.val}
+	s.wakePoppers(q)
+	s.resume(t, grant{vtime: pushTime})
+}
+
+// pushN appends a whole batch in one event. The batch blocks as a unit
+// while it does not fit; the Stall hook fires once for the batch and its
+// extra latency applies to every token in it.
+func (s *Scheduler) pushN(t *Thread, q *Queue, vs []any) {
+	if len(q.items)+len(vs) > q.Cap {
+		t.block(nil, q, "push")
+		q.blocked = append(q.blocked, t)
+		return
 	}
+	pushTime := t.VTime + s.Cost.QueuePush + s.Cost.QueuePushPer*int64(len(vs)-1)
+	latency := s.Cost.QueueLatency
+	if q.Stall != nil {
+		latency += q.Stall()
+	}
+	for _, v := range vs {
+		q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
+	}
+	s.wakePoppers(q)
 	s.resume(t, grant{vtime: pushTime})
 }
 
@@ -590,17 +664,90 @@ func (s *Scheduler) pop(t *Thread, q *Queue) {
 	}
 	item := q.items[0]
 	q.items = q.items[1:]
-	// Unblock the earliest blocked pusher, if any.
-	if len(q.blocked) > 0 {
-		w := q.blocked[0]
-		q.blocked = q.blocked[1:]
-		w.unblock()
-		w.reqTime = maxI64(w.reqTime, t.VTime)
-		w.VTime = w.reqTime
-		w.pending = request{kind: reqPush, q: q, val: w.pending.val}
-	}
+	s.wakePushers(t.VTime, q)
 	at := maxI64(t.VTime, item.ready) + s.Cost.QueuePop
 	s.resume(t, grant{val: item.val, vtime: at})
+}
+
+// popN takes up to max buffered tokens in one event; the consumer's
+// clock advances to the latest taken token's ready time plus the
+// amortized pop cost.
+func (s *Scheduler) popN(t *Thread, q *Queue, max int) {
+	if len(q.items) == 0 {
+		t.block(nil, q, "pop")
+		q.waiters = append(q.waiters, t)
+		return
+	}
+	taken, ready := q.take(max)
+	s.wakePushers(t.VTime, q)
+	at := maxI64(t.VTime, ready) + s.Cost.QueuePop + s.Cost.QueuePopPer*int64(len(taken)-1)
+	s.resume(t, grant{val: taken, vtime: at})
+}
+
+// take removes up to max items from the head of the queue, returning the
+// values and the latest ready time among them.
+func (q *Queue) take(max int) ([]any, int64) {
+	n := max
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	taken := make([]any, n)
+	var ready int64
+	for i := 0; i < n; i++ {
+		taken[i] = q.items[i].val
+		if q.items[i].ready > ready {
+			ready = q.items[i].ready
+		}
+	}
+	q.items = q.items[n:]
+	return taken, ready
+}
+
+// wakePoppers hands buffered tokens to blocked poppers in block order
+// until one side runs out. A blocked PopN receives up to its requested
+// count in a single wake at the amortized cost.
+func (s *Scheduler) wakePoppers(q *Queue) {
+	for len(q.waiters) > 0 && len(q.items) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.pending.kind == reqPopN {
+			taken, ready := q.take(w.pending.n)
+			w.unblock()
+			w.reqTime = maxI64(w.reqTime, ready) + s.Cost.QueuePop + s.Cost.QueuePopPer*int64(len(taken)-1)
+			w.VTime = w.reqTime
+			w.pending = request{kind: reqWake, val: taken}
+			continue
+		}
+		item := q.items[0]
+		q.items = q.items[1:]
+		w.unblock()
+		w.reqTime = maxI64(w.reqTime, item.ready) + s.Cost.QueuePop
+		w.VTime = w.reqTime
+		w.pending = request{kind: reqWake, val: item.val}
+	}
+}
+
+// wakePushers re-dispatches blocked pushers, in block order, whose whole
+// batch now fits the freed space. A batch at the head that still does
+// not fit keeps later pushers blocked too, preserving FIFO push order.
+func (s *Scheduler) wakePushers(now int64, q *Queue) {
+	space := q.Cap - len(q.items)
+	for len(q.blocked) > 0 {
+		w := q.blocked[0]
+		need := 1
+		if w.pending.kind == reqPushN {
+			need = len(w.pending.vals)
+		}
+		if need > space {
+			return
+		}
+		space -= need
+		q.blocked = q.blocked[1:]
+		w.unblock()
+		w.reqTime = maxI64(w.reqTime, now)
+		w.VTime = w.reqTime
+		w.pending = request{kind: w.pending.kind, q: q, val: w.pending.val, vals: w.pending.vals}
+	}
 }
 
 func maxI64(a, b int64) int64 {

@@ -483,6 +483,221 @@ func TestWatchdogDoesNotFireOnHealthyRun(t *testing.T) {
 	}
 }
 
+func TestPushNAmortizedCost(t *testing.T) {
+	run := func(batched bool) int64 {
+		s := New(CostModel{QueuePush: 40, QueuePushPer: 8})
+		q := s.NewQueue("q", 8)
+		s.Spawn("p", 0, func(th *Thread) error {
+			if batched {
+				th.PushN(q, []any{0, 1, 2, 3})
+			} else {
+				for i := 0; i < 4; i++ {
+					th.Push(q, i)
+				}
+			}
+			return nil
+		})
+		s.Spawn("c", 0, func(th *Thread) error {
+			for i := 0; i < 4; i++ {
+				if v := th.Pop(q).(int); v != i {
+					t.Errorf("pop %d: got %v", i, v)
+				}
+			}
+			return nil
+		})
+		m, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Per-token: 4*40 = 160 producer cost. Batched: 40 + 3*8 = 64.
+	if per, batch := run(false), run(true); batch >= per {
+		t.Errorf("batched push not cheaper: batch=%d per-token=%d", batch, per)
+	}
+}
+
+func TestPopNAmortizedCostAndFIFO(t *testing.T) {
+	s := New(CostModel{QueuePop: 40, QueuePopPer: 8})
+	q := s.NewQueue("q", 8)
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{0, 1, 2, 3, 4})
+		return nil
+	})
+	var got []int
+	s.Spawn("c", 0, func(th *Thread) error {
+		th.Sleep(1) // let the producer fill the queue first
+		for len(got) < 5 {
+			for _, v := range th.PopN(q, 3) {
+				got = append(got, v.(int))
+			}
+		}
+		return nil
+	})
+	m, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+	// Two batch pops (3+2 tokens): 40+2*8 + 40+8 = 104, plus the 1-tick
+	// sleep. Five singleton pops would cost 200.
+	if m != 105 {
+		t.Errorf("makespan = %d, want 105 (amortized pops)", m)
+	}
+}
+
+func TestPushNStallHookFiresOncePerBatch(t *testing.T) {
+	count := 0
+	s := New(flatCost())
+	q := s.NewQueue("q", 8)
+	q.Stall = func() int64 { count++; return 0 }
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{0, 1, 2, 3})
+		return nil
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		for i := 0; i < 4; i++ {
+			th.Pop(q)
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("Stall fired %d times for one 4-token batch, want 1", count)
+	}
+}
+
+func TestStalledPushNDiagnosticNamesQueueOnce(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("out", 4)
+	s.Spawn("producer", 0, func(th *Thread) error {
+		th.Push(q, 0)
+		th.Push(q, 1)
+		th.PushN(q, []any{2, 3, 4}) // only 2 slots free: blocks forever
+		return nil
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "blocked pushing a batch of 3 to queue out (full 2/4") {
+		t.Errorf("diagnostic = %v", err)
+	}
+	if n := strings.Count(msg, "queue out"); n != 1 {
+		t.Errorf("queue named %d times, want once:\n%s", n, msg)
+	}
+}
+
+func TestPushNSplitsOverCapacityAndBackpressures(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 2)
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{0, 1, 2, 3, 4}) // batch > cap: split + block
+		return nil
+	})
+	var got []int
+	s.Spawn("c", 0, func(th *Thread) error {
+		for len(got) < 5 {
+			th.Charge(100)
+			for _, v := range th.PopN(q, 2) {
+				got = append(got, v.(int))
+			}
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestBlockedPopNWokenByBatchPush(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 8)
+	var got []int
+	s.Spawn("c", 0, func(th *Thread) error {
+		for _, v := range th.PopN(q, 8) { // blocks on the empty queue
+			got = append(got, v.(int))
+		}
+		return nil
+	})
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.Sleep(50)
+		th.PushN(q, []any{0, 1, 2})
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("woken PopN got %v, want [0 1 2]", got)
+	}
+}
+
+// TestBatchedFIFOQuick: random mixes of batched and singleton push/pop
+// must preserve FIFO order and deliver every token exactly once.
+func TestBatchedFIFOQuick(t *testing.T) {
+	run := func(costs []uint16, capacity, pushB, popB uint8) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		if len(costs) > 48 {
+			costs = costs[:48]
+		}
+		capn := int(capacity%8) + 1
+		pb := int(pushB%4) + 1
+		cb := int(popB%4) + 1
+		s := New(DefaultCostModel())
+		q := s.NewQueue("q", capn)
+		n := len(costs)
+		s.Spawn("producer", 0, func(th *Thread) error {
+			for i := 0; i < n; i += pb {
+				th.Charge(int64(costs[i]))
+				var batch []any
+				for j := i; j < i+pb && j < n; j++ {
+					batch = append(batch, j)
+				}
+				th.PushN(q, batch)
+			}
+			return nil
+		})
+		got := make([]int, 0, n)
+		s.Spawn("consumer", 0, func(th *Thread) error {
+			for len(got) < n {
+				th.Charge(int64(costs[len(got)]) / 2)
+				for _, v := range th.PopN(q, cb) {
+					got = append(got, v.(int))
+				}
+			}
+			return nil
+		})
+		if _, err := s.Run(); err != nil {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQueueStallHookDelaysTokens(t *testing.T) {
 	run := func(stall int64) int64 {
 		s := New(flatCost())

@@ -72,18 +72,26 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 	}
 }
 
-// runDOALL executes the loop with iterations statically scheduled
-// round-robin over `threads` workers (the calling thread acts as worker 0).
-// Every worker privately executes the loop-control machinery — the
-// canonical privatized-induction-variable DOALL codegen — and runs the body
-// units only for its own iterations.
+// runDOALL executes the loop with iterations scheduled over `threads`
+// workers (the calling thread acts as worker 0) according to the tuning's
+// iteration schedule — static round-robin, chunked, or guided with a
+// work-stealing claim board (see iterSched). Every worker privately
+// executes the loop-control machinery — the canonical
+// privatized-induction-variable DOALL codegen — and runs the body units
+// only for its own iterations. With Tune.Privatize, commutative member
+// updates run against per-thread shadow state and each worker publishes
+// one synchronized merge per touched set before joining.
 func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error {
 	join := m.sim.NewQueue("doall.join", threads)
+	// One claim-board round trip costs an uncontended spin acquire+release
+	// (an atomic fetch-and-add on the shared chunk counter).
+	sched := newIterSched(m.cfg.Tune, threads, m.cfg.Cost.SpinAcquire+m.cfg.Cost.SpinRelease)
 
 	worker := func(th *des.Thread, w int) error {
 		fr := mainFr.clone()
 		st := m.newStepper(th, fr)
 		st.sharedActive = true
+		st.privatized = m.cfg.Tune.Privatize
 		role := fmt.Sprintf("doall worker %d", w)
 		lastIter := int64(-1)
 		// bail handles a worker-fatal error: legacy mode aborts the whole
@@ -100,6 +108,9 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 			if m.resilient() && m.failed() {
 				break // a sibling hit an unrecoverable fault; stop early
 			}
+			if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
+				break // calibration slice: stop after the sampled prefix
+			}
 			exit, err := m.runCond(st)
 			if err != nil {
 				if abort, fatal := bail(err); abort {
@@ -110,7 +121,7 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 			if exit {
 				break
 			}
-			if iter%int64(threads) == int64(w) {
+			if sched.owns(w, iter, th.Sleep) {
 				if err := m.runIterBody(st, fr); err != nil {
 					if abort, fatal := bail(err); abort {
 						return fatal
@@ -126,6 +137,7 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 				break
 			}
 		}
+		st.mergePrivatized()
 		th.Push(join, doallDone{worker: w, fr: fr, lastIter: lastIter})
 		return nil
 	}

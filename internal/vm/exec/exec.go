@@ -79,6 +79,20 @@ type Config struct {
 	// QueueCap bounds pipeline queues (default 32).
 	QueueCap int
 
+	// Tune applies the adaptive-scheduling knobs: the DOALL iteration
+	// schedule, the pipeline-queue batch size, and privatized commutative
+	// updates. The zero value reproduces the paper's fixed policies.
+	Tune transform.Tuning
+
+	// Auto, when set, enables the profile-guided auto-scheduler: before
+	// the measured run, a short calibration slice is executed per
+	// candidate tuning and the fastest candidate replaces Tune.
+	Auto *AutoOptions
+
+	// MaxIters, when positive, caps the number of loop iterations the
+	// parallel executors run (the auto-scheduler's calibration slices).
+	MaxIters int64
+
 	// Recovery enables the fault-recovery policies (nil keeps the legacy
 	// abort-on-first-error behavior).
 	Recovery *Recovery
@@ -113,6 +127,10 @@ type Result struct {
 	Threads     int
 	Schedule    string
 	Sync        SyncMode
+
+	// Tune is the tuning the run executed with (the auto-scheduler's pick
+	// when Config.Auto was set).
+	Tune transform.Tuning
 
 	// Resilience statistics (zero unless recovery is enabled).
 	CallRetries int  // transient member/builtin calls retried
@@ -175,6 +193,10 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 	if threads < 1 {
 		threads = 1
 	}
+	if cfg.Auto != nil {
+		cfg.Tune = autoTune(cfg, la, sched, mode, threads)
+		cfg.Auto = nil
+	}
 
 	m := newMachine(cfg, la, sched, mode)
 	sim := des.New(cfg.Cost)
@@ -211,12 +233,22 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 	return &Result{
 		VirtualTime: makespan,
 		Threads:     threads,
-		Schedule:    sched.String(),
+		Schedule:    schedLabel(sched, cfg.Tune),
 		Sync:        mode,
+		Tune:        cfg.Tune,
 		CallRetries: m.stats.callRetries,
 		IterRetries: m.stats.iterRetries,
 		Recovered:   m.stats.callRetries > 0 || m.stats.iterRetries > 0,
 	}, nil
+}
+
+// schedLabel renders the schedule name plus the non-default tuning knobs,
+// e.g. "DOALL {chunked(4)+priv}".
+func schedLabel(sched *transform.Schedule, tune transform.Tuning) string {
+	if tune.IsZero() {
+		return sched.String()
+	}
+	return sched.String() + " {" + tune.String() + "}"
 }
 
 // sharedCell is the shared storage of one promoted frame slot.

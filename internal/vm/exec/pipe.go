@@ -30,6 +30,75 @@ type pipeJoin struct {
 	fr       *frame
 }
 
+// qWriter batches pushes to one pipeline queue: tokens accumulate in a
+// local buffer and are transferred with one amortized PushN per `batch`
+// tokens. batch ≤ 1 degenerates to per-token Push. Stop tokens travel
+// through the same writer, so intra-queue order is preserved; callers
+// flush after the stop to bound shutdown latency.
+type qWriter struct {
+	q     *des.Queue
+	batch int
+	buf   []any
+}
+
+func (w *qWriter) push(th *des.Thread, tok token) {
+	if w.batch <= 1 {
+		th.Push(w.q, tok)
+		return
+	}
+	w.buf = append(w.buf, tok)
+	if len(w.buf) >= w.batch {
+		w.flush(th)
+	}
+}
+
+func (w *qWriter) flush(th *des.Thread) {
+	if len(w.buf) > 0 {
+		th.PushN(w.q, w.buf)
+		w.buf = nil
+	}
+}
+
+// qReader pops tokens from one pipeline queue, batch-popping up to
+// `batch` tokens per scheduler event into a local buffer. For a
+// sequential merge stage the buffered tokens are exactly the future
+// iterations of that input queue (queue j carries iterations j, j+R,
+// j+2R, …), so buffering never reorders the merge.
+type qReader struct {
+	q     *des.Queue
+	batch int
+	buf   []any
+}
+
+func (r *qReader) next(th *des.Thread) token {
+	if len(r.buf) == 0 {
+		if r.batch > 1 {
+			r.buf = th.PopN(r.q, r.batch)
+		} else {
+			r.buf = []any{th.Pop(r.q)}
+		}
+	}
+	tok := r.buf[0].(token)
+	r.buf = r.buf[1:]
+	return tok
+}
+
+func newWriters(qs []*des.Queue, batch int) []*qWriter {
+	ws := make([]*qWriter, len(qs))
+	for i, q := range qs {
+		ws[i] = &qWriter{q: q, batch: batch}
+	}
+	return ws
+}
+
+func newReaders(qs []*des.Queue, batch int) []*qReader {
+	rs := make([]*qReader, len(qs))
+	for i, q := range qs {
+		rs[i] = &qReader{q: q, batch: batch}
+	}
+	return rs
+}
+
 // runPipeline executes a DSWP or PS-DSWP schedule. The calling thread is
 // the dispatcher (stage 0): it owns loop control, executes stage 0's units,
 // and streams per-iteration tokens down the pipeline. A parallel stage runs
@@ -238,7 +307,7 @@ func (m *machine) dispatch(th *des.Thread, mainFr *frame, reps []int, qs [][]*de
 	fr := mainFr.clone()
 	st := m.newStepper(th, fr)
 	st.sharedActive = true
-	out := qs[0]
+	out := newWriters(qs[0], m.cfg.Tune.BatchSize())
 	lastIter := int64(-1)
 
 	// bail handles a dispatcher-fatal error: legacy mode aborts the whole
@@ -256,6 +325,9 @@ loop:
 	for iter := int64(0); ; iter++ {
 		if m.resilient() && m.failed() {
 			break // a stage died: stop generating iterations
+		}
+		if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
+			break // calibration slice: stop after the sampled prefix
 		}
 		exit, err := m.runCond(st)
 		if err != nil {
@@ -281,7 +353,7 @@ loop:
 			locals[slot] = fr.locals[slot]
 		}
 		st.flush()
-		th.Push(out[int(iter)%len(out)], token{iter: iter, locals: locals})
+		out[int(iter)%len(out)].push(th, token{iter: iter, locals: locals})
 		if _, err := st.runGroup(m.la.Units.Post); err != nil {
 			if abort, fatal := bail(err); abort {
 				return fatal
@@ -291,8 +363,9 @@ loop:
 		lastIter = iter
 	}
 	st.flush()
-	for _, q := range out {
-		th.Push(q, token{stop: true, poison: m.failed()})
+	for _, w := range out {
+		w.push(th, token{stop: true, poison: m.failed()})
+		w.flush(th)
 	}
 	th.Push(join, pipeJoin{stage: 0, rep: 0, lastIter: lastIter, fr: fr})
 	return nil
@@ -305,10 +378,11 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 	st.sharedActive = true
 	stage := m.sched.Stages[si]
 
-	in := qs[si-1]
-	var out []*des.Queue
+	batch := m.cfg.Tune.BatchSize()
+	in := newReaders(qs[si-1], batch)
+	var out []*qWriter
 	if si < len(m.sched.Stages)-1 {
-		out = qs[si]
+		out = newWriters(qs[si], batch)
 	}
 
 	// Sequential stages keep a persistent overlay of the slots they own so
@@ -343,17 +417,29 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 		} else {
 			inIdx = int(seq) % len(in)
 		}
-		tok := th.Pop(in[inIdx]).(token)
+		// Flush pending output before parking on an empty input: a token
+		// withheld in this worker's batch buffer may be exactly what the
+		// downstream merge stage needs to drain the queues this worker's
+		// producers are backpressured on (deadlock freedom).
+		if out != nil && len(in[inIdx].buf) == 0 && in[inIdx].q.Len() == 0 {
+			for _, w := range out {
+				w.flush(th)
+			}
+		}
+		tok := in[inIdx].next(th)
 		if tok.stop {
 			poison := tok.poison || m.failed()
 			if out != nil {
 				st.flush()
 				if stage.Parallel {
 					// Each replica forwards its stop on its own queue.
-					th.Push(out[rep%len(out)], token{stop: true, poison: poison})
+					w := out[rep%len(out)]
+					w.push(th, token{stop: true, poison: poison})
+					w.flush(th)
 				} else {
-					for _, q := range out {
-						th.Push(q, token{stop: true, poison: poison})
+					for _, w := range out {
+						w.push(th, token{stop: true, poison: poison})
+						w.flush(th)
 					}
 				}
 			}
@@ -365,7 +451,7 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 					if k == inIdx {
 						continue
 					}
-					for !th.Pop(in[k]).(token).stop {
+					for !in[k].next(th).stop {
 					}
 				}
 			}
@@ -407,13 +493,13 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 				locals[slot] = fr.locals[slot]
 			}
 			st.flush()
-			var q *des.Queue
+			var w *qWriter
 			if stage.Parallel {
-				q = out[rep%len(out)]
+				w = out[rep%len(out)]
 			} else {
-				q = out[int(tok.iter)%len(out)]
+				w = out[int(tok.iter)%len(out)]
 			}
-			th.Push(q, token{iter: tok.iter, locals: locals})
+			w.push(th, token{iter: tok.iter, locals: locals})
 		}
 		advance()
 	}

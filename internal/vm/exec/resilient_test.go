@@ -355,6 +355,107 @@ func TestWatchdogWiredThroughConfig(t *testing.T) {
 	}
 }
 
+// TestFaultsUnderTunedSchedules: recovery must compose with the adaptive
+// schedules — transient bursts under chunked/privatized DOALL and
+// queue-stall + transient mixes under batched pipelines, across two
+// workloads, still recover to sequential-equivalent output.
+func TestFaultsUnderTunedSchedules(t *testing.T) {
+	workloads := []struct {
+		name string
+		src  string
+	}{{"md5Full", md5Full}, {"md5Det", md5Det}}
+	for _, wl := range workloads {
+		cp := compileFor(t, wl.src, 8)
+		_, seqOut := cp.seqRun(t)
+
+		// Chunked + privatized DOALL under a transient burst.
+		doallPlan := faults.Plan{Name: "tuned-burst", Seed: 21, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Transient, Builtin: "digest", After: 5, Count: 2},
+		}}
+		for _, tune := range []transform.Tuning{
+			{Sched: transform.SchedChunked, Chunk: 4},
+			{Sched: transform.SchedChunked, Chunk: 4, Privatize: true},
+			{Sched: transform.SchedGuided, Privatize: true},
+		} {
+			if cp.sched[transform.DOALL] == nil {
+				break // e.g. md5Det's Group-only print forbids DOALL
+			}
+			cfg, w := cp.faulted(doallPlan, exec.DefaultRecovery())
+			cfg.Tune = tune
+			res, err := exec.Run(cfg, cp.la, cp.sched[transform.DOALL], exec.SyncMutex, 4)
+			if err != nil {
+				t.Fatalf("%s DOALL %s: recoverable run failed: %v", wl.name, tune, err)
+			}
+			if res.CallRetries == 0 {
+				t.Errorf("%s DOALL %s: no call retries recorded", wl.name, tune)
+			}
+			if w.prints[len(w.prints)-1] != seqOut[len(seqOut)-1] {
+				t.Errorf("%s DOALL %s: final total differs after recovery", wl.name, tune)
+			}
+			a, b := sortedCopy(w.prints), sortedCopy(seqOut)
+			if strings.Join(a, ",") != strings.Join(b, ",") {
+				t.Errorf("%s DOALL %s: output multiset differs after recovery", wl.name, tune)
+			}
+		}
+
+		// Batched pipeline under queue stalls plus a transient burst.
+		pipePlan := faults.Plan{Name: "tuned-stall", Seed: 22, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.QueueStall, After: 1, Count: 10, Delay: 3000},
+			{Kind: faults.Transient, Builtin: "digest", After: 9, Count: 2},
+		}}
+		for _, kind := range []transform.Kind{transform.DSWP, transform.PSDSWP} {
+			if cp.sched[kind] == nil {
+				continue
+			}
+			cfg, w := cp.faulted(pipePlan, exec.DefaultRecovery())
+			cfg.Tune = transform.Tuning{Batch: 8}
+			_, err := exec.Run(cfg, cp.la, cp.sched[kind], exec.SyncSpin, 4)
+			if err != nil {
+				t.Fatalf("%s %v batch(8): recoverable run failed: %v", wl.name, kind, err)
+			}
+			if w.prints[len(w.prints)-1] != seqOut[len(seqOut)-1] {
+				t.Errorf("%s %v batch(8): final total differs after recovery", wl.name, kind)
+			}
+			a, b := sortedCopy(w.prints), sortedCopy(seqOut)
+			if strings.Join(a, ",") != strings.Join(b, ",") {
+				t.Errorf("%s %v batch(8): output multiset differs after recovery", wl.name, kind)
+			}
+		}
+	}
+}
+
+// TestPermanentFaultDiagnosedTuned: a permanent fault under chunked DOALL
+// and batched pipelines must still shut down in order with a diagnosis —
+// batching buffers must not withhold the poison pill.
+func TestPermanentFaultDiagnosedTuned(t *testing.T) {
+	for _, src := range []string{md5Full, md5Det} {
+		cp := compileFor(t, src, 8)
+		plan := faults.Plan{Name: "tuned-perm", Seed: 23, Specs: []faults.Spec{
+			{Kind: faults.Permanent, Builtin: "*", After: 60},
+		}}
+		tunes := map[transform.Kind]transform.Tuning{
+			transform.DOALL:  {Sched: transform.SchedChunked, Chunk: 4, Privatize: true},
+			transform.DSWP:   {Batch: 8},
+			transform.PSDSWP: {Batch: 8},
+		}
+		for kind, tune := range tunes {
+			if cp.sched[kind] == nil {
+				continue
+			}
+			cfg, _ := cp.faulted(plan, exec.DefaultRecovery())
+			cfg.Tune = tune
+			_, err := exec.Run(cfg, cp.la, cp.sched[kind], exec.SyncSpin, 4)
+			if err == nil {
+				t.Fatalf("%v %s: permanent fault not diagnosed", kind, tune)
+			}
+			var diag *exec.FailureDiag
+			if !errors.As(err, &diag) {
+				t.Fatalf("%v %s: err = %T %v, want *exec.FailureDiag", kind, tune, err, err)
+			}
+		}
+	}
+}
+
 // TestResilientDeterminism is the acceptance property: same plan + seed →
 // identical makespan, retry counts, output, and (for permanent plans)
 // identical diagnostics.

@@ -55,6 +55,15 @@ type stepper struct {
 	// parallelized loop, after promotion).
 	sharedActive bool
 
+	// privatized redirects commutative member updates to per-thread
+	// shadow state: member calls skip their lock acquisition and
+	// privCommits counts commits per set, published by one synchronized
+	// bulk merge per set at loop exit (mergePrivatized). Legal because
+	// COMMSET membership declares any interleaving of member calls —
+	// including the deferred merge order — equivalent.
+	privatized  bool
+	privCommits map[*types.Set]int
+
 	// effects counts externalized events this stepper performed: member
 	// commits, shared-cell writes, and effectful builtin calls. Together
 	// with interp.Thread.HeapWrites it gates DOALL iteration re-execution.
@@ -148,6 +157,23 @@ func (st *stepper) memberSyncInner(name string, body func() ([]value.Value, erro
 	m := st.m
 	lockSets := m.cfg.Model.LockSets(name)
 	st.flush()
+	if st.privatized && len(lockSets) > 0 {
+		// Privatized commutative update: the call mutates this thread's
+		// shadow copy with no synchronization at all; the per-set commit
+		// is published by the bulk merge at loop exit. (The simulator
+		// serializes real execution, so the underlying substrate update
+		// is atomic; only the timing model changes — the same modelling
+		// argument as TM.)
+		if st.privCommits == nil {
+			st.privCommits = map[*types.Set]int{}
+		}
+		for _, s := range lockSets {
+			st.privCommits[s]++
+		}
+		rets, err := body()
+		st.flush()
+		return rets, err
+	}
 	switch m.mode {
 	case SyncLib:
 		// Thread-safe library: members synchronize internally; charge a
@@ -190,6 +216,45 @@ func (st *stepper) memberSyncInner(name string, body func() ([]value.Value, erro
 		return rets, err
 	}
 	return nil, fmt.Errorf("exec: unknown sync mode")
+}
+
+// privMergeCost is the virtual cost of folding one thread's shadow copy
+// of one set's state into the shared copy inside the merge's critical
+// section (a bulk combine, amortized over the whole loop).
+const privMergeCost = 300
+
+// mergePrivatized publishes the thread's privatized commutative state:
+// one synchronized bulk merge per touched set, acquired in global rank
+// order under the run's sync mode. Merge order across threads is
+// irrelevant by the commutativity annotation, so any virtual-time
+// interleaving of these merges yields a valid serialization.
+func (st *stepper) mergePrivatized() {
+	if len(st.privCommits) == 0 {
+		return
+	}
+	m := st.m
+	sets := make([]*types.Set, 0, len(st.privCommits))
+	for _, s := range m.cfg.Model.Sets {
+		if st.privCommits[s] > 0 {
+			sets = append(sets, s) // Model.Sets is already in rank order
+		}
+	}
+	for _, s := range sets {
+		switch m.mode {
+		case SyncLib:
+			st.th.Charge(m.cfg.Cost.SpinAcquire + privMergeCost)
+		case SyncMutex, SyncSpin:
+			st.th.Acquire(m.locks[s])
+			st.th.Charge(privMergeCost)
+			st.th.Release(m.locks[s])
+		case SyncTM:
+			st.th.Acquire(m.locks[s])
+			st.th.Charge(privMergeCost)
+			st.th.Release(m.locks[s])
+			st.th.Charge(m.cfg.Cost.TMCommit)
+		}
+	}
+	st.privCommits = nil
 }
 
 // stop describes why instruction stepping halted.
