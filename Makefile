@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race vet-precision bench-schedule verify
+.PHONY: all build test vet fmt race vet-precision bench-schedule bench-faults verify
 
 all: build
 
@@ -33,6 +33,14 @@ vet-precision:
 bench-schedule:
 	$(GO) run ./cmd/commsetbench -json BENCH_schedule.json -auto -novet
 
+# Fault-injection smoke: the CI-sized campaign (abort/stall/crash plans,
+# including worker crash/restart and permanent-crash degraded mode) with
+# the machine-readable report written to BENCH_faults.json (the CI
+# artifact). -novet: vet-precision already gates the analyzers.
+bench-faults:
+	$(GO) run ./cmd/commsetbench -faults -smoke -novet -faults-json BENCH_faults.json
+
 # The full pre-merge gate: build, vet, formatting, the race-enabled test
-# suite, the analyzer precision gate, and the schedule-report smoke.
-verify: build vet fmt race vet-precision bench-schedule
+# suite, the analyzer precision gate, the schedule-report smoke, and the
+# fault-injection (crash/restart) smoke.
+verify: build vet fmt race vet-precision bench-schedule bench-faults

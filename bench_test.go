@@ -206,6 +206,36 @@ func benchWorldFor(wl *workloads.Workload) *builtins.World {
 	return w
 }
 
+// TestFaultCampaignSmoke runs the CI-sized fault campaign at the repo root
+// and pins the crash/restart acceptance criteria: the campaign itself must
+// pass (recoverable plans sequential-equivalent, permanent plans
+// diagnosed), and every transform kind in the smoke subset must include at
+// least one permanent-crash cell that ended in degraded mode (DOALL
+// re-partitions across survivors; DSWP/PS-DSWP fall back to the resilient
+// sequential path).
+func TestFaultCampaignSmoke(t *testing.T) {
+	rep, err := bench.FaultCampaign(io.Discard, bench.CampaignOptions{
+		Threads: 4, Seed: 1, Smoke: true,
+	})
+	if err != nil {
+		t.Fatalf("fault campaign: %v", err)
+	}
+	degraded := map[string]int{}
+	for _, c := range rep.Cells {
+		if c.Plan == "crash-perm" && c.Outcome == "degraded" {
+			degraded[c.Kind]++
+		}
+	}
+	for _, kind := range []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP} {
+		if degraded[kind.String()] == 0 {
+			t.Errorf("no permanent-crash plan degraded a %s schedule (got %v)", kind, degraded)
+		}
+	}
+	if rep.Summary.Restarts == 0 {
+		t.Errorf("no transient crash exercised a restart: %+v", rep.Summary)
+	}
+}
+
 func BenchmarkAblationAnnotations(b *testing.B) {
 	// DESIGN.md §5: progressively removing md5sum's annotations must
 	// degrade the best schedule monotonically (DOALL → PS-DSWP → ~1x).

@@ -46,6 +46,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "run the deterministic fault-injection campaign")
 		smoke    = flag.Bool("smoke", false, "with -faults: run the CI-sized smoke subset")
 		seed     = flag.Uint64("faultseed", 1, "with -faults: fault plan seed")
+		faultsJS = flag.String("faults-json", "BENCH_faults.json", "with -faults: write the machine-readable campaign report to this file (\"\" disables)")
 		novet    = flag.Bool("novet", false, "skip the commsetvet -werror pre-simulation gate")
 		vetprec  = flag.Bool("vetprecision", false, "run the analyzer precision gate (corpus + workloads, per-check counts)")
 		precJSON = flag.String("precision-json", "", "with -vetprecision: write the per-check JSON report to this file")
@@ -140,7 +141,7 @@ func main() {
 	if *faults {
 		fmt.Println()
 		if _, err := bench.FaultCampaign(os.Stdout, bench.CampaignOptions{
-			Threads: *threads, Seed: *seed, Smoke: *smoke,
+			Threads: *threads, Seed: *seed, Smoke: *smoke, JSONPath: *faultsJS,
 		}); err != nil {
 			fatal(err)
 		}

@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"repro/internal/analysis"
@@ -55,6 +57,40 @@ func DefaultPlans(seed uint64) []faults.Plan {
 	}
 }
 
+// CrashPlans builds the crash sub-campaign for one schedule: a transient
+// crash (restart from checkpoint), a repeated crash (the replacement dies
+// too), and a permanent crash (degraded mode: DOALL re-partitions, a
+// pipeline collapses to the sequential fallback). victim must be a role from
+// exec.CrashRoster for the target schedule. All three plans are declared
+// Recoverable: a crash must never end in a diagnosed error, only in
+// recovered or degraded outcomes.
+func CrashPlans(seed uint64, victim string) []faults.Plan {
+	return []faults.Plan{
+		{Name: "crash-transient", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Crash, Thread: victim, After: 3},
+		}},
+		{Name: "crash-repeat", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Crash, Thread: victim, After: 2, Count: 2},
+		}},
+		{Name: "crash-perm", Seed: seed, Recoverable: true, Specs: []faults.Spec{
+			{Kind: faults.Crash, Thread: victim, After: 3, Permanent: true},
+		}},
+	}
+}
+
+// crashVictim picks the campaign's crash target from a schedule's roster:
+// the second DOALL worker (so the main-thread worker survives to collect
+// joins even in single-survivor splits) or the first pipeline stage worker.
+func crashVictim(roster []string) string {
+	if len(roster) == 0 {
+		return ""
+	}
+	if len(roster) > 1 && strings.HasPrefix(roster[0], "doall.") {
+		return roster[1]
+	}
+	return roster[0]
+}
+
 // CampaignOptions configures FaultCampaign.
 type CampaignOptions struct {
 	Threads int
@@ -62,27 +98,84 @@ type CampaignOptions struct {
 	// Smoke restricts the sweep to two workloads and the deterministic
 	// plans — the CI-sized campaign.
 	Smoke bool
+	// JSONPath, when non-empty, additionally writes the machine-readable
+	// FaultReport (BENCH_faults.json) there.
+	JSONPath string
 }
 
 // CampaignSummary aggregates the campaign outcomes.
 type CampaignSummary struct {
-	Runs      int
-	Clean     int // no faults fired (or none applied to the configuration)
-	Recovered int // faults absorbed by retries / iteration re-execution
-	Degraded  int // sequential fallback produced the accepted output
-	Diagnosed int // run terminated with a diagnosed unrecoverable fault
+	Runs      int `json:"runs"`
+	Clean     int `json:"clean"`     // no faults fired (or none applied to the configuration)
+	Recovered int `json:"recovered"` // faults absorbed by retries / restarts / re-execution
+	Degraded  int `json:"degraded"`  // re-partitioned or sequential fallback, output accepted
+	Diagnosed int `json:"diagnosed"` // run terminated with a diagnosed unrecoverable fault
+
+	Restarts      int `json:"restarts"`      // total supervisor restarts across all runs
+	Repartitioned int `json:"repartitioned"` // total dead-worker re-partitions across all runs
+}
+
+// FaultCell is one (workload, schedule, sync, plan) campaign cell of the
+// machine-readable report.
+type FaultCell struct {
+	Workload    string `json:"workload"`
+	Kind        string `json:"kind"`
+	Sync        string `json:"sync"`
+	Plan        string `json:"plan"`
+	Recoverable bool   `json:"recoverable"`
+	Outcome     string `json:"outcome"`
+	Detail      string `json:"detail,omitempty"`
+
+	// VTime is the accepted run's makespan; BaselineVTime the fault-free
+	// makespan of the same schedule cell. OverheadPct is the recovery cost:
+	// how much slower the faulted run finished than the fault-free one.
+	VTime         int64   `json:"vtime,omitempty"`
+	BaselineVTime int64   `json:"baseline_vtime,omitempty"`
+	OverheadPct   float64 `json:"overhead_pct,omitempty"`
+
+	Restarts       int                  `json:"restarts,omitempty"`
+	Repartitioned  int                  `json:"repartitioned,omitempty"`
+	RestartHistory []exec.RestartRecord `json:"restart_history,omitempty"`
+}
+
+// FaultReport is the machine-readable campaign result behind
+// BENCH_faults.json. CI uploads it as an artifact so resilience regressions
+// show up as a diff, not a rerun.
+type FaultReport struct {
+	Threads int             `json:"threads"`
+	Seed    uint64          `json:"seed"`
+	Smoke   bool            `json:"smoke"`
+	Summary CampaignSummary `json:"summary"`
+	Cells   []FaultCell     `json:"cells"`
+}
+
+// WriteFaultsJSON writes the report to path and prints a one-line
+// confirmation to w.
+func WriteFaultsJSON(w io.Writer, path string, rep *FaultReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d cells, %d restarts, %d re-partitions)\n",
+		path, len(rep.Cells), rep.Summary.Restarts, rep.Summary.Repartitioned)
+	return nil
 }
 
 // campaignKinds is the schedule sweep of the campaign, in fixed order.
 var campaignKinds = []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP}
 
 // FaultCampaign sweeps workloads × {DOALL, DSWP, PS-DSWP} × sync modes ×
-// fault plans through the resilient executor. Every recoverable plan must
-// end with sequential-equivalent output (clean, recovered, or degraded);
-// every permanent plan must end in a diagnosed error — any other outcome
-// fails the campaign. The sweep order and, given a seed, every outcome are
-// deterministic.
-func FaultCampaign(out io.Writer, opts CampaignOptions) (*CampaignSummary, error) {
+// fault plans through the resilient executor. On top of the kind-agnostic
+// DefaultPlans, every schedule cell also runs the CrashPlans targeting one
+// of its own worker roles (validated against exec.CrashRoster first). Every
+// recoverable plan must end with sequential-equivalent output (clean,
+// recovered, or degraded); every permanent-builtin plan must end in a
+// diagnosed error — any other outcome fails the campaign. The sweep order
+// and, given a seed, every outcome are deterministic.
+func FaultCampaign(out io.Writer, opts CampaignOptions) (*FaultReport, error) {
 	if opts.Threads <= 0 {
 		opts.Threads = 8
 	}
@@ -99,7 +192,8 @@ func FaultCampaign(out io.Writer, opts CampaignOptions) (*CampaignSummary, error
 	fmt.Fprintf(out, "Fault campaign: %d workloads, seed %d, %d threads\n", len(wls), opts.Seed, opts.Threads)
 	fmt.Fprintf(out, "  %-10s %-8s %-6s %-16s %-10s %s\n", "workload", "kind", "sync", "plan", "outcome", "detail")
 
-	sum := &CampaignSummary{}
+	rep := &FaultReport{Threads: opts.Threads, Seed: opts.Seed, Smoke: opts.Smoke}
+	sum := &rep.Summary
 	var violations []string
 	for _, wl := range wls {
 		cp, err := Compile(wl, "comm", opts.Threads)
@@ -111,14 +205,36 @@ func FaultCampaign(out io.Writer, opts CampaignOptions) (*CampaignSummary, error
 			if sched == nil {
 				continue
 			}
+			kindPlans := plans
+			roster := exec.CrashRoster(sched, opts.Threads)
+			if victim := crashVictim(roster); victim != "" {
+				crash := CrashPlans(opts.Seed, victim)
+				if opts.Smoke {
+					crash = []faults.Plan{crash[0], crash[2]}
+				}
+				for i := range crash {
+					if err := crash[i].Validate(roster); err != nil {
+						return nil, fmt.Errorf("bench: %w", err)
+					}
+				}
+				kindPlans = append(append([]faults.Plan(nil), plans...), crash...)
+			}
 			for _, mode := range wl.Syncs() {
-				for _, plan := range plans {
-					outcome, detail, err := runFaulted(cp, sched, kind, mode, opts.Threads, plan)
+				baseline, err := cleanBaseline(cp, sched, mode, opts.Threads)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fault-free baseline %s %v/%v: %w", wl.Name, kind, mode, err)
+				}
+				for _, plan := range kindPlans {
+					cell, err := runFaulted(cp, sched, kind, mode, opts.Threads, plan)
 					if err != nil {
 						return nil, err
 					}
+					cell.BaselineVTime = baseline
+					if cell.VTime > 0 && baseline > 0 {
+						cell.OverheadPct = 100 * float64(cell.VTime-baseline) / float64(baseline)
+					}
 					sum.Runs++
-					switch outcome {
+					switch cell.Outcome {
 					case "clean":
 						sum.Clean++
 					case "recovered":
@@ -128,35 +244,69 @@ func FaultCampaign(out io.Writer, opts CampaignOptions) (*CampaignSummary, error
 					case "diagnosed":
 						sum.Diagnosed++
 					}
-					ok := outcome == "diagnosed" != plan.Recoverable
+					sum.Restarts += cell.Restarts
+					sum.Repartitioned += cell.Repartitioned
+					ok := cell.Outcome == "diagnosed" != plan.Recoverable
 					if !ok {
 						violations = append(violations, fmt.Sprintf(
 							"%s %v/%v plan %s: outcome %s violates recoverable=%v (%s)",
-							wl.Name, kind, mode, plan.Name, outcome, plan.Recoverable, detail))
+							wl.Name, kind, mode, plan.Name, cell.Outcome, plan.Recoverable, cell.Detail))
 					}
+					rep.Cells = append(rep.Cells, cell)
 					fmt.Fprintf(out, "  %-10s %-8v %-6v %-16s %-10s %s\n",
-						wl.Name, kind, mode, plan.Name, outcome, detail)
+						wl.Name, kind, mode, plan.Name, cell.Outcome, cell.Detail)
 				}
 			}
 		}
 	}
-	fmt.Fprintf(out, "  %d runs: %d clean, %d recovered, %d degraded, %d diagnosed\n",
-		sum.Runs, sum.Clean, sum.Recovered, sum.Degraded, sum.Diagnosed)
+	fmt.Fprintf(out, "  %d runs: %d clean, %d recovered, %d degraded, %d diagnosed (%d restarts, %d re-partitions)\n",
+		sum.Runs, sum.Clean, sum.Recovered, sum.Degraded, sum.Diagnosed, sum.Restarts, sum.Repartitioned)
 	if len(violations) > 0 {
-		return sum, fmt.Errorf("bench: fault campaign failed:\n  %s", strings.Join(violations, "\n  "))
+		return rep, fmt.Errorf("bench: fault campaign failed:\n  %s", strings.Join(violations, "\n  "))
 	}
-	return sum, nil
+	if opts.JSONPath != "" {
+		if err := WriteFaultsJSON(out, opts.JSONPath, rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// cleanBaseline measures the fault-free makespan of one schedule cell (the
+// denominator of the recovery-cost overhead).
+func cleanBaseline(cp *Compiled, sched *transform.Schedule, mode exec.SyncMode, threads int) (int64, error) {
+	w := freshWorld(cp.WL)
+	res, err := exec.Run(exec.Config{
+		Prog:      cp.C.Low.Prog,
+		Builtins:  w.Fns(),
+		Model:     cp.C.Model,
+		Cost:      des.DefaultCostModel(),
+		Recovery:  exec.DefaultRecovery(),
+		Watchdog:  des.Watchdog{MaxEvents: 5_000_000},
+		Effectful: Effectful(w),
+	}, cp.LA, sched, mode, threads)
+	if err != nil {
+		return 0, err
+	}
+	return res.VirtualTime, nil
 }
 
 // runFaulted executes one workload/schedule/sync/plan cell resiliently and
 // classifies the outcome.
-func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mode exec.SyncMode, threads int, plan faults.Plan) (outcome, detail string, err error) {
+func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mode exec.SyncMode, threads int, plan faults.Plan) (FaultCell, error) {
+	cell := FaultCell{
+		Workload:    cp.WL.Name,
+		Kind:        fmt.Sprintf("%v", kind),
+		Sync:        fmt.Sprintf("%v", mode),
+		Plan:        plan.Name,
+		Recoverable: plan.Recoverable,
+	}
 	var lastW *builtins.World
 	fresh := func() exec.Config {
 		w := freshWorld(cp.WL)
 		lastW = w
 		inj := faults.NewInjector(plan)
-		return exec.Config{
+		cfg := exec.Config{
 			Prog:        cp.C.Low.Prog,
 			Builtins:    inj.Wrap(w.Fns()),
 			Model:       cp.C.Model,
@@ -167,6 +317,12 @@ func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mo
 			ExtraAborts: inj.ExtraAborts,
 			Effectful:   Effectful(w),
 		}
+		if plan.HasCrash() {
+			// Arm the checkpoint layer only for plans that can kill a
+			// thread, so crash-free cells keep their exact legacy timings.
+			cfg.CrashCheck = inj.CrashNow
+		}
+		return cfg
 	}
 	accept := func(parallel bool) error {
 		// Sequential fallbacks replay the exact sequential output; parallel
@@ -183,15 +339,24 @@ func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mo
 		Accept:  accept,
 	})
 	if runErr != nil {
-		return "diagnosed", runErr.Error(), nil
+		cell.Outcome, cell.Detail = "diagnosed", runErr.Error()
+		return cell, nil
 	}
+	cell.VTime = res.VirtualTime
+	cell.Restarts = res.Restarts
+	cell.Repartitioned = res.Repartitioned
+	cell.RestartHistory = res.RestartHistory
 	switch {
-	case res.FellBack:
-		return "degraded", fmt.Sprintf("attempts=%d", res.Attempts), nil
+	case res.FellBack || res.Degraded:
+		cell.Outcome = "degraded"
+		cell.Detail = fmt.Sprintf("attempts=%d restarts=%d repartitioned=%d", res.Attempts, res.Restarts, res.Repartitioned)
 	case res.Recovered:
-		return "recovered", fmt.Sprintf("call-retries=%d iter-retries=%d", res.CallRetries, res.IterRetries), nil
+		cell.Outcome = "recovered"
+		cell.Detail = fmt.Sprintf("call-retries=%d iter-retries=%d restarts=%d", res.CallRetries, res.IterRetries, res.Restarts)
+	default:
+		cell.Outcome = "clean"
 	}
-	return "clean", "", nil
+	return cell, nil
 }
 
 // VetWorkloads is the commsetvet -werror gate of the benchmark harness: it

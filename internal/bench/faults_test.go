@@ -22,18 +22,25 @@ func TestVetWorkloadsClean(t *testing.T) {
 // plan must end sequential-equivalent, every permanent plan diagnosed.
 func TestSmokeCampaign(t *testing.T) {
 	var buf bytes.Buffer
-	sum, err := FaultCampaign(&buf, CampaignOptions{Threads: 4, Seed: 1, Smoke: true})
+	rep, err := FaultCampaign(&buf, CampaignOptions{Threads: 4, Seed: 1, Smoke: true})
 	if err != nil {
 		t.Fatalf("campaign failed:\n%s%v", buf.String(), err)
 	}
+	sum := rep.Summary
 	if sum.Runs == 0 {
 		t.Fatal("campaign executed no runs")
 	}
 	if sum.Recovered == 0 {
-		t.Errorf("no run exercised recovery: %+v", *sum)
+		t.Errorf("no run exercised recovery: %+v", sum)
 	}
 	if sum.Diagnosed == 0 {
-		t.Errorf("no permanent fault was diagnosed: %+v", *sum)
+		t.Errorf("no permanent fault was diagnosed: %+v", sum)
+	}
+	if sum.Restarts == 0 {
+		t.Errorf("no crash plan exercised a supervisor restart: %+v", sum)
+	}
+	if sum.Repartitioned == 0 {
+		t.Errorf("no permanent crash exercised DOALL re-partitioning: %+v", sum)
 	}
 }
 

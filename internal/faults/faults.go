@@ -1,8 +1,9 @@
 // Package faults provides deterministic, seedable fault injection for the
 // COMMSET runtime. A Plan describes a reproducible campaign of substrate
 // faults — transient and permanent builtin failures, latency spikes,
-// transactional-memory conflict storms, and pipeline-queue stalls — and an
-// Injector instantiates the plan over any substrate's builtin table.
+// transactional-memory conflict storms, pipeline-queue stalls, and whole
+// worker-thread crashes — and an Injector instantiates the plan over any
+// substrate's builtin table.
 //
 // Determinism is the defining property: the discrete-event simulator
 // serializes all execution, so the global sequence of builtin calls, queue
@@ -42,6 +43,13 @@ const (
 	// QueueStall delays token visibility on pipeline queues (a slow
 	// consumer core, NUMA interconnect congestion).
 	QueueStall
+	// Crash kills a chosen simulated worker thread at a chosen crash-tick
+	// index (a segfault, an OOM kill, a node reboot). The thread's private
+	// state — frame, cursors, unflushed batches, unmerged shadows — is
+	// lost; shared substrate state survives. A transient crash is followed
+	// by a supervisor restart from the last checkpoint; a crash with
+	// Spec.Permanent set leaves the thread dead and forces degraded mode.
+	Crash
 )
 
 // String names the fault class.
@@ -57,6 +65,8 @@ func (k Kind) String() string {
 		return "tm-storm"
 	case QueueStall:
 		return "queue-stall"
+	case Crash:
+		return "crash"
 	}
 	return "?"
 }
@@ -77,6 +87,20 @@ type Spec struct {
 	// Queue restricts QueueStall to queues whose name has this prefix
 	// ("" = every queue).
 	Queue string
+
+	// Thread names the simulated worker role a Crash spec kills (e.g.
+	// "doall.1", "stage2.0"). Crash only; must be non-empty, and — when the
+	// plan is validated against a thread roster — must name a thread the
+	// schedule actually spawns. The event stream is the victim's crash-tick
+	// counter: one tick per iteration pass (DOALL) or per token (stages),
+	// continuous across restarts, so Count > 1 models repeated crashes.
+	Thread string
+
+	// Permanent marks a Crash as unrecoverable: the supervisor does not
+	// restart the victim, and the run degrades (DOALL re-partitions the
+	// dead worker's remaining iterations across survivors; a dead pipeline
+	// stage collapses the run to the sequential fallback). Crash only.
+	Permanent bool
 
 	// After is the 1-based event index at which the fault starts firing;
 	// 0 selects probabilistic firing via Prob instead.
@@ -132,6 +156,11 @@ func (s *Spec) describe() string {
 		if s.Queue != "" {
 			fmt.Fprintf(&b, " queue=%s*", s.Queue)
 		}
+	case Crash:
+		fmt.Fprintf(&b, " thread=%s", s.Thread)
+		if s.Permanent {
+			b.WriteString(" permanent")
+		}
 	default:
 		target := s.Builtin
 		if s.wildcard() {
@@ -166,6 +195,19 @@ type Plan struct {
 	Recoverable bool
 }
 
+// HasCrash reports whether the plan contains any Crash spec. Harnesses use
+// it to arm the executor's checkpoint layer (Config.CrashCheck) only for
+// plans that can actually kill a thread, keeping crash-free runs on the
+// exact legacy timeline.
+func (p *Plan) HasCrash() bool {
+	for i := range p.Specs {
+		if p.Specs[i].Kind == Crash {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the plan header and its specs on one line.
 func (p *Plan) String() string {
 	parts := make([]string, len(p.Specs))
@@ -173,6 +215,94 @@ func (p *Plan) String() string {
 		parts[i] = p.Specs[i].describe()
 	}
 	return fmt.Sprintf("%s(seed=%d): %s", p.Name, p.Seed, strings.Join(parts, "; "))
+}
+
+// Validate checks the plan's specs for structural errors before a run, so
+// malformed plans fail fast instead of deep inside a simulation. roster, if
+// non-nil, lists the worker-thread roles the target schedule actually
+// spawns; Crash specs must name one of them. Checks:
+//
+//   - Prob must lie in [0,1]; Delay and Aborts must be non-negative.
+//   - Crash specs must name a target thread, must be able to fire
+//     (After > 0 or Prob > 0), and — with a roster — must name a real role.
+//   - Thread and Permanent apply only to Crash specs.
+//   - A permanent crash cannot repeat (Count > 1 conflicts with Permanent:
+//     a dead, never-restarted thread has no further crash ticks).
+//   - Two deterministic Crash specs whose tick windows overlap on the same
+//     thread must agree on permanence — "crash then restart" and "crash for
+//     good" on the same event contradict each other.
+func (p *Plan) Validate(roster []string) error {
+	for si := range p.Specs {
+		s := &p.Specs[si]
+		if s.Prob < 0 || s.Prob > 1 {
+			return fmt.Errorf("plan %s spec %d (%v): Prob %g outside [0,1]", p.Name, si, s.Kind, s.Prob)
+		}
+		if s.Delay < 0 {
+			return fmt.Errorf("plan %s spec %d (%v): negative Delay %d", p.Name, si, s.Kind, s.Delay)
+		}
+		if s.Aborts < 0 {
+			return fmt.Errorf("plan %s spec %d (%v): negative Aborts %d", p.Name, si, s.Kind, s.Aborts)
+		}
+		if s.Kind != Crash {
+			if s.Thread != "" {
+				return fmt.Errorf("plan %s spec %d (%v): Thread=%q applies only to crash specs", p.Name, si, s.Kind, s.Thread)
+			}
+			if s.Permanent {
+				return fmt.Errorf("plan %s spec %d (%v): Permanent applies only to crash specs", p.Name, si, s.Kind)
+			}
+			continue
+		}
+		if s.Thread == "" {
+			return fmt.Errorf("plan %s spec %d: crash spec must name a target thread", p.Name, si)
+		}
+		if s.After <= 0 && s.Prob <= 0 {
+			return fmt.Errorf("plan %s spec %d: crash of %s can never fire (need After or Prob)", p.Name, si, s.Thread)
+		}
+		if s.Permanent && s.Count > 1 {
+			return fmt.Errorf("plan %s spec %d: permanent crash of %s cannot repeat (Count=%d)", p.Name, si, s.Thread, s.Count)
+		}
+		if roster != nil && !rosterHas(roster, s.Thread) {
+			return fmt.Errorf("plan %s spec %d: crash targets nonexistent thread %q (schedule spawns: %s)",
+				p.Name, si, s.Thread, strings.Join(roster, ", "))
+		}
+		for sj := 0; sj < si; sj++ {
+			o := &p.Specs[sj]
+			if o.Kind != Crash || o.Thread != s.Thread || o.Permanent == s.Permanent {
+				continue
+			}
+			if crashWindowsOverlap(o, s) {
+				return fmt.Errorf("plan %s specs %d and %d: conflicting crash and permanent-crash on thread %s at the same event",
+					p.Name, sj, si, s.Thread)
+			}
+		}
+	}
+	return nil
+}
+
+func rosterHas(roster []string, name string) bool {
+	for _, r := range roster {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+// crashWindowsOverlap reports whether two deterministic crash windows share
+// a tick. Probabilistic specs (After <= 0) can hit any tick, so they
+// overlap everything.
+func crashWindowsOverlap(a, b *Spec) bool {
+	if a.After <= 0 || b.After <= 0 {
+		return true
+	}
+	end := func(s *Spec) int {
+		n := s.Count
+		if n <= 0 {
+			n = 1
+		}
+		return s.After + n // exclusive
+	}
+	return a.After < end(b) && b.After < end(a)
 }
 
 // Error is an injected builtin failure. The resilience layer inspects
@@ -206,6 +336,7 @@ type Injector struct {
 	total   int            // global builtin call counter
 	pushes  map[string]int // per-queue push counters
 	commits int            // TM commit counter
+	ticks   map[string]int // per-thread crash-tick counters
 
 	latched []bool // Permanent Prob specs that have fired
 
@@ -222,6 +353,7 @@ func NewInjector(plan Plan) *Injector {
 		plan:    plan,
 		calls:   map[string]int{},
 		pushes:  map[string]int{},
+		ticks:   map[string]int{},
 		latched: make([]bool, len(plan.Specs)),
 	}
 }
@@ -343,6 +475,39 @@ func (inj *Injector) QueueDelay(queue string) int64 {
 	}
 	return d
 }
+
+// CrashNow reports whether the named worker role crashes at its next crash
+// tick, and whether the crash is permanent (no restart). Call exactly once
+// per tick — one iteration pass for DOALL workers, one token for pipeline
+// stages — the call advances the role's tick counter. The counter is keyed
+// by role, not by simulated-thread incarnation, so it runs continuously
+// across supervisor restarts: a Crash spec with Count > 1 kills the
+// replacement too (repeated crashes), and the replayed window after a
+// restore consumes fresh ticks of its own.
+func (inj *Injector) CrashNow(thread string) (die, permanent bool) {
+	inj.ticks[thread]++
+	idx := inj.ticks[thread]
+	for si := range inj.plan.Specs {
+		s := &inj.plan.Specs[si]
+		if s.Kind != Crash || s.Thread != thread {
+			continue
+		}
+		if inj.fires(si, s, "crash:"+thread, idx) {
+			kind := "crash"
+			if s.Permanent {
+				kind = "permanent crash"
+			}
+			inj.note("%s of %s at tick %d", kind, thread, idx)
+			die = true
+			permanent = permanent || s.Permanent
+		}
+	}
+	return die, permanent
+}
+
+// CrashTick reports how many crash ticks the named role has consumed so
+// far (diagnostics only; does not advance the counter).
+func (inj *Injector) CrashTick(thread string) int { return inj.ticks[thread] }
 
 // ExtraAborts reports the synthetic additional conflict aborts to charge
 // for the next TM commit. Call exactly once per commit: the call advances

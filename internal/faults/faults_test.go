@@ -218,3 +218,161 @@ func TestPlanString(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashNowDeterministicWindow: a Crash spec fires exactly on its tick
+// window for its target thread, leaving other threads untouched, and ticks
+// advance per call.
+func TestCrashNowDeterministicWindow(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, Specs: []Spec{
+		{Kind: Crash, Thread: "doall.1", After: 3, Count: 2},
+	}})
+	for tick := 1; tick <= 6; tick++ {
+		die, perm := inj.CrashNow("doall.1")
+		want := tick == 3 || tick == 4
+		if die != want || perm {
+			t.Errorf("tick %d: die=%v perm=%v, want die=%v perm=false", tick, die, perm, want)
+		}
+	}
+	if die, _ := inj.CrashNow("doall.0"); die {
+		t.Error("crash fired on untargeted thread")
+	}
+	if inj.CrashTick("doall.1") != 6 || inj.CrashTick("doall.0") != 1 {
+		t.Errorf("tick counters = %d/%d, want 6/1", inj.CrashTick("doall.1"), inj.CrashTick("doall.0"))
+	}
+	if inj.Injected() != 2 {
+		t.Errorf("injected = %d, want 2", inj.Injected())
+	}
+}
+
+// TestCrashNowPermanentAndProb: permanence propagates from the spec, and
+// probabilistic crashes are reproducible across injector instantiations.
+func TestCrashNowPermanentAndProb(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 2, Specs: []Spec{
+		{Kind: Crash, Thread: "stage1.0", After: 2, Permanent: true},
+	}})
+	if die, perm := inj.CrashNow("stage1.0"); die || perm {
+		t.Error("tick 1 fired early")
+	}
+	if die, perm := inj.CrashNow("stage1.0"); !die || !perm {
+		t.Error("tick 2 not a permanent crash")
+	}
+
+	pattern := func() string {
+		inj := NewInjector(Plan{Seed: 5, Specs: []Spec{
+			{Kind: Crash, Thread: "doall.2", Prob: 0.2},
+		}})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if die, _ := inj.CrashNow("doall.2"); die {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(), pattern()
+	if a != b {
+		t.Errorf("probabilistic crashes not reproducible:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") {
+		t.Error("prob=0.2 crash never fired in 64 ticks")
+	}
+}
+
+// TestValidateRejections exercises every Plan.Validate error path.
+func TestValidateRejections(t *testing.T) {
+	roster := []string{"doall.0", "doall.1", "stage1.0"}
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the expected error; "" = valid
+	}{
+		{"valid-crash", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1", After: 3},
+		}}, ""},
+		{"valid-no-roster", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "ghost.9", After: 1},
+		}}, ""}, // roster nil in this case: membership unchecked
+		{"prob-out-of-range", Plan{Name: "p", Specs: []Spec{
+			{Kind: Transient, Builtin: "alpha", Prob: 1.5},
+		}}, "outside [0,1]"},
+		{"negative-delay", Plan{Name: "p", Specs: []Spec{
+			{Kind: Latency, Builtin: "alpha", After: 1, Delay: -5},
+		}}, "negative Delay"},
+		{"negative-aborts", Plan{Name: "p", Specs: []Spec{
+			{Kind: TMStorm, After: 1, Aborts: -1},
+		}}, "negative Aborts"},
+		{"thread-on-non-crash", Plan{Name: "p", Specs: []Spec{
+			{Kind: Transient, Builtin: "alpha", After: 1, Thread: "doall.1"},
+		}}, "applies only to crash"},
+		{"permanent-on-non-crash", Plan{Name: "p", Specs: []Spec{
+			{Kind: Latency, Builtin: "alpha", After: 1, Permanent: true},
+		}}, "applies only to crash"},
+		{"crash-without-thread", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, After: 1},
+		}}, "must name a target thread"},
+		{"crash-never-fires", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1"},
+		}}, "can never fire"},
+		{"permanent-crash-repeats", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1", After: 1, Count: 3, Permanent: true},
+		}}, "cannot repeat"},
+		{"nonexistent-thread", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.7", After: 1},
+		}}, "nonexistent thread"},
+		{"conflicting-perm-overlap", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1", After: 3, Count: 4},
+			{Kind: Crash, Thread: "doall.1", After: 5, Permanent: true},
+		}}, "conflicting crash and permanent-crash"},
+		{"conflicting-prob-overlaps-everything", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "stage1.0", Prob: 0.1},
+			{Kind: Crash, Thread: "stage1.0", After: 9, Permanent: true},
+		}}, "conflicting crash and permanent-crash"},
+		{"disjoint-windows-ok", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1", After: 2, Count: 2},
+			{Kind: Crash, Thread: "doall.1", After: 9, Permanent: true},
+		}}, ""},
+		{"different-threads-ok", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.0", After: 3},
+			{Kind: Crash, Thread: "doall.1", After: 3, Permanent: true},
+		}}, ""},
+	}
+	for _, tc := range cases {
+		r := roster
+		if tc.name == "valid-no-roster" {
+			r = nil
+		}
+		err := tc.plan.Validate(r)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestHasCrashAndDescribe: HasCrash keys the checkpoint layer on/off, and
+// crash specs render their target in plan listings.
+func TestHasCrashAndDescribe(t *testing.T) {
+	none := Plan{Specs: []Spec{{Kind: Transient, Builtin: "alpha", After: 1}}}
+	if none.HasCrash() {
+		t.Error("HasCrash true without crash specs")
+	}
+	p := Plan{Name: "reboot", Seed: 4, Specs: []Spec{
+		{Kind: Crash, Thread: "stage1.0", After: 5, Permanent: true},
+	}}
+	if !p.HasCrash() {
+		t.Error("HasCrash false with a crash spec")
+	}
+	s := p.String()
+	for _, want := range []string{"crash", "thread=stage1.0", "permanent", "after=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string %q missing %q", s, want)
+		}
+	}
+}

@@ -60,6 +60,12 @@ type CostModel struct {
 
 	// ThreadSpawn is the one-time cost of starting a worker.
 	ThreadSpawn int64
+
+	// Checkpoint is the cost of snapshotting a worker's resumable state
+	// (frame, cursors, batched-queue residue); Restore is the cost of
+	// rebuilding a fresh thread from the last checkpoint after a crash.
+	Checkpoint int64
+	Restore    int64
 }
 
 // DefaultCostModel returns parameters calibrated to reproduce the relative
@@ -73,6 +79,7 @@ func DefaultCostModel() CostModel {
 		QueuePushPer: 8, QueuePopPer: 8,
 		TMCommit: 60, TMAbortPenalty: 150,
 		ThreadSpawn: 1000,
+		Checkpoint:  80, Restore: 400,
 	}
 }
 
@@ -286,8 +293,29 @@ type Scheduler struct {
 	locks  []*Lock
 	queues []*Queue
 
+	deaths []DeathRecord
+
 	firstErr error
 }
+
+// DeathRecord is one simulated-thread death (an injected crash): which
+// thread died, at what virtual time, and why. Deaths are surfaced in
+// Watchdog-style StallError diagnostics so a stalled run names the crashes
+// that preceded the stall.
+type DeathRecord struct {
+	Thread string
+	VTime  int64
+	Reason string
+}
+
+// RecordDeath logs a thread death for diagnostics. Called by the executor's
+// supervisor when a fault plan kills a simulated thread.
+func (s *Scheduler) RecordDeath(thread string, vtime int64, reason string) {
+	s.deaths = append(s.deaths, DeathRecord{Thread: thread, VTime: vtime, Reason: reason})
+}
+
+// Deaths returns the thread deaths recorded so far, in order.
+func (s *Scheduler) Deaths() []DeathRecord { return s.deaths }
 
 // New creates a scheduler with the given cost model.
 func New(cost CostModel) *Scheduler {
@@ -393,6 +421,10 @@ type StallError struct {
 	Kind    string // "deadlock" or "watchdog"
 	Reason  string
 	Threads []ThreadDiag
+	// Deaths lists the injected thread crashes that preceded the stall —
+	// the restart history a post-mortem needs to see whether the stall is
+	// a recovery bug or an unrelated hang.
+	Deaths []DeathRecord
 }
 
 // Error renders the multi-line diagnostic.
@@ -405,12 +437,15 @@ func (e *StallError) Error() string {
 			fmt.Fprintf(&b, "; holds [%s]", strings.Join(t.Holds, ", "))
 		}
 	}
+	for _, d := range e.Deaths {
+		fmt.Fprintf(&b, "\n  died: %s @t=%d: %s", d.Thread, d.VTime, d.Reason)
+	}
 	return b.String()
 }
 
 // stallError builds a StallError over every live thread, in thread order.
 func (s *Scheduler) stallError(kind, reason string) *StallError {
-	e := &StallError{Kind: kind, Reason: reason}
+	e := &StallError{Kind: kind, Reason: reason, Deaths: s.deaths}
 	for _, t := range s.threads {
 		if t.state == tDone {
 			continue

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/transform"
+	"repro/internal/types"
+	"repro/internal/vm/value"
+)
+
+// Crash/restart subsystem.
+//
+// A Crash fault (Config.CrashCheck, wired to faults.Injector.CrashNow)
+// deterministically kills a simulated worker thread at a chosen crash-tick
+// index. The death model: the thread's *private* state — frame, cursors,
+// unflushed batched-queue buffers, unmerged privatized shadows — is lost;
+// shared substrate state (memory, cells, queues) survives. Recovery rests
+// on an output-commit checkpoint discipline:
+//
+//   - Each DOALL worker and pipeline stage snapshots its resumable state
+//     at pass/token boundaries: immediately after any pass that
+//     externalized an effect (member commit, shared-cell write, effectful
+//     builtin, global store, or batched-queue flush — the same counters
+//     that gate DOALL iteration re-execution), and otherwise every
+//     Recovery.CheckpointEvery passes.
+//   - Crash ticks fire at the *start* of a pass, checkpoint refreshes at
+//     its *end*, so the window between the live checkpoint and any crash
+//     contains only work that externalized nothing. The supervisor can
+//     therefore restore the last checkpoint onto a fresh simulated thread
+//     and replay the whole window without duplicating a visible update.
+//   - A permanent crash (or an exhausted restart budget) degrades
+//     gracefully instead: a dead DOALL worker's remaining iterations are
+//     re-partitioned across the survivors at join time; a dead pipeline
+//     stage poisons the pipeline into an orderly shutdown and the run is
+//     diagnosed non-transient, which collapses RunResilient to its
+//     sequential fallback.
+//
+// All recovery machinery runs inside the deterministic simulator and is
+// charged in virtual time (Cost.Checkpoint per snapshot, Cost.Restore per
+// restore, Recovery.RestartDelay of supervisor detection latency), so the
+// same seed and plan reproduce bit-identical outputs, checkpoints, and
+// restart histories.
+
+// CrashError reports an injected worker-thread crash. Perm marks crashes
+// the supervisor will not (or can no longer) restart; only those are
+// non-transient, since re-running the same deterministic plan replays the
+// same recoverable crashes.
+type CrashError struct {
+	Thread string
+	VTime  int64
+	Perm   bool
+	Reason string
+}
+
+// Error renders the diagnosis.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("%s in thread %s at t=%d", e.Reason, e.Thread, e.VTime)
+}
+
+// IsTransient reports whether a restart (or a fresh attempt) can succeed.
+func (e *CrashError) IsTransient() bool { return !e.Perm }
+
+// RestartRecord is one entry of a run's crash/restart history.
+type RestartRecord struct {
+	// Thread is the worker role that crashed (e.g. "doall.1", "stage1.0").
+	Thread string `json:"thread"`
+	// VTime is the virtual time of the death.
+	VTime int64 `json:"vtime"`
+	// Event is the pass (DOALL iteration) or token ordinal at which the
+	// crash tick hit.
+	Event int64 `json:"event"`
+	// CkptAge is how many passes/tokens the live state was ahead of the
+	// last checkpoint when the thread died.
+	CkptAge int64 `json:"ckpt_age"`
+	// Replayed is how many passes/tokens the replacement re-executed from
+	// the restored checkpoint (0 for permanent deaths: nothing is
+	// replayed, the work is re-partitioned or the run degrades).
+	Replayed int64 `json:"replayed"`
+	// Permanent marks deaths that were not restarted (permanent crash
+	// spec, or transient crash after the restart budget was exhausted).
+	Permanent bool `json:"permanent"`
+}
+
+// String renders one history entry.
+func (r RestartRecord) String() string {
+	kind := "restarted"
+	if r.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("%s crashed @t=%d event=%d ckpt-age=%d replayed=%d (%s)",
+		r.Thread, r.VTime, r.Event, r.CkptAge, r.Replayed, kind)
+}
+
+// crashAt consumes one crash tick for the role and reports whether the
+// thread dies now, and whether the death is permanent. Returns false when
+// no crash plan is armed.
+func (m *machine) crashAt(role string) (bool, bool) {
+	if m.cfg.CrashCheck == nil {
+		return false, false
+	}
+	return m.cfg.CrashCheck(role)
+}
+
+// checkpointing reports whether the checkpoint layer is active. Snapshots
+// are only taken (and charged) when a crash plan is armed, so crash-free
+// runs keep their exact legacy timings.
+func (m *machine) checkpointing() bool { return m.cfg.CrashCheck != nil }
+
+// ckptEvery returns the periodic checkpoint interval in passes/tokens.
+func (m *machine) ckptEvery() int64 {
+	if r := m.cfg.Recovery; r != nil {
+		return r.checkpointEvery()
+	}
+	return defaultCheckpointEvery
+}
+
+// snapshotFrame copies a frame exactly, including the shared-source
+// register tags (unlike clone, which resets them for a fresh worker).
+func snapshotFrame(fr *frame) *frame {
+	nf := &frame{
+		locals:    append([]value.Value(nil), fr.locals...),
+		regs:      append([]value.Value(nil), fr.regs...),
+		sharedSrc: make(map[int]int, len(fr.sharedSrc)),
+	}
+	for k, v := range fr.sharedSrc {
+		nf.sharedSrc[k] = v
+	}
+	return nf
+}
+
+// copyPriv copies a privatized-shadow commit map.
+func copyPriv(p map[*types.Set]int) map[*types.Set]int {
+	if len(p) == 0 {
+		return nil
+	}
+	c := make(map[*types.Set]int, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// CrashRoster lists the simulated worker roles the schedule spawns with
+// the given thread count — the legal targets of Crash fault specs. DOALL
+// schedules spawn doall.0..N-1 (worker 0 rides the main thread); pipeline
+// schedules spawn stage<si>.<rep> for every non-dispatcher stage. The
+// dispatcher and the sequential schedule have no crashable workers: they
+// run on the main thread, whose death is the process's, not a worker's.
+func CrashRoster(sched *transform.Schedule, threads int) []string {
+	if sched == nil {
+		return nil
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	switch sched.Kind {
+	case transform.DOALL:
+		roster := make([]string, threads)
+		for w := 0; w < threads; w++ {
+			roster[w] = fmt.Sprintf("doall.%d", w)
+		}
+		return roster
+	case transform.DSWP, transform.PSDSWP:
+		reps := stageReps(sched.Stages, threads)
+		var roster []string
+		for si := 1; si < len(sched.Stages); si++ {
+			for rep := 0; rep < reps[si]; rep++ {
+				roster = append(roster, fmt.Sprintf("stage%d.%d", si, rep))
+			}
+		}
+		return roster
+	}
+	return nil
+}
+
+// stageReps computes the replica count per pipeline stage: one thread per
+// sequential stage, every remaining thread on the parallel stage.
+func stageReps(stages []transform.Stage, threads int) []int {
+	reps := make([]int, len(stages))
+	parIdx := -1
+	for i := range stages {
+		reps[i] = 1
+		if stages[i].Parallel {
+			parIdx = i
+		}
+	}
+	if parIdx >= 0 {
+		r := threads - (len(stages) - 1)
+		if r < 1 {
+			r = 1
+		}
+		reps[parIdx] = r
+	}
+	return reps
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/types"
 	"repro/internal/vm/des"
 	"repro/internal/vm/value"
 )
@@ -20,11 +21,63 @@ func (m *machine) runCond(st *stepper) (bool, error) {
 	return !m.la.Loop.Contains(s.nextBlk), nil
 }
 
-// doallDone is the join message of one DOALL worker.
+// doallDone is the join message of one DOALL worker (or salvage runner).
+// A crashed join is the death certificate of a permanently dead worker:
+// it carries the worker's last checkpoint so the main thread can
+// re-partition the remaining owned iterations across the survivors.
 type doallDone struct {
 	worker   int
 	fr       *frame
 	lastIter int64
+
+	crashed   bool
+	deathIter int64      // pass at which the crash tick hit
+	ck        *doallCkpt // last checkpoint of the dead worker
+}
+
+// doallCkpt is one DOALL worker's resumable state: the completed-pass
+// watermark (iter is the next pass to execute), an exact frame snapshot,
+// the last owned iteration executed, and the privatized shadow state. The
+// externalized-effect baselines that gate safe re-execution live beside it
+// in doallState (ckEff/ckWrites): the output-commit discipline refreshes
+// the checkpoint right after any externalizing pass, so the window between
+// checkpoint and crash is always replay-safe.
+type doallCkpt struct {
+	iter     int64
+	fr       *frame
+	lastIter int64
+	priv     map[*types.Set]int
+}
+
+// doallState is the live, restartable state of one DOALL worker role
+// across its simulated-thread incarnations.
+type doallState struct {
+	w    int
+	role string
+
+	iter     int64 // next pass to execute
+	lastIter int64 // last owned iteration whose body ran
+
+	ck       doallCkpt
+	ckEff    int // stepper effects counter at the last checkpoint
+	ckWrites int // interp heap-write counter at the last checkpoint
+
+	restartsLeft int
+	restartN     int // incarnation ordinal (for replacement thread names)
+}
+
+// takeDoallCkpt refreshes the worker's checkpoint from its live state,
+// charging the snapshot cost in virtual time.
+func (m *machine) takeDoallCkpt(th *des.Thread, st *stepper, ws *doallState) {
+	th.Charge(m.cfg.Cost.Checkpoint)
+	ws.ck = doallCkpt{
+		iter:     ws.iter,
+		fr:       snapshotFrame(st.fr),
+		lastIter: ws.lastIter,
+		priv:     copyPriv(st.privCommits),
+	}
+	ws.ckEff = st.effects
+	ws.ckWrites = st.it.HeapWrites
 }
 
 // runIterBody executes one DOALL iteration's body units. In resilient mode
@@ -72,6 +125,197 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 	}
 }
 
+// doallRun is the worker loop, shared by the original incarnation of each
+// worker role and by any checkpoint-restored replacement. Each pass is one
+// crash tick; the checkpoint refreshes at the end of any pass that
+// externalized an effect (output-commit) and otherwise every
+// Recovery.CheckpointEvery passes, so a crash window never holds
+// externalized work.
+func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *iterSched, join *des.Queue) error {
+	fr := st.fr
+	// bail handles a worker-fatal error: legacy mode aborts the whole
+	// simulation; resilient mode records the diagnosis and shuts the
+	// worker down in an orderly fashion (join message still sent).
+	bail := func(err error) (abort bool, fatal error) {
+		if !m.resilient() {
+			return true, err
+		}
+		m.fail(ws.role, err)
+		return false, nil
+	}
+	for {
+		iter := ws.iter
+		if m.resilient() && m.failed() {
+			break // a sibling hit an unrecoverable fault; stop early
+		}
+		if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
+			break // calibration slice: stop after the sampled prefix
+		}
+		if die, perm := m.crashAt(ws.role); die {
+			return m.doallCrash(th, ws, sched, join, perm)
+		}
+		exit, err := m.runCond(st)
+		if err != nil {
+			if abort, fatal := bail(err); abort {
+				return fatal
+			}
+			break
+		}
+		if exit {
+			break
+		}
+		if sched.owns(ws.w, iter, th.Sleep) {
+			if err := m.runIterBody(st, fr); err != nil {
+				if abort, fatal := bail(err); abort {
+					return fatal
+				}
+				break
+			}
+			ws.lastIter = iter
+		}
+		if _, err := st.runGroup(m.la.Units.Post); err != nil {
+			if abort, fatal := bail(err); abort {
+				return fatal
+			}
+			break
+		}
+		ws.iter = iter + 1
+		if m.checkpointing() {
+			externalized := st.effects != ws.ckEff || st.it.HeapWrites != ws.ckWrites
+			if externalized || ws.iter-ws.ck.iter >= m.ckptEvery() {
+				m.takeDoallCkpt(th, st, ws)
+			}
+		}
+	}
+	st.mergePrivatized()
+	th.Push(join, doallDone{worker: ws.w, fr: fr, lastIter: ws.lastIter})
+	return nil
+}
+
+// doallCrash handles the death of a DOALL worker at a crash tick. The
+// thread's private state dies with it; what survives is the shared
+// substrate and the last checkpoint. A transient death spawns a
+// replacement thread (after the supervisor's detection latency) that
+// restores the checkpoint and replays the un-externalized window; a
+// permanent death — or a transient one past the restart budget — instead
+// posts a death certificate on the join queue so the main thread can
+// re-partition the remaining owned iterations across the survivors.
+func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, join *des.Queue, perm bool) error {
+	reason := "injected crash"
+	if perm {
+		reason = "injected permanent crash"
+	}
+	if !m.resilient() {
+		m.sim.RecordDeath(ws.role, th.VTime, reason)
+		return &CrashError{Thread: ws.role, VTime: th.VTime, Perm: perm, Reason: reason}
+	}
+	if !perm && ws.restartsLeft <= 0 {
+		perm = true
+		reason = "crash with restart budget exhausted"
+	}
+	rec := RestartRecord{
+		Thread:    ws.role,
+		VTime:     th.VTime,
+		Event:     ws.iter,
+		CkptAge:   ws.iter - ws.ck.iter,
+		Permanent: perm,
+	}
+	if !perm {
+		rec.Replayed = rec.CkptAge
+	}
+	m.restarts = append(m.restarts, rec)
+	m.sim.RecordDeath(ws.role, th.VTime, reason)
+	if perm {
+		ck := ws.ck
+		th.Push(join, doallDone{
+			worker: ws.w, fr: ck.fr, lastIter: ck.lastIter,
+			crashed: true, deathIter: ws.iter, ck: &ck,
+		})
+		return nil
+	}
+	m.stats.restarts++
+	r := m.cfg.Recovery
+	ck := ws.ck
+	nextLeft := ws.restartsLeft - 1
+	n := ws.restartN + 1
+	m.sim.Spawn(fmt.Sprintf("%s#r%d", ws.role, n), th.VTime+r.restartDelay(), func(th2 *des.Thread) error {
+		th2.Charge(m.cfg.Cost.Restore)
+		st2 := m.newStepper(th2, snapshotFrame(ck.fr))
+		st2.sharedActive = true
+		st2.privatized = m.cfg.Tune.Privatize
+		st2.privCommits = copyPriv(ck.priv)
+		ws2 := &doallState{
+			w: ws.w, role: ws.role,
+			iter: ck.iter, lastIter: ck.lastIter,
+			ck: doallCkpt{
+				iter: ck.iter, fr: snapshotFrame(ck.fr),
+				lastIter: ck.lastIter, priv: copyPriv(ck.priv),
+			},
+			restartsLeft: nextLeft,
+			restartN:     n,
+		}
+		return m.doallRun(th2, st2, ws2, sched, join)
+	})
+	return nil
+}
+
+// doallSalvage re-executes a permanently dead worker's share of the loop
+// on behalf of one survivor: it restores the dead worker's checkpoint onto
+// a fresh frame, replays the loop-control machinery from the checkpointed
+// pass, and executes every `nshares`-th owned iteration (share k of a
+// deterministic round-robin split). The window between the checkpoint and
+// the death externalized nothing (output-commit), and passes at or beyond
+// the death never ran, so re-executing both duplicates no visible update.
+// Share 0 also adopts the dead worker's unmerged privatized shadow, so
+// each shadow is still merged exactly once.
+func (m *machine) doallSalvage(th *des.Thread, d doallDone, share, nshares int, sched *iterSched, join *des.Queue) error {
+	th.Charge(m.cfg.Cost.Restore)
+	fr := snapshotFrame(d.ck.fr)
+	st := m.newStepper(th, fr)
+	st.sharedActive = true
+	st.privatized = m.cfg.Tune.Privatize
+	if share == 0 {
+		st.privCommits = copyPriv(d.ck.priv)
+	}
+	role := fmt.Sprintf("salvage.%d.%d", d.worker, share)
+	lastIter := int64(-1)
+	ordinal := 0
+	for iter := d.ck.iter; ; iter++ {
+		if m.failed() {
+			break
+		}
+		if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
+			break
+		}
+		exit, err := m.runCond(st)
+		if err != nil {
+			m.fail(role, err)
+			break
+		}
+		if exit {
+			break
+		}
+		if sched.owns(d.worker, iter, th.Sleep) {
+			mine := ordinal%nshares == share
+			ordinal++
+			if mine {
+				if err := m.runIterBody(st, fr); err != nil {
+					m.fail(role, err)
+					break
+				}
+				lastIter = iter
+			}
+		}
+		if _, err := st.runGroup(m.la.Units.Post); err != nil {
+			m.fail(role, err)
+			break
+		}
+	}
+	st.mergePrivatized()
+	th.Push(join, doallDone{worker: d.worker, fr: fr, lastIter: lastIter})
+	return nil
+}
+
 // runDOALL executes the loop with iterations scheduled over `threads`
 // workers (the calling thread acts as worker 0) according to the tuning's
 // iteration schedule — static round-robin, chunked, or guided with a
@@ -81,6 +325,11 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 // only for its own iterations. With Tune.Privatize, commutative member
 // updates run against per-thread shadow state and each worker publishes
 // one synchronized merge per touched set before joining.
+//
+// With a crash plan armed, each worker checkpoints (see doallRun), dying
+// workers are restarted from their checkpoints, and permanently dead
+// workers have their remaining iterations re-partitioned across the
+// survivors at join time (degraded mode).
 func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error {
 	join := m.sim.NewQueue("doall.join", threads)
 	// One claim-board round trip costs an uncontended spin acquire+release
@@ -88,58 +337,18 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 	sched := newIterSched(m.cfg.Tune, threads, m.cfg.Cost.SpinAcquire+m.cfg.Cost.SpinRelease)
 
 	worker := func(th *des.Thread, w int) error {
-		fr := mainFr.clone()
-		st := m.newStepper(th, fr)
+		st := m.newStepper(th, mainFr.clone())
 		st.sharedActive = true
 		st.privatized = m.cfg.Tune.Privatize
-		role := fmt.Sprintf("doall worker %d", w)
-		lastIter := int64(-1)
-		// bail handles a worker-fatal error: legacy mode aborts the whole
-		// simulation; resilient mode records the diagnosis and shuts the
-		// worker down in an orderly fashion (join message still sent).
-		bail := func(err error) (abort bool, fatal error) {
-			if !m.resilient() {
-				return true, err
-			}
-			m.fail(role, err)
-			return false, nil
+		ws := &doallState{w: w, role: fmt.Sprintf("doall.%d", w), lastIter: -1}
+		ws.ck.lastIter = -1
+		if r := m.cfg.Recovery; r != nil {
+			ws.restartsLeft = r.maxRestarts()
 		}
-		for iter := int64(0); ; iter++ {
-			if m.resilient() && m.failed() {
-				break // a sibling hit an unrecoverable fault; stop early
-			}
-			if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
-				break // calibration slice: stop after the sampled prefix
-			}
-			exit, err := m.runCond(st)
-			if err != nil {
-				if abort, fatal := bail(err); abort {
-					return fatal
-				}
-				break
-			}
-			if exit {
-				break
-			}
-			if sched.owns(w, iter, th.Sleep) {
-				if err := m.runIterBody(st, fr); err != nil {
-					if abort, fatal := bail(err); abort {
-						return fatal
-					}
-					break
-				}
-				lastIter = iter
-			}
-			if _, err := st.runGroup(m.la.Units.Post); err != nil {
-				if abort, fatal := bail(err); abort {
-					return fatal
-				}
-				break
-			}
+		if m.checkpointing() {
+			m.takeDoallCkpt(th, st, ws) // initial checkpoint at pass 0
 		}
-		st.mergePrivatized()
-		th.Push(join, doallDone{worker: w, fr: fr, lastIter: lastIter})
-		return nil
+		return m.doallRun(th, st, ws, sched, join)
 	}
 
 	start := mainTh.VTime
@@ -153,29 +362,78 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 		return err
 	}
 
-	// Collect workers and merge live-outs: every worker ran the full
-	// control loop, so control state agrees; body-written slots take their
-	// value from the worker that executed the globally last iteration.
-	var lastFr *frame
+	// Collect workers and merge live-outs. Control state comes from any
+	// completed (non-crashed) frame — every completed worker and salvage
+	// runner executed the full control loop, so they agree; body-written
+	// slots take their value from the frame that executed the globally
+	// last iteration (a dead worker's checkpoint frame competes too: its
+	// pre-checkpoint iterations were real).
+	var ctrlFr, lastFr *frame
 	lastIter := int64(-1)
-	var anyFr *frame
-	for i := 0; i < threads; i++ {
-		d := mainTh.Pop(join).(doallDone)
-		anyFr = d.fr
+	var crashed []doallDone
+	consider := func(d doallDone) {
+		if d.fr == nil {
+			return
+		}
+		if !d.crashed && ctrlFr == nil {
+			ctrlFr = d.fr
+		}
 		if d.lastIter > lastIter {
 			lastIter = d.lastIter
 			lastFr = d.fr
 		}
 	}
+	for i := 0; i < threads; i++ {
+		d := mainTh.Pop(join).(doallDone)
+		if d.crashed {
+			crashed = append(crashed, d)
+		}
+		consider(d)
+	}
+
+	// Degraded mode: re-partition each permanently dead worker's remaining
+	// iterations across the survivors, one salvage runner per survivor.
+	if len(crashed) > 0 && !m.failed() {
+		survivors := threads - len(crashed)
+		if survivors <= 0 {
+			d := crashed[0]
+			m.fail(fmt.Sprintf("doall.%d", d.worker), &CrashError{
+				Thread: fmt.Sprintf("doall.%d", d.worker), VTime: mainTh.VTime,
+				Perm: true, Reason: "permanent crash with no surviving workers",
+			})
+		} else {
+			start := mainTh.VTime + m.cfg.Recovery.restartDelay()
+			for _, d := range crashed {
+				m.stats.repartitioned++
+				d := d
+				for k := 0; k < survivors; k++ {
+					k := k
+					m.sim.Spawn(fmt.Sprintf("salvage.%d.%d", d.worker, k), start, func(th *des.Thread) error {
+						return m.doallSalvage(th, d, k, survivors, sched, join)
+					})
+				}
+			}
+			for i := 0; i < len(crashed)*survivors; i++ {
+				consider(mainTh.Pop(join).(doallDone))
+			}
+		}
+	}
 	if m.failDiag != nil {
 		return m.failDiag
 	}
-	src := lastFr
-	if src == nil {
-		src = anyFr // zero-iteration loop: control state only
+
+	if ctrlFr == nil {
+		ctrlFr = lastFr // every worker crashed but the run was not failed
 	}
-	if src != nil {
-		copy(mainFr.locals, src.locals)
+	if ctrlFr != nil {
+		copy(mainFr.locals, ctrlFr.locals)
+	}
+	if lastFr != nil && lastFr != ctrlFr {
+		for slot := range m.bodyWrites() {
+			if !m.isShared(slot) {
+				mainFr.locals[slot] = lastFr.locals[slot]
+			}
+		}
 	}
 	return nil
 }

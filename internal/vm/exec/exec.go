@@ -112,6 +112,14 @@ type Config struct {
 	// Effectful names builtins with externally visible effects: a failed
 	// DOALL iteration that completed one cannot be re-executed.
 	Effectful map[string]bool
+
+	// CrashCheck, when set, arms the crash/restart subsystem: it is called
+	// exactly once per crash tick — one DOALL iteration pass or one
+	// pipeline token — of each worker role, and reports whether the role's
+	// thread dies now and whether the death is permanent (wired to a fault
+	// injector's CrashNow). Arming it also activates the checkpoint layer;
+	// see crash.go for the recovery model.
+	CrashCheck func(role string) (die, permanent bool)
 }
 
 func (c *Config) queueCap() int {
@@ -138,6 +146,17 @@ type Result struct {
 	Attempts    int  // execution attempts consumed by RunResilient
 	FellBack    bool // RunResilient degraded to the sequential fallback
 	Recovered   bool // injected faults were absorbed
+
+	// Crash/restart statistics (zero unless a crash plan was armed).
+	Restarts      int  // worker threads restarted from a checkpoint
+	Repartitioned int  // permanently dead DOALL workers whose remaining iterations were re-partitioned
+	Degraded      bool // the run survived in degraded mode (re-partition or sequential fallback)
+	// RestartHistory lists every crash in order: thread, vtime, checkpoint
+	// age, and replayed-work count.
+	RestartHistory []RestartRecord
+	// PrivMerges counts privatized-shadow bulk merges published (exactly
+	// one per worker incarnation chain that touched a set, crash or not).
+	PrivMerges int
 }
 
 // RunSequential executes the program sequentially and returns its virtual
@@ -231,14 +250,19 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 		return nil, runErr
 	}
 	return &Result{
-		VirtualTime: makespan,
-		Threads:     threads,
-		Schedule:    schedLabel(sched, cfg.Tune),
-		Sync:        mode,
-		Tune:        cfg.Tune,
-		CallRetries: m.stats.callRetries,
-		IterRetries: m.stats.iterRetries,
-		Recovered:   m.stats.callRetries > 0 || m.stats.iterRetries > 0,
+		VirtualTime:    makespan,
+		Threads:        threads,
+		Schedule:       schedLabel(sched, cfg.Tune),
+		Sync:           mode,
+		Tune:           cfg.Tune,
+		CallRetries:    m.stats.callRetries,
+		IterRetries:    m.stats.iterRetries,
+		Restarts:       m.stats.restarts,
+		Repartitioned:  m.stats.repartitioned,
+		Degraded:       m.stats.repartitioned > 0,
+		RestartHistory: m.restarts,
+		PrivMerges:     m.stats.privMerges,
+		Recovered:      m.stats.callRetries > 0 || m.stats.iterRetries > 0 || m.stats.restarts > 0,
 	}, nil
 }
 
@@ -280,9 +304,14 @@ type machine struct {
 	// failDiag records the first unrecoverable fault (resilient mode only);
 	// the simulator serializes threads, so plain fields suffice.
 	failDiag *FailureDiag
+	// restarts is the crash/restart history, in death order.
+	restarts []RestartRecord
 	stats    struct {
-		callRetries int
-		iterRetries int
+		callRetries   int
+		iterRetries   int
+		restarts      int
+		repartitioned int
+		privMerges    int
 	}
 }
 
@@ -293,7 +322,7 @@ func (m *machine) resilient() bool { return m.cfg.Recovery != nil }
 // scheduling the first failure is the root cause, later ones are fallout.
 func (m *machine) fail(role string, err error) {
 	if m.failDiag == nil {
-		m.failDiag = &FailureDiag{Thread: role, Sched: m.sched.String(), Sync: m.mode, Err: err}
+		m.failDiag = &FailureDiag{Thread: role, Sched: m.sched.String(), Sync: m.mode, Err: err, Restarts: m.restarts}
 	}
 }
 

@@ -39,10 +39,17 @@ type qWriter struct {
 	q     *des.Queue
 	batch int
 	buf   []any
+	// flushes counts actual queue transfers (Push/PushN operations). A
+	// transfer externalizes the buffered tokens — consumers can observe
+	// them — so the stage checkpoint layer treats a flush like a member
+	// commit: the output-commit snapshot refreshes before the next crash
+	// tick can hit.
+	flushes int
 }
 
 func (w *qWriter) push(th *des.Thread, tok token) {
 	if w.batch <= 1 {
+		w.flushes++
 		th.Push(w.q, tok)
 		return
 	}
@@ -54,9 +61,20 @@ func (w *qWriter) push(th *des.Thread, tok token) {
 
 func (w *qWriter) flush(th *des.Thread) {
 	if len(w.buf) > 0 {
+		w.flushes++
 		th.PushN(w.q, w.buf)
 		w.buf = nil
 	}
+}
+
+// totalFlushes sums the writers' transfer counters (the checkpoint layer's
+// externalization baseline).
+func totalFlushes(out []*qWriter) int {
+	n := 0
+	for _, w := range out {
+		n += w.flushes
+	}
+	return n
 }
 
 // qReader pops tokens from one pipeline queue, batch-popping up to
@@ -68,15 +86,26 @@ type qReader struct {
 	q     *des.Queue
 	batch int
 	buf   []any
+	// tap, when set, observes every token freshly popped from the
+	// underlying queue (not buffered re-reads). The stage checkpoint layer
+	// uses it to keep the in-flight token log: tokens popped since the
+	// last checkpoint are gone from the queue, so a restarted stage must
+	// replay them from the log.
+	tap func(toks []any)
 }
 
 func (r *qReader) next(th *des.Thread) token {
 	if len(r.buf) == 0 {
+		var toks []any
 		if r.batch > 1 {
-			r.buf = th.PopN(r.q, r.batch)
+			toks = th.PopN(r.q, r.batch)
 		} else {
-			r.buf = []any{th.Pop(r.q)}
+			toks = []any{th.Pop(r.q)}
 		}
+		if r.tap != nil {
+			r.tap(toks)
+		}
+		r.buf = toks
 	}
 	tok := r.buf[0].(token)
 	r.buf = r.buf[1:]
@@ -112,22 +141,9 @@ func (m *machine) runPipeline(mainTh *des.Thread, mainFr *frame, threads int) er
 	}
 
 	// Replica counts: the single parallel stage receives every thread not
-	// running a sequential stage.
-	reps := make([]int, len(stages))
-	parIdx := -1
-	for i := range stages {
-		reps[i] = 1
-		if stages[i].Parallel {
-			parIdx = i
-		}
-	}
-	if parIdx >= 0 {
-		r := threads - (len(stages) - 1)
-		if r < 1 {
-			r = 1
-		}
-		reps[parIdx] = r
-	}
+	// running a sequential stage. stageReps is shared with CrashRoster so
+	// fault plans name exactly the roles this run spawns.
+	reps := stageReps(stages, threads)
 
 	// Queues between consecutive stages. Between stage i and i+1 there are
 	// max(reps[i], reps[i+1]) queues: a parallel side owns one queue per
@@ -297,6 +313,26 @@ func (m *machine) stageWrites(si int) map[int]bool {
 	return w
 }
 
+// bodyWrites returns the slots written by any body unit of the loop (the
+// DOALL live-out merge overlays them from the frame that executed the
+// globally last iteration, which may be a dead worker's checkpoint).
+func (m *machine) bodyWrites() map[int]bool {
+	w := map[int]bool{}
+	for _, unit := range m.la.Units.Units {
+		for _, in := range unit {
+			switch in.Op {
+			case ir.OpStoreLocal:
+				w[in.Slot] = true
+			case ir.OpCall:
+				for _, s := range in.OutSlots {
+					w[s] = true
+				}
+			}
+		}
+	}
+	return w
+}
+
 // dispatch runs loop control and stage 0 on the calling thread. The token
 // for iteration k is the frame snapshot taken at the start of the
 // iteration (delivering previous-iteration values of any loop-carried
@@ -371,12 +407,91 @@ loop:
 	return nil
 }
 
-// stageWorker runs one stage (replica) of the pipeline.
+// stageCkpt is a pipeline stage worker's resumable snapshot, taken under the
+// output-commit discipline: it is refreshed immediately after any pass that
+// externalized an effect (member commit, shared-cell write, global store, or
+// a batched-queue flush), and otherwise every Recovery.CheckpointEvery token
+// passes. A crash window above the snapshot therefore contains only private
+// work — frame mutations, buffered tokens — which a replacement worker can
+// replay without duplicating any observable effect.
+type stageCkpt struct {
+	fr       *frame
+	seq      int64
+	lastIter int64
+	event    int64
+	inBufs   [][]any // batched-queue input residue per reader
+	outBufs  [][]any // unflushed output tokens per writer
+}
+
+// stageState is the per-incarnation bookkeeping of one stage worker role. A
+// replacement spawned after a transient crash continues the same role with a
+// stageState restored from the checkpoint; restartsLeft and restartN carry
+// across incarnations so repeated crashes eventually exhaust the budget.
+type stageState struct {
+	si, rep int
+	role    string
+
+	seq      int64 // next expected iteration of the round-robin input
+	lastIter int64
+	event    int64 // token passes consumed (crash-tick granularity)
+	dead     bool
+
+	ck        stageCkpt
+	ckEff     int
+	ckWrites  int
+	ckFlushes int
+	log       [][]any // tokens popped from the input queues since the checkpoint
+
+	restartsLeft int
+	restartN     int
+}
+
+// tapReaders wires the input readers' pop taps into the stage's in-flight
+// token log. Tokens consumed from batch residue are not logged — they are
+// already captured in the checkpoint's inBufs.
+func (m *machine) tapReaders(ss *stageState, in []*qReader) {
+	ss.log = make([][]any, len(in))
+	for k := range in {
+		k := k
+		in[k].tap = func(toks []any) { ss.log[k] = append(ss.log[k], toks...) }
+	}
+}
+
+// takeStageCkpt snapshots the stage worker's resumable state: frame, input
+// cursor, batched-queue residues on both sides, and the externalization
+// baselines. The in-flight token log restarts empty at each checkpoint.
+func (m *machine) takeStageCkpt(th *des.Thread, st *stepper, ss *stageState, in []*qReader, out []*qWriter) {
+	th.Charge(m.cfg.Cost.Checkpoint)
+	ck := stageCkpt{
+		fr:       snapshotFrame(st.fr),
+		seq:      ss.seq,
+		lastIter: ss.lastIter,
+		event:    ss.event,
+		inBufs:   make([][]any, len(in)),
+		outBufs:  make([][]any, len(out)),
+	}
+	for k, r := range in {
+		ck.inBufs[k] = append([]any(nil), r.buf...)
+	}
+	for k, w := range out {
+		ck.outBufs[k] = append([]any(nil), w.buf...)
+	}
+	ss.ck = ck
+	ss.ckEff = st.effects
+	ss.ckWrites = st.it.HeapWrites
+	ss.ckFlushes = totalFlushes(out)
+	for k := range ss.log {
+		ss.log[k] = nil
+	}
+}
+
+// stageWorker runs one stage (replica) of the pipeline. When the crash layer
+// is armed it takes an initial checkpoint and hands off to stageRun, which
+// every replacement incarnation re-enters.
 func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps []int, qs [][]*des.Queue, ff []map[int]bool, join *des.Queue) error {
 	fr := mainFr.clone()
 	st := m.newStepper(th, fr)
 	st.sharedActive = true
-	stage := m.sched.Stages[si]
 
 	batch := m.cfg.Tune.BatchSize()
 	in := newReaders(qs[si-1], batch)
@@ -385,37 +500,66 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 		out = newWriters(qs[si], batch)
 	}
 
+	ss := &stageState{si: si, rep: rep, role: fmt.Sprintf("stage%d.%d", si, rep), lastIter: -1}
+	if m.sched.Stages[si].Parallel {
+		ss.seq = int64(rep)
+	}
+	if r := m.cfg.Recovery; r != nil {
+		ss.restartsLeft = r.maxRestarts()
+	}
+	if m.checkpointing() {
+		m.tapReaders(ss, in)
+		m.takeStageCkpt(th, st, ss, in, out)
+	}
+	return m.stageRun(th, st, ss, in, out, reps, ff, qs, join)
+}
+
+// stageRun is the stage worker loop, shared by the original incarnation and
+// every crash replacement. Crash ticks fire at the top of a token pass —
+// before the pass pops or externalizes anything — so the window between the
+// last checkpoint and a crash never contains an externalized effect.
+func (m *machine) stageRun(th *des.Thread, st *stepper, ss *stageState, in []*qReader, out []*qWriter, reps []int, ff []map[int]bool, qs [][]*des.Queue, join *des.Queue) error {
+	fr := st.fr
+	stage := m.sched.Stages[ss.si]
+
 	// Sequential stages keep a persistent overlay of the slots they own so
 	// their own cross-iteration state (e.g. accumulators in a sequential
 	// stage) survives incoming tokens.
 	var owned map[int]bool
 	if !stage.Parallel {
-		owned = m.stageWrites(si)
+		owned = m.stageWrites(ss.si)
 	}
 
-	role := fmt.Sprintf("stage %d replica %d", si, rep)
-	lastIter := int64(-1)
-	seq := int64(0) // next expected iteration for round-robin input
-	if stage.Parallel {
-		seq = int64(rep)
-	}
 	advance := func() {
 		if stage.Parallel {
-			seq += int64(reps[si])
+			ss.seq += int64(reps[ss.si])
 		} else {
-			seq++
+			ss.seq++
 		}
 	}
-	// dead marks this worker as failed: it keeps draining (and discarding)
-	// its input so upstream producers never block on a full queue, then
-	// forwards exactly one poisoned stop per output queue.
-	dead := false
+	// ss.dead marks this worker as failed: it keeps draining (and
+	// discarding) its input so upstream producers never block on a full
+	// queue, then forwards exactly one poisoned stop per output queue.
 	for {
+		if !ss.dead && m.checkpointing() {
+			if die, perm := m.crashAt(ss.role); die {
+				drain, err := m.stageCrash(th, ss, reps, ff, qs, join, perm)
+				if err != nil {
+					return err
+				}
+				if !drain {
+					// A replacement thread takes over this role (and
+					// pushes its join); the dead incarnation vanishes.
+					return nil
+				}
+				ss.dead = true
+			}
+		}
 		var inIdx int
 		if stage.Parallel {
-			inIdx = rep
+			inIdx = ss.rep
 		} else {
-			inIdx = int(seq) % len(in)
+			inIdx = int(ss.seq) % len(in)
 		}
 		// Flush pending output before parking on an empty input: a token
 		// withheld in this worker's batch buffer may be exactly what the
@@ -427,13 +571,14 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 			}
 		}
 		tok := in[inIdx].next(th)
+		ss.event++
 		if tok.stop {
 			poison := tok.poison || m.failed()
 			if out != nil {
 				st.flush()
 				if stage.Parallel {
 					// Each replica forwards its stop on its own queue.
-					w := out[rep%len(out)]
+					w := out[ss.rep%len(out)]
 					w.push(th, token{stop: true, poison: poison})
 					w.flush(th)
 				} else {
@@ -457,13 +602,13 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 			}
 			break
 		}
-		if dead || (m.resilient() && m.failed()) {
+		if ss.dead || (m.resilient() && m.failed()) {
 			advance()
 			continue // discard: the run is already diagnosed as failed
 		}
 		// Install the incoming frame, preserving stage-owned slots.
 		for i, v := range tok.locals {
-			if owned != nil && owned[i] && lastIter >= 0 {
+			if owned != nil && owned[i] && ss.lastIter >= 0 {
 				continue
 			}
 			fr.locals[i] = v
@@ -473,36 +618,130 @@ func (m *machine) stageWorker(th *des.Thread, mainFr *frame, si, rep int, reps [
 				if !m.resilient() {
 					return err
 				}
-				m.fail(role, err)
-				dead = true
+				m.fail(ss.role, err)
+				ss.dead = true
 				break
 			}
 		}
-		if dead {
+		if ss.dead {
 			advance()
 			continue
 		}
-		lastIter = tok.iter
+		ss.lastIter = tok.iter
 		if out != nil {
 			// Forward the incoming snapshot, overlaying only the values
 			// this stage flows to later stages; slots this stage mutates
 			// for its own use keep their snapshot (pre-write) values.
 			locals := make([]value.Value, len(tok.locals))
 			copy(locals, tok.locals)
-			for slot := range ff[si] {
+			for slot := range ff[ss.si] {
 				locals[slot] = fr.locals[slot]
 			}
 			st.flush()
 			var w *qWriter
 			if stage.Parallel {
-				w = out[rep%len(out)]
+				w = out[ss.rep%len(out)]
 			} else {
 				w = out[int(tok.iter)%len(out)]
 			}
 			w.push(th, token{iter: tok.iter, locals: locals})
 		}
 		advance()
+		if m.checkpointing() {
+			externalized := st.effects != ss.ckEff ||
+				st.it.HeapWrites != ss.ckWrites ||
+				totalFlushes(out) != ss.ckFlushes
+			if externalized || ss.event-ss.ck.event >= m.ckptEvery() {
+				m.takeStageCkpt(th, st, ss, in, out)
+			}
+		}
 	}
-	th.Push(join, pipeJoin{stage: si, rep: rep, lastIter: lastIter, fr: fr})
+	th.Push(join, pipeJoin{stage: ss.si, rep: ss.rep, lastIter: ss.lastIter, fr: fr})
 	return nil
+}
+
+// stageCrash handles a crash tick that fired for this stage worker. It
+// returns (drain=true) when the role stays permanently dead — the supervisor
+// diagnoses a non-transient failure and reaps the worker in place, which
+// keeps draining input so the pipeline shuts down in order — and
+// (drain=false) after scheduling a replacement incarnation for a transient
+// crash. Outside resilient mode the crash surfaces as a fatal CrashError.
+func (m *machine) stageCrash(th *des.Thread, ss *stageState, reps []int, ff []map[int]bool, qs [][]*des.Queue, join *des.Queue, perm bool) (drain bool, err error) {
+	reason := "injected crash"
+	if perm {
+		reason = "injected permanent crash"
+	}
+	if !m.resilient() {
+		m.sim.RecordDeath(ss.role, th.VTime, reason)
+		return false, &CrashError{Thread: ss.role, VTime: th.VTime, Perm: perm, Reason: reason}
+	}
+	if !perm && ss.restartsLeft <= 0 {
+		perm = true
+		reason = "crash with restart budget exhausted"
+	}
+	rec := RestartRecord{
+		Thread:    ss.role,
+		VTime:     th.VTime,
+		Event:     ss.event,
+		CkptAge:   ss.event - ss.ck.event,
+		Permanent: perm,
+	}
+	if !perm {
+		rec.Replayed = rec.CkptAge
+	}
+	m.restarts = append(m.restarts, rec)
+	m.sim.RecordDeath(ss.role, th.VTime, reason)
+	if perm {
+		// Degraded mode: a pipeline cannot re-partition around a missing
+		// stage, so the supervisor diagnoses the death as non-transient.
+		// RunResilient then collapses the schedule to the sequential
+		// fallback. The reaped worker stays behind as a drain.
+		m.fail(ss.role, &CrashError{Thread: ss.role, VTime: th.VTime, Perm: true, Reason: reason})
+		return true, nil
+	}
+
+	// Transient: restore the checkpoint onto a fresh simulated thread after
+	// the supervisor's detection delay. The replacement replays the logged
+	// in-flight tokens (popped since the checkpoint, hence gone from the
+	// queues) ahead of live queue input; the crash window externalized
+	// nothing, so the replay cannot duplicate an observable effect.
+	m.stats.restarts++
+	ss.restartsLeft--
+	r := m.cfg.Recovery
+	ck := ss.ck
+	replays := make([][]any, len(ss.log))
+	for k := range ss.log {
+		replays[k] = append([]any(nil), ss.log[k]...)
+	}
+	n := ss.restartN + 1
+	left := ss.restartsLeft
+	batch := m.cfg.Tune.BatchSize()
+	m.sim.Spawn(fmt.Sprintf("%s#r%d", ss.role, n), th.VTime+r.restartDelay(), func(th2 *des.Thread) error {
+		th2.Charge(m.cfg.Cost.Restore)
+		st2 := m.newStepper(th2, snapshotFrame(ck.fr))
+		st2.sharedActive = true
+		in2 := newReaders(qs[ss.si-1], batch)
+		for k := range in2 {
+			buf := append([]any(nil), ck.inBufs[k]...)
+			in2[k].buf = append(buf, replays[k]...)
+		}
+		var out2 []*qWriter
+		if ss.si < len(m.sched.Stages)-1 {
+			out2 = newWriters(qs[ss.si], batch)
+			for k := range out2 {
+				out2[k].buf = append([]any(nil), ck.outBufs[k]...)
+			}
+		}
+		ss2 := &stageState{
+			si: ss.si, rep: ss.rep, role: ss.role,
+			seq: ck.seq, lastIter: ck.lastIter, event: ck.event,
+			restartsLeft: left, restartN: n,
+		}
+		m.tapReaders(ss2, in2)
+		// The restored state is its own checkpoint baseline: a repeated
+		// crash before new externalization restores to this same point.
+		m.takeStageCkpt(th2, st2, ss2, in2, out2)
+		return m.stageRun(th2, st2, ss2, in2, out2, reps, ff, qs, join)
+	})
+	return false, nil
 }

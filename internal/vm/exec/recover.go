@@ -22,6 +22,54 @@ type Recovery struct {
 	// retry is exhausted; 0 selects the default (2), negative disables
 	// iteration retry.
 	MaxIterRetries int
+
+	// CheckpointEvery is the periodic checkpoint interval, in iteration
+	// passes (DOALL) or tokens (pipeline stages), between the forced
+	// output-commit snapshots taken after externalizing passes; 0 selects
+	// the default (4), negative checkpoints every pass.
+	CheckpointEvery int
+	// MaxRestarts bounds supervisor restarts per worker role after
+	// transient crashes; 0 selects the default (3), negative disables
+	// restarts (every crash is then treated as permanent).
+	MaxRestarts int
+	// RestartDelay is the virtual-time supervisor latency between a thread
+	// death and its replacement starting (detection + respawn); 0 selects
+	// the default (800).
+	RestartDelay int64
+}
+
+// Defaults for the crash-recovery knobs.
+const (
+	defaultCheckpointEvery = 4
+	defaultMaxRestarts     = 3
+	defaultRestartDelay    = 800
+)
+
+func (r *Recovery) checkpointEvery() int64 {
+	switch {
+	case r.CheckpointEvery < 0:
+		return 1
+	case r.CheckpointEvery == 0:
+		return defaultCheckpointEvery
+	}
+	return int64(r.CheckpointEvery)
+}
+
+func (r *Recovery) maxRestarts() int {
+	switch {
+	case r.MaxRestarts < 0:
+		return 0
+	case r.MaxRestarts == 0:
+		return defaultMaxRestarts
+	}
+	return r.MaxRestarts
+}
+
+func (r *Recovery) restartDelay() int64 {
+	if r.RestartDelay <= 0 {
+		return defaultRestartDelay
+	}
+	return r.RestartDelay
 }
 
 // DefaultRecovery returns the standard policy (3 call retries, backoff base
@@ -78,11 +126,24 @@ type FailureDiag struct {
 	Sched  string
 	Sync   SyncMode
 	Err    error
+
+	// Restarts is the run's crash/restart history up to the diagnosis:
+	// which threads crashed, at what virtual time, how stale their last
+	// checkpoint was, and how much work each replacement replayed. A
+	// diagnosed run therefore names its whole recovery timeline.
+	Restarts []RestartRecord
 }
 
-// Error renders the diagnosis.
+// Error renders the diagnosis, including the restart history.
 func (d *FailureDiag) Error() string {
-	return fmt.Sprintf("exec: unrecoverable fault in %s (%s/%s): %v", d.Thread, d.Sched, d.Sync, d.Err)
+	s := fmt.Sprintf("exec: unrecoverable fault in %s (%s/%s): %v", d.Thread, d.Sched, d.Sync, d.Err)
+	if len(d.Restarts) > 0 {
+		s += "; restart history:"
+		for _, r := range d.Restarts {
+			s += "\n  " + r.String()
+		}
+	}
+	return s
 }
 
 // Unwrap exposes the root cause (e.g. a *faults.Error) to errors.As.
@@ -136,7 +197,7 @@ func RunResilient(opts ResilientOptions) (*Result, error) {
 					}
 				}
 				res.Attempts = attempts
-				res.Recovered = res.CallRetries > 0 || res.IterRetries > 0
+				res.Recovered = res.CallRetries > 0 || res.IterRetries > 0 || res.Restarts > 0
 				return res, nil
 			}
 			lastErr = err
@@ -166,6 +227,7 @@ func RunResilient(opts ResilientOptions) (*Result, error) {
 	}
 	res.Attempts = attempts
 	res.FellBack = parallel
+	res.Degraded = parallel
 	res.Recovered = res.FellBack || res.CallRetries > 0
 	return res, nil
 }

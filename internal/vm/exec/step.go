@@ -233,6 +233,7 @@ func (st *stepper) mergePrivatized() {
 		return
 	}
 	m := st.m
+	m.stats.privMerges++
 	sets := make([]*types.Set, 0, len(st.privCommits))
 	for _, s := range m.cfg.Model.Sets {
 		if st.privCommits[s] > 0 {
