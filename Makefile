@@ -21,8 +21,11 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# Analyzer precision gate: corpus expectations + workload cleanliness,
-# with per-check diagnostic counts written to vet-precision.json.
+# Analyzer precision gate: corpus expectations (including the
+# commutativity verifier's vet:commutes / vet:refutes pins) + workload
+# cleanliness, with per-check diagnostic counts and wall-clock timings
+# written to vet-precision.json. A lost commutes or refutes pin is a
+# violation and fails the gate.
 vet-precision:
 	$(GO) run ./cmd/commsetbench -vetprecision -precision-json vet-precision.json
 

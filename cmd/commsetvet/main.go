@@ -36,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		workload = fs.String("workload", "", "vet a named benchmark workload instead of a file")
 		variant  = fs.String("variant", "comm", "workload variant (comm, det, pipe, noannot)")
-		checks   = fs.String("checks", "unsound,race,lint", "comma-separated check families to run")
+		checks   = fs.String("checks", "unsound,race,lint,commute", "comma-separated check families to run")
 		threads  = fs.Int("threads", 8, "thread count for schedule generation in the race detector")
 		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
 		werror   = fs.Bool("werror", false, "treat analyzer warnings as errors")
@@ -180,12 +180,14 @@ func parseChecks(list string) (analysis.Checks, error) {
 			cks.Race = true
 		case "lint":
 			cks.Lint = true
+		case "commute":
+			cks.Commute = true
 		case "":
 		default:
-			return cks, fmt.Errorf("unknown check %q (have: unsound, race, lint)", name)
+			return cks, fmt.Errorf("unknown check %q (have: unsound, race, lint, commute)", name)
 		}
 	}
-	if !cks.Unsound && !cks.Race && !cks.Lint {
+	if !cks.Unsound && !cks.Race && !cks.Lint && !cks.Commute {
 		return cks, fmt.Errorf("no checks selected")
 	}
 	return cks, nil

@@ -174,3 +174,47 @@ func TestBaselineErrors(t *testing.T) {
 		t.Errorf("malformed baseline: exit = %d, stderr:\n%s", code, stderr)
 	}
 }
+
+func TestChecksFlagCommute(t *testing.T) {
+	// Every workload must verify clean under the commutativity check alone,
+	// even with warnings promoted.
+	code, stdout, stderr := runVet(t, "-werror", "-checks=commute", "-workload", "md5sum")
+	if code != 0 || stdout != "" {
+		t.Errorf("md5sum under -checks=commute: exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	// A non-commuting pair fails with a refutation carrying a concrete
+	// counterexample, and no other family's findings leak in.
+	path := filepath.Join(t.TempDir(), "rmw.mc")
+	src := `#pragma commset decl OSET
+
+int g;
+
+void main() {
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member OSET
+		{
+			g = g * 2;
+		}
+		#pragma commset member OSET
+		{
+			g = g + 1;
+		}
+	}
+	print_int(g);
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runVet(t, "-checks=commute", path)
+	if code != 1 {
+		t.Fatalf("refutable pair: exit = %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "commute-unverified") || !strings.Contains(stdout, "counterexample") {
+		t.Errorf("missing refutation with counterexample:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "data race") || strings.Contains(stdout, "unsound commutativity") {
+		t.Errorf("other check families leaked into -checks=commute:\n%s", stdout)
+	}
+}

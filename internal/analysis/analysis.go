@@ -4,7 +4,7 @@
 // The paper's front end (Section 4.2) only checks *well-formedness* of the
 // pragmas; it trusts the programmer that annotated blocks really commute, so
 // a wrong annotation silently becomes a data race in the generated DOALL or
-// (PS-)DSWP code. This package closes that gap with three post-pipeline
+// (PS-)DSWP code. This package closes that gap with four post-pipeline
 // static check families over the compiler's own artifacts — effect
 // summaries, the annotated PDG, the commset model, symbolic predicate
 // evaluation, and the generated schedules:
@@ -15,7 +15,11 @@
 //   - static race detection over schedules: cross-iteration conflicts that
 //     a generated parallel schedule runs concurrently without protection,
 //   - lints: dead pragmas, provably-false predicates, and subsumed
-//     self-commutativity annotations.
+//     self-commutativity annotations,
+//   - semantic commutativity verification: each member pair is symbolically
+//     executed in both orders over the builtin effect models and the two
+//     post-states are differenced; pairs whose difference is not provably
+//     empty get a commute-unverified report with a counterexample.
 //
 // All checks are purely static: no profiling or execution is involved, and
 // every loop of every lowered function is analyzed (a pragma may target a
@@ -35,10 +39,13 @@ type Checks struct {
 	Unsound bool
 	Race    bool
 	Lint    bool
+	Commute bool
 }
 
 // DefaultChecks enables every analyzer.
-func DefaultChecks() Checks { return Checks{Unsound: true, Race: true, Lint: true} }
+func DefaultChecks() Checks {
+	return Checks{Unsound: true, Race: true, Lint: true, Commute: true}
+}
 
 // Options configures an analysis run.
 type Options struct {
@@ -114,6 +121,9 @@ func Run(c *pipeline.Compiled, opts Options) (*source.DiagList, error) {
 	}
 	if opts.Checks.Lint {
 		v.checkLint()
+	}
+	if opts.Checks.Commute {
+		v.checkCommute()
 	}
 	v.diags.Sort()
 	return v.diags, nil

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCommute runs only the commutativity verifier over a source.
+func runCommute(t *testing.T, name, src string) []string {
+	t.Helper()
+	c := compileSource(t, name, src)
+	diags, err := Run(c, Options{Checks: Checks{Commute: true}, Threads: 2})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var msgs []string
+	for i := range diags.Diags {
+		msgs = append(msgs, diags.Diags[i].Error())
+	}
+	return msgs
+}
+
+// TestCommuteBailWarning: when a member leaves the executor's fragment
+// (here: unbounded recursion past the call-depth cap), the verifier must
+// degrade to a "cannot decide" warning, never a spurious refutation and
+// never silence.
+func TestCommuteBailWarning(t *testing.T) {
+	src := `#pragma commset decl self RSET
+
+int spin(int n) {
+	if (n > 0) {
+		return spin(n - 1);
+	}
+	return 0;
+}
+
+void main() {
+	for (int i = 0; i < 4; i++) {
+		#pragma commset member RSET
+		{
+			print_int(spin(i));
+		}
+	}
+}
+`
+	msgs := runCommute(t, "bail.mc", src)
+	var sawBail bool
+	for _, m := range msgs {
+		if strings.Contains(m, "error") && strings.Contains(m, "commute-unverified") {
+			t.Errorf("spurious refutation: %s", m)
+		}
+		if strings.Contains(m, "warning") && strings.Contains(m, "cannot decide") {
+			sawBail = true
+		}
+	}
+	if !sawBail {
+		t.Errorf("no cannot-decide warning for the recursive member; got %q", msgs)
+	}
+}
+
+// TestCommuteRefutationHasCounterexampleAndRelated: a refuted pair must
+// carry a concrete counterexample and a related note pointing at the
+// second member instance.
+func TestCommuteRefutationHasCounterexampleAndRelated(t *testing.T) {
+	src := `#pragma commset decl OSET
+
+int g;
+
+void main() {
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member OSET
+		{
+			g = 3;
+		}
+		#pragma commset member OSET
+		{
+			g = 7;
+		}
+	}
+	print_int(g);
+}
+`
+	msgs := runCommute(t, "refute.mc", src)
+	var found bool
+	for _, m := range msgs {
+		if !strings.Contains(m, "commute-unverified") || !strings.Contains(m, "error") {
+			continue
+		}
+		found = true
+		if !strings.Contains(m, "counterexample") {
+			t.Errorf("refutation lacks a counterexample: %s", m)
+		}
+		if !strings.Contains(m, "second member instance here") {
+			t.Errorf("refutation lacks the related second-member note: %s", m)
+		}
+	}
+	if !found {
+		t.Errorf("overwrite pair not refuted; got %q", msgs)
+	}
+}
+
+// TestCommutePairReportedOnce: a refuted pair inside a loop must produce
+// exactly one diagnostic, not one per member instance or per call site.
+func TestCommutePairReportedOnce(t *testing.T) {
+	src := `#pragma commset decl OSET
+
+int g;
+
+void main() {
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member OSET
+		{
+			g = g * 2;
+		}
+		#pragma commset member OSET
+		{
+			g = g + 1;
+		}
+	}
+	print_int(g);
+}
+`
+	msgs := runCommute(t, "dedup.mc", src)
+	var n int
+	for _, m := range msgs {
+		if strings.Contains(m, "commute-unverified") && strings.Contains(m, "error") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("refuted pair reported %d times, want exactly 1:\n%s", n, strings.Join(msgs, "\n"))
+	}
+}
+
+// TestCommuteSelfPairDistinctIterations: a keyed self member must verify
+// clean — the verifier has to bind the two instances to provably distinct
+// iterations, not compare a member against a copy of itself.
+func TestCommuteSelfPairDistinctIterations(t *testing.T) {
+	src := `#pragma commset decl self BSET
+#pragma commset predicate BSET (k1)(k2) : k1 != k2
+#pragma commset nosync BSET
+
+void main() {
+	int b = bitmap_new(64);
+	for (int i = 0; i < 8; i++) {
+		#pragma commset member BSET(i)
+		{
+			bitmap_set(b, i);
+		}
+	}
+	print_int(bitmap_count(b));
+}
+`
+	for _, m := range runCommute(t, "selfkeyed.mc", src) {
+		if strings.Contains(m, "commute-unverified") {
+			t.Errorf("keyed self member did not verify: %s", m)
+		}
+	}
+}

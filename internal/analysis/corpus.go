@@ -24,11 +24,23 @@ import (
 //	// vet:expect error substr; substr...      ≥1 matching diagnostic must exist
 //	// vet:forbid warning substr; substr...    no diagnostic may match
 //	// vet:privatize                           analyze under Options.Privatize
+//	// vet:commutes                            no commute-unverified finding
+//	// vet:refutes                             ≥1 commute-unverified error with
+//	//                                         a counterexample
 //
 // A diagnostic matches a directive when its severity equals the
 // directive's and its message contains every "; "-separated substring.
 // vet:expect lines are the seeded true positives; vet:forbid lines pin
-// resolved false positives.
+// resolved false positives. vet:commutes / vet:refutes are the
+// commutativity verifier's recall and precision pins: a commutes entry is
+// a member pair the verifier must keep proving equivalent under both
+// orders, a refutes entry a semantically non-commuting pair it must keep
+// flagging with a concrete counterexample.
+//
+// A directive-looking comment anywhere else in a line (a trailing comment,
+// a typo like vet:expct, a malformed pattern) is a loader error carrying
+// the file and line, not a silent no-op: a misspelled pin would otherwise
+// weaken the corpus without anyone noticing.
 
 //go:embed testdata/corpus/*.mc
 var corpusFS embed.FS
@@ -71,6 +83,13 @@ type CorpusEntry struct {
 	// Privatize runs the analyzer with Options.Privatize (the privatized
 	// commutative-update execution model).
 	Privatize bool
+	// Commutes requires that no commute-unverified finding (error or
+	// warning) is reported: the commutativity verifier must prove every
+	// member pair equivalent under both orders.
+	Commutes bool
+	// Refutes requires at least one commute-unverified error carrying a
+	// concrete counterexample.
+	Refutes bool
 }
 
 // Corpus returns the embedded precision corpus in name order.
@@ -99,15 +118,25 @@ func Corpus() []CorpusEntry {
 }
 
 // parseCorpusEntry extracts the vet: directives from a corpus source.
+// Directives must be whole line-start // comments; a "vet:" appearing
+// anywhere else (a trailing comment, a misplaced or garbled directive) is
+// an error with the file and line, never a silent no-op.
 func parseCorpusEntry(name, src string) (CorpusEntry, error) {
 	e := CorpusEntry{Name: name, Source: src}
 	for ln, line := range strings.Split(src, "\n") {
 		t := strings.TrimSpace(line)
 		if !strings.HasPrefix(t, "//") {
+			if strings.Contains(line, "vet:") {
+				return e, fmt.Errorf("%s.mc:%d: vet: directive must be a whole line-start // comment: %q",
+					name, ln+1, strings.TrimSpace(line))
+			}
 			continue
 		}
 		t = strings.TrimSpace(strings.TrimPrefix(t, "//"))
 		if !strings.HasPrefix(t, "vet:") {
+			if strings.Contains(t, "vet:") {
+				return e, fmt.Errorf("%s.mc:%d: vet: directive must start the comment: %q", name, ln+1, t)
+			}
 			continue
 		}
 		t = strings.TrimPrefix(t, "vet:")
@@ -116,6 +145,10 @@ func parseCorpusEntry(name, src string) (CorpusEntry, error) {
 			e.Clean = true
 		case t == "privatize":
 			e.Privatize = true
+		case t == "commutes":
+			e.Commutes = true
+		case t == "refutes":
+			e.Refutes = true
 		case strings.HasPrefix(t, "expect "), strings.HasPrefix(t, "forbid "):
 			kind, rest, _ := strings.Cut(t, " ")
 			m, err := parseCorpusMatch(rest)
@@ -131,7 +164,7 @@ func parseCorpusEntry(name, src string) (CorpusEntry, error) {
 			return e, fmt.Errorf("%s.mc:%d: unknown vet: directive %q", name, ln+1, t)
 		}
 	}
-	if !e.Clean && len(e.Expect) == 0 && len(e.Forbid) == 0 {
+	if !e.Clean && !e.Commutes && !e.Refutes && len(e.Expect) == 0 && len(e.Forbid) == 0 {
 		return e, fmt.Errorf("%s.mc: no vet: directives", name)
 	}
 	return e, nil
@@ -194,6 +227,29 @@ func (e *CorpusEntry) CheckCorpus(diags *source.DiagList) []string {
 			if diags.Diags[i].Sev >= source.SevWarning {
 				bad = append(bad, fmt.Sprintf("%s: expected clean, got: %s", e.Name, diags.Diags[i].Error()))
 			}
+		}
+	}
+	if e.Commutes {
+		for i := range diags.Diags {
+			d := &diags.Diags[i]
+			if d.Sev >= source.SevWarning && strings.Contains(d.Msg, "commute-unverified") {
+				bad = append(bad, fmt.Sprintf("%s: commuting pair no longer verifies: %s", e.Name, d.Error()))
+			}
+		}
+	}
+	if e.Refutes {
+		found := false
+		for i := range diags.Diags {
+			d := &diags.Diags[i]
+			if d.Sev == source.SevError && strings.Contains(d.Msg, "commute-unverified") &&
+				strings.Contains(d.Msg, "counterexample") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf(
+				"%s: lost refutation: no commute-unverified error with a counterexample", e.Name))
 		}
 	}
 	return bad

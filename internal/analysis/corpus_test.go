@@ -40,3 +40,54 @@ func TestPrecisionCorpus(t *testing.T) {
 		t.Errorf("corpus balance: %d true negatives, %d true positives; want at least 5 of each", tns, tps)
 	}
 }
+
+// TestParseCorpusEntryMalformed pins the loader's error reporting: a
+// "vet:" that is not a whole line-start // comment directive must fail
+// with the file and line, never silently parse as nothing.
+func TestParseCorpusEntryMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error, "" for no error
+	}{
+		{"trailing_comment", "int g; // vet:clean\nvoid main() {}\n",
+			"bad.mc:1: vet: directive must be a whole line-start // comment"},
+		{"mid_comment", "// note: see vet:clean below\n// vet:clean\nvoid main() {}\n",
+			"bad.mc:1: vet: directive must start the comment"},
+		{"typo_directive", "// vet:expct error foo\nvoid main() {}\n",
+			`bad.mc:1: unknown vet: directive "expct error foo"`},
+		{"bad_severity", "// vet:clean\n// vet:expect fatal msg\n",
+			`bad.mc:2: unknown severity "fatal"`},
+		{"missing_substrs", "// vet:expect error\nvoid main() {}\n",
+			"bad.mc:1: want \"<severity> <substr>[; <substr>...]\""},
+		{"empty_substr_list", "// vet:expect error ; ;\nvoid main() {}\n",
+			"bad.mc:1: empty substring list"},
+		{"no_directives", "void main() {}\n",
+			"bad.mc: no vet: directives"},
+		{"commutes_ok", "// vet:commutes\nvoid main() {}\n", ""},
+		{"refutes_ok", "// vet:refutes\nvoid main() {}\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := parseCorpusEntry("bad", tc.src)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("parseCorpusEntry: unexpected error %v", err)
+				}
+				if tc.name == "commutes_ok" && !e.Commutes {
+					t.Error("Commutes not set")
+				}
+				if tc.name == "refutes_ok" && !e.Refutes {
+					t.Error("Refutes not set")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseCorpusEntry: no error, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

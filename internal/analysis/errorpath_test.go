@@ -214,7 +214,7 @@ func TestKeyflowFixedPointConcurrent(t *testing.T) {
 			}
 			found := false
 			for loc, ks := range fn.keyed {
-				if strings.Contains(string(loc), "bitmaps") && ks[1] {
+				if _, ok := ks[1]; ok && strings.Contains(string(loc), "bitmaps") {
 					found = true
 				}
 			}

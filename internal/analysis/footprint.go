@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/effects"
 	"repro/internal/ir"
@@ -78,9 +79,12 @@ func (v *vet) conflictLocs(fn1, fn2 string) []effects.Loc {
 //   - a COMMSETNOSYNC set without a predicate is the paper's "thread-safe
 //     library" claim — trusted here (the unsound pass warns separately);
 //   - a COMMSETNOSYNC set with a predicate covers loc only when both
-//     members access loc exclusively through a predicate-bound key and the
-//     predicate is provably false for equal keys (so relaxed instances
-//     touch disjoint elements of loc).
+//     members access loc exclusively through a predicate-bound key — via
+//     matching injective affine transforms, so distinct keys still reach
+//     distinct elements — and the predicate is provably false for equal
+//     keys; or when the two members' transforms share a slope whose
+//     residues differ (2k vs 2k+1), which keeps the footprints disjoint
+//     regardless of the key values.
 func (v *vet) covers(s *types.Set, m1, m2 memb, loc effects.Loc) bool {
 	if !s.NoSync {
 		return true
@@ -89,8 +93,18 @@ func (v *vet) covers(s *types.Set, m1, m2 memb, loc effects.Loc) bool {
 		return true
 	}
 	j1 := v.keyedPositions(m1, loc)
-	for j := range j1 {
-		if v.keyedPositions(m2, loc)[j] && v.keyConstrains(s, j) {
+	j2 := v.keyedPositions(m2, loc)
+	for j, x1 := range j1 {
+		x2, ok := j2[j]
+		if !ok || x1.a == 0 || x1.a != x2.a {
+			continue
+		}
+		if x1.b == x2.b && v.keyConstrains(s, j) {
+			return true
+		}
+		if d := x1.b - x2.b; d%x1.a != 0 {
+			// Same slope, incongruent offsets: a*k1+b1 = a*k2+b2 would need
+			// a | (b2-b1), so the element sets are permanently disjoint.
 			return true
 		}
 	}
@@ -98,16 +112,19 @@ func (v *vet) covers(s *types.Set, m1, m2 memb, loc effects.Loc) bool {
 }
 
 // keyedPositions computes the predicate-argument positions that key every
-// access to loc in the member function's body: for each instruction
-// touching loc, the positions whose bound parameter supplies the keying
-// argument, intersected across all accesses. An unkeyed access (a raw
+// access to loc in the member function's body, with the affine transform
+// the accesses apply to them: for each instruction touching loc, the
+// positions whose bound parameter supplies the keying argument (possibly
+// shifted or scaled), intersected across all accesses — an access keyed by
+// a different transform of the same position drops it, since the combined
+// footprint is no longer one injective image. An unkeyed access (a raw
 // global access, an unkeyed builtin, or a user callee) empties the result.
-func (v *vet) keyedPositions(m memb, loc effects.Loc) map[int]bool {
+func (v *vet) keyedPositions(m memb, loc effects.Loc) map[int]keyXform {
 	f := v.c.Low.Prog.Funcs[m.fn]
 	if f == nil {
 		return nil
 	}
-	var out map[int]bool
+	var out map[int]keyXform
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			ps, touches := v.accessKeyPositions(f, b, in, m, loc)
@@ -117,8 +134,8 @@ func (v *vet) keyedPositions(m memb, loc effects.Loc) map[int]bool {
 			if out == nil {
 				out = ps
 			} else {
-				for j := range out {
-					if !ps[j] {
+				for j, x := range out {
+					if ox, ok := ps[j]; !ok || ox != x {
 						delete(out, j)
 					}
 				}
@@ -132,15 +149,16 @@ func (v *vet) keyedPositions(m memb, loc effects.Loc) map[int]bool {
 }
 
 // accessKeyPositions inspects one instruction of a member body: touches
-// reports whether it accesses loc, and ps lists the predicate positions
-// keying that access (empty for an unkeyed access).
-func (v *vet) accessKeyPositions(f *ir.Func, b *ir.Block, in *ir.Instr, m memb, loc effects.Loc) (ps map[int]bool, touches bool) {
+// reports whether it accesses loc, and ps maps the predicate positions
+// keying that access to the affine transform applied (empty for an unkeyed
+// access).
+func (v *vet) accessKeyPositions(f *ir.Func, b *ir.Block, in *ir.Instr, m memb, loc effects.Loc) (ps map[int]keyXform, touches bool) {
 	switch in.Op {
 	case ir.OpLoadGlobal, ir.OpStoreGlobal:
 		if effects.GlobalLoc(in.Name) != loc {
 			return nil, false
 		}
-		return map[int]bool{}, true
+		return map[int]keyXform{}, true
 	case ir.OpCall:
 		r, w := v.c.Summary.CallEffects(in.Name)
 		if !r[loc] && !w[loc] {
@@ -148,27 +166,32 @@ func (v *vet) accessKeyPositions(f *ir.Func, b *ir.Block, in *ir.Instr, m memb, 
 		}
 		// Keying callee positions: a declared key argument for builtins, the
 		// interprocedural key-flow summary for user callees — a predicate key
-		// forwarded through a helper still keys the access.
+		// forwarded through a helper still keys the access, and an affine
+		// argument expression (bitmap_set(bm, k+1)) composes with the
+		// callee's own transform.
 		ks := v.keyedParams(in.Name, loc)
 		if len(ks) == 0 {
-			return map[int]bool{}, true
+			return map[int]keyXform{}, true
 		}
-		ps = map[int]bool{}
-		for _, k := range ks {
+		ps = map[int]keyXform{}
+		var poss []int
+		for k := range ks {
+			poss = append(poss, k)
+		}
+		sort.Ints(poss)
+		for _, k := range poss {
 			if k < 0 || k >= len(in.Args) {
 				continue
 			}
-			def := defBefore(b, in, in.Args[k])
-			if def == nil || def.Op != ir.OpLoadLocal {
-				continue
-			}
-			slot := def.Slot
-			if slot >= f.Params || slotStored(f, slot) {
+			slot, ax, ok := affineOfReg(f, b, in, in.Args[k], 0)
+			if !ok {
 				continue
 			}
 			for j, p := range m.params {
 				if p == slot {
-					ps[j] = true
+					if _, dup := ps[j]; !dup {
+						ps[j] = ks[k].then(ax)
+					}
 				}
 			}
 		}

@@ -71,10 +71,31 @@ func (v *vet) keyVal(la *pipeline.LoopAnalysis, in *ir.Instr, loc effects.Loc, i
 		return symexec.Val{}, false
 	}
 	ks := v.keyedParams(in.Name, loc)
-	if len(ks) == 0 || ks[0] < 0 || ks[0] >= len(in.Args) {
+	k, x, ok := -1, xformID, false
+	for p, px := range ks {
+		if !ok || p < k {
+			k, x, ok = p, px, true
+		}
+	}
+	if !ok || k < 0 || k >= len(in.Args) {
 		return symexec.Val{}, false
 	}
-	val := v.symVal(la, in, in.Args[ks[0]], inst, 0)
+	val := v.symVal(la, in, in.Args[k], inst, 0)
+	if x != xformID {
+		// The callee accesses element a*arg+b: apply the transform to the
+		// symbolic argument where the algebra can represent it.
+		switch val.Kind {
+		case symexec.KConst:
+			if val.C.T != ast.TInt {
+				return symexec.Val{}, false
+			}
+			val = symexec.IntConst(x.a*val.C.I + x.b)
+		case symexec.KAffine:
+			val = symexec.Affine(x.a*val.A, x.a*val.B+x.b, val.Inst)
+		default:
+			return symexec.Val{}, false
+		}
+	}
 	return val, val.Kind != symexec.KUnknown
 }
 

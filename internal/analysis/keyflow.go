@@ -15,9 +15,12 @@ import (
 // summary answers two questions:
 //
 //   - keyed: which parameters of the function key *every* access to the
-//     location (the element touched always equals that parameter's value)?
-//     A predicate key forwarded through a helper to a keyed builtin then
-//     still proves coverage in covers().
+//     location, and through which affine transform (the element touched
+//     always equals a*param+b for one fixed transform per parameter)? A
+//     predicate key forwarded through a helper to a keyed builtin then
+//     still proves coverage in covers(), including shifted or scaled
+//     forwarding like bitmap_set(bm, k+1): an injective transform maps
+//     distinct keys to distinct elements.
 //   - inst: which handle (instance) of the location do the accesses go
 //     through — a parameter, a constant, the single allocator-rooted store
 //     of a global, or handles freshly allocated inside the function?
@@ -30,6 +33,27 @@ import (
 // has finite call depth: unwinding any access chain ends at a builtin or a
 // raw global access, whose keyedness and instance are not assumptions but
 // facts, and the fixed point is consistent with every finite unwinding.
+
+// keyXform is the affine map from a keying value to the accessed element:
+// element = a*key + b. The identity transform is {1, 0}. A transform with
+// a != 0 is injective over the integers, so distinct keys still prove
+// distinct elements.
+type keyXform struct {
+	a, b int64
+}
+
+// xformID is the identity transform (the element is the key itself).
+var xformID = keyXform{1, 0}
+
+// then composes two transforms: first inner (key -> value), then outer
+// (value -> element).
+func (outer keyXform) then(inner keyXform) keyXform {
+	return keyXform{outer.a * inner.a, outer.a*inner.b + outer.b}
+}
+
+func (x keyXform) String() string {
+	return fmt.Sprintf("%d*k%+d", x.a, x.b)
+}
 
 // instDesc is the summary-level instance descriptor of a location's
 // accesses within one function.
@@ -98,9 +122,10 @@ func joinInst(a, b instDesc) instDesc {
 
 // fnKeyFlow is one function's summary.
 type fnKeyFlow struct {
-	// keyed[loc] holds the parameter slots that key every access to loc;
-	// a missing or empty entry means some access is unkeyed.
-	keyed map[effects.Loc]map[int]bool
+	// keyed[loc] maps the parameter slots that key every access to loc to
+	// the affine transform every access applies to them; a missing or empty
+	// entry means some access is unkeyed (or mixes transforms).
+	keyed map[effects.Loc]map[int]keyXform
 	// inst[loc] describes the handle of every access to loc.
 	inst map[effects.Loc]instDesc
 }
@@ -151,13 +176,25 @@ func newKeyFlow(v *vet) *keyFlow {
 		for _, fn := range scc {
 			kf.fns[fn] = kf.optimistic(fn)
 		}
-		for changed := true; changed; {
+		// The keyed part of the lattice is "same transform or gone": set
+		// shrinking terminates, but a recursive cycle could in principle
+		// oscillate between transform values without shrinking. Past a
+		// generous round bound, collapse the SCC's keyed maps (sound: an
+		// unkeyed summary claims less) and let the instance part finish.
+		for changed, rounds := true, 0; changed; rounds++ {
 			changed = false
 			for _, fn := range scc {
 				next := kf.compute(fn)
 				if !kf.fns[fn].equal(next) {
 					kf.fns[fn] = next
 					changed = true
+				}
+			}
+			if changed && rounds > 4*len(scc)+8 {
+				for _, fn := range scc {
+					for loc := range kf.fns[fn].keyed {
+						kf.fns[fn].keyed[loc] = map[int]keyXform{}
+					}
 				}
 			}
 		}
@@ -169,7 +206,7 @@ func newKeyFlow(v *vet) *keyFlow {
 // touches is keyed by every unstored parameter and has the bottom instance
 // descriptor.
 func (kf *keyFlow) optimistic(fn string) *fnKeyFlow {
-	s := &fnKeyFlow{keyed: map[effects.Loc]map[int]bool{}, inst: map[effects.Loc]instDesc{}}
+	s := &fnKeyFlow{keyed: map[effects.Loc]map[int]keyXform{}, inst: map[effects.Loc]instDesc{}}
 	f := kf.v.c.Low.Prog.Funcs[fn]
 	fe := kf.v.c.Summary.Fns[fn]
 	if f == nil || fe == nil {
@@ -188,9 +225,9 @@ func (kf *keyFlow) optimistic(fn string) *fnKeyFlow {
 		if _, ok := s.keyed[loc]; ok {
 			return
 		}
-		ps := map[int]bool{}
+		ps := map[int]keyXform{}
 		for p := range params {
-			ps[p] = true
+			ps[p] = xformID
 		}
 		s.keyed[loc] = ps
 		s.inst[loc] = instDesc{kind: iNone}
@@ -213,8 +250,8 @@ func (s *fnKeyFlow) equal(o *fnKeyFlow) bool {
 		if !ok || len(ps) != len(ops) {
 			return false
 		}
-		for p := range ps {
-			if !ops[p] {
+		for p, x := range ps {
+			if ox, ok := ops[p]; !ok || ox != x {
 				return false
 			}
 		}
@@ -230,24 +267,24 @@ func (s *fnKeyFlow) equal(o *fnKeyFlow) bool {
 // compute re-derives one function's summary from the current summaries of
 // its callees.
 func (kf *keyFlow) compute(fn string) *fnKeyFlow {
-	s := &fnKeyFlow{keyed: map[effects.Loc]map[int]bool{}, inst: map[effects.Loc]instDesc{}}
+	s := &fnKeyFlow{keyed: map[effects.Loc]map[int]keyXform{}, inst: map[effects.Loc]instDesc{}}
 	f := kf.v.c.Low.Prog.Funcs[fn]
 	if f == nil {
 		return s
 	}
 	seen := map[effects.Loc]bool{}
-	access := func(loc effects.Loc, ps map[int]bool, d instDesc) {
+	access := func(loc effects.Loc, ps map[int]keyXform, d instDesc) {
 		if !seen[loc] {
 			seen[loc] = true
 			if ps == nil {
-				ps = map[int]bool{}
+				ps = map[int]keyXform{}
 			}
 			s.keyed[loc] = ps
 			s.inst[loc] = d
 			return
 		}
-		for p := range s.keyed[loc] {
-			if !ps[p] {
+		for p, x := range s.keyed[loc] {
+			if ox, ok := ps[p]; !ok || ox != x {
 				delete(s.keyed[loc], p)
 			}
 		}
@@ -269,7 +306,7 @@ func (kf *keyFlow) compute(fn string) *fnKeyFlow {
 
 // callAccesses feeds the per-location key and instance contributions of
 // one call instruction into access.
-func (kf *keyFlow) callAccesses(f *ir.Func, b *ir.Block, in *ir.Instr, access func(effects.Loc, map[int]bool, instDesc)) {
+func (kf *keyFlow) callAccesses(f *ir.Func, b *ir.Block, in *ir.Instr, access func(effects.Loc, map[int]keyXform, instDesc)) {
 	r, w := kf.v.c.Summary.CallEffects(in.Name)
 	locs := effects.Set{}
 	locs.AddSet(r)
@@ -277,26 +314,34 @@ func (kf *keyFlow) callAccesses(f *ir.Func, b *ir.Block, in *ir.Instr, access fu
 	callee := kf.fns[in.Name] // nil for builtins
 	for _, loc := range locs.Sorted() {
 		// Keyed positions of the callee for loc, as callee parameter (=
-		// argument) indices.
+		// argument) indices with the transform the callee applies.
 		var calleePos []int
+		calleeX := map[int]keyXform{}
 		if callee != nil {
-			for p := range callee.keyed[loc] {
+			for p, x := range callee.keyed[loc] {
 				calleePos = append(calleePos, p)
+				calleeX[p] = x
 			}
 			sort.Ints(calleePos)
 		} else if k, ok := kf.v.c.Summary.KeyedArg(in.Name, loc); ok {
 			calleePos = append(calleePos, k)
+			calleeX[k] = xformID
 		}
-		var ps map[int]bool
+		var ps map[int]keyXform
 		for _, k := range calleePos {
 			if k < 0 || k >= len(in.Args) {
 				continue
 			}
-			if slot, ok := paramSlotOfArg(f, b, in, in.Args[k]); ok {
+			// The accessed element is calleeX[k] of the argument, and the
+			// argument may itself be an affine function of an unstored
+			// parameter: compose the two transforms.
+			if slot, ax, ok := affineOfReg(f, b, in, in.Args[k], 0); ok {
 				if ps == nil {
-					ps = map[int]bool{}
+					ps = map[int]keyXform{}
 				}
-				ps[slot] = true
+				if _, dup := ps[slot]; !dup {
+					ps[slot] = calleeX[k].then(ax)
+				}
 			}
 		}
 
@@ -447,19 +492,15 @@ func (kf *keyFlow) collectGlobalAllocs() {
 }
 
 // keyedParams returns the callee argument positions that key every access
-// of callee `name` to loc: the declared key argument for builtins, the
-// key-flow summary for user functions.
-func (v *vet) keyedParams(name string, loc effects.Loc) []int {
+// of callee `name` to loc, with the affine transform each applies: the
+// declared key argument for builtins (identity transform), the key-flow
+// summary for user functions.
+func (v *vet) keyedParams(name string, loc effects.Loc) map[int]keyXform {
 	if s, ok := v.keyflow().fns[name]; ok {
-		var out []int
-		for p := range s.keyed[loc] {
-			out = append(out, p)
-		}
-		sort.Ints(out)
-		return out
+		return s.keyed[loc]
 	}
 	if k, ok := v.c.Summary.KeyedArg(name, loc); ok {
-		return []int{k}
+		return map[int]keyXform{k: xformID}
 	}
 	return nil
 }
@@ -472,16 +513,68 @@ func (v *vet) keyflow() *keyFlow {
 	return v.kf
 }
 
-// paramSlotOfArg resolves a call argument register to the unstored
-// parameter slot it loads, if any: the parameter's value at the call is
-// then exactly the parameter's incoming value.
-func paramSlotOfArg(f *ir.Func, b *ir.Block, call *ir.Instr, reg int) (int, bool) {
-	def := defBefore(b, call, reg)
-	if def == nil || def.Op != ir.OpLoadLocal {
-		return -1, false
+// affineOfReg resolves a register to an affine function a*p+b of an
+// unstored parameter slot p, if it is one: a plain parameter load is the
+// identity, and +, -, * against integer constants (and unary minus)
+// compose. The parameter's value at the use is then exactly its incoming
+// value, transformed.
+func affineOfReg(f *ir.Func, b *ir.Block, before *ir.Instr, reg, depth int) (slot int, x keyXform, ok bool) {
+	if depth > 6 {
+		return 0, keyXform{}, false
 	}
-	if def.Slot >= f.Params || slotStored(f, def.Slot) {
-		return -1, false
+	def := defBefore(b, before, reg)
+	if def == nil {
+		return 0, keyXform{}, false
 	}
-	return def.Slot, true
+	switch def.Op {
+	case ir.OpLoadLocal:
+		if def.Slot < f.Params && !slotStored(f, def.Slot) {
+			return def.Slot, xformID, true
+		}
+	case ir.OpUn:
+		if def.BinOp == "-" {
+			if s, ax, ok := affineOfReg(f, b, def, def.A, depth+1); ok {
+				return s, keyXform{-ax.a, -ax.b}, true
+			}
+		}
+	case ir.OpBin:
+		sa, xa, oka := affineOfReg(f, b, def, def.A, depth+1)
+		sb, xb, okb := affineOfReg(f, b, def, def.B, depth+1)
+		ca, cok1 := intConstOf(b, def, def.A)
+		cb, cok2 := intConstOf(b, def, def.B)
+		switch def.BinOp {
+		case "+":
+			if oka && cok2 {
+				return sa, keyXform{xa.a, xa.b + cb}, true
+			}
+			if cok1 && okb {
+				return sb, keyXform{xb.a, xb.b + ca}, true
+			}
+		case "-":
+			if oka && cok2 {
+				return sa, keyXform{xa.a, xa.b - cb}, true
+			}
+			if cok1 && okb {
+				return sb, keyXform{-xb.a, ca - xb.b}, true
+			}
+		case "*":
+			if oka && cok2 && cb != 0 {
+				return sa, keyXform{xa.a * cb, xa.b * cb}, true
+			}
+			if cok1 && okb && ca != 0 {
+				return sb, keyXform{xb.a * ca, xb.b * ca}, true
+			}
+		}
+	}
+	return 0, keyXform{}, false
+}
+
+// intConstOf resolves a register to its integer constant value, if its
+// definition is an integer OpConst.
+func intConstOf(b *ir.Block, before *ir.Instr, reg int) (int64, bool) {
+	def := defBefore(b, before, reg)
+	if def == nil || def.Op != ir.OpConst || def.Val.T != ast.TInt {
+		return 0, false
+	}
+	return def.Val.I, true
 }

@@ -48,10 +48,10 @@ void main() {
 		t.Fatal("no summary for mark")
 	}
 	loc := bitmapsLoc(t, fn)
-	if !fn.keyed[loc][1] {
-		t.Errorf("mark: parameter 1 must key %s; keyed = %v", loc, fn.keyed[loc])
+	if x, ok := fn.keyed[loc][1]; !ok || x != xformID {
+		t.Errorf("mark: parameter 1 must key %s with the identity transform; keyed = %v", loc, fn.keyed[loc])
 	}
-	if fn.keyed[loc][0] {
+	if _, ok := fn.keyed[loc][0]; ok {
 		t.Errorf("mark: parameter 0 is the handle, not a key; keyed = %v", fn.keyed[loc])
 	}
 	d := fn.inst[loc]
@@ -59,8 +59,8 @@ void main() {
 		t.Errorf("mark: instance = %v, want iParam(0)", d)
 	}
 	// keyedParams consults the summary for user functions.
-	if ps := v.keyedParams("mark", loc); len(ps) != 1 || ps[0] != 1 {
-		t.Errorf("keyedParams(mark) = %v, want [1]", ps)
+	if ps := v.keyedParams("mark", loc); len(ps) != 1 || ps[1] != xformID {
+		t.Errorf("keyedParams(mark) = %v, want {1: identity}", ps)
 	}
 }
 
@@ -93,7 +93,7 @@ void main() {
 		t.Fatal("no summary for mark2")
 	}
 	loc := bitmapsLoc(t, m2)
-	if !m2.keyed[loc][1] {
+	if x, ok := m2.keyed[loc][1]; !ok || x != xformID {
 		t.Errorf("mark2: key must survive two hops; keyed = %v", m2.keyed[loc])
 	}
 	pin := kf.fns["pin"]
@@ -118,7 +118,7 @@ func TestKeyflowRecursiveFixedPoint(t *testing.T) {
 		t.Fatal("no summary for mark_depth")
 	}
 	loc := bitmapsLoc(t, fn)
-	if !fn.keyed[loc][1] {
+	if _, ok := fn.keyed[loc][1]; !ok {
 		t.Errorf("mark_depth: keyed = %v, want parameter 1", fn.keyed[loc])
 	}
 	d := fn.inst[loc]
@@ -152,7 +152,7 @@ void main() {
 		t.Errorf("both: instance = %v, want iTop (two distinct handles)", d)
 	}
 	// The key still holds: both accesses are keyed by parameter 2.
-	if !fn.keyed[loc][2] {
+	if x, ok := fn.keyed[loc][2]; !ok || x != xformID {
 		t.Errorf("both: keyed = %v, want parameter 2", fn.keyed[loc])
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/builtins"
@@ -22,11 +23,13 @@ import (
 // warning. The per-check counts are the CI artifact that makes precision
 // drift visible across commits.
 
-// CheckCounts tallies diagnostics of one analyzer check by severity.
+// CheckCounts tallies diagnostics of one analyzer check by severity, with
+// the accumulated wall-clock time the check spent across all runs.
 type CheckCounts struct {
-	Errors   int `json:"errors"`
-	Warnings int `json:"warnings"`
-	Notes    int `json:"notes"`
+	Errors   int     `json:"errors"`
+	Warnings int     `json:"warnings"`
+	Notes    int     `json:"notes"`
+	TimeMS   float64 `json:"time_ms"`
 }
 
 func (c *CheckCounts) add(d *source.Diagnostic) {
@@ -49,8 +52,14 @@ type PrecisionReport struct {
 	// absent.
 	TruePositives      int `json:"true_positives"`
 	FalsePositivesHeld int `json:"false_positives_held"`
+	// CommutesHeld / RefutesHeld count the commutativity verifier's pins
+	// that held: vet:commutes entries that still verify under both orders,
+	// vet:refutes entries still refuted with a counterexample. The CI
+	// precision job fails on any regression of either.
+	CommutesHeld int `json:"commutes_held"`
+	RefutesHeld  int `json:"refutes_held"`
 	// Per-check diagnostic counts over the corpus and over the workload
-	// variants, keyed by check name (unsound, race, lint).
+	// variants, keyed by check name (unsound, race, lint, commute).
 	Corpus     map[string]*CheckCounts `json:"corpus"`
 	Workload   map[string]*CheckCounts `json:"workload"`
 	Violations []string                `json:"violations,omitempty"`
@@ -64,6 +73,7 @@ var precisionChecks = []struct {
 	{"unsound", analysis.Checks{Unsound: true}},
 	{"race", analysis.Checks{Race: true}},
 	{"lint", analysis.Checks{Lint: true}},
+	{"commute", analysis.Checks{Commute: true}},
 }
 
 // VetPrecision runs the precision gate, prints a summary to out, and
@@ -90,7 +100,9 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 		}
 		all := &source.DiagList{}
 		for _, pc := range precisionChecks {
+			start := time.Now()
 			diags, err := analysis.Run(c, analysis.Options{Checks: pc.checks, Threads: threads, Privatize: e.Privatize})
+			rep.Corpus[pc.name].TimeMS += float64(time.Since(start)) / float64(time.Millisecond)
 			if err != nil {
 				return nil, fmt.Errorf("bench: precision: %s [%s]: %w", e.Name, pc.name, err)
 			}
@@ -109,6 +121,12 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 			if e.Clean && len(e.Forbid) == 0 {
 				rep.FalsePositivesHeld++
 			}
+			if e.Commutes {
+				rep.CommutesHeld++
+			}
+			if e.Refutes {
+				rep.RefutesHeld++
+			}
 		}
 	}
 
@@ -122,7 +140,9 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 				return nil, fmt.Errorf("bench: precision: compile %s/%s: %w", wl.Name, variant.Name, err)
 			}
 			for _, pc := range precisionChecks {
+				start := time.Now()
 				diags, err := analysis.Run(c, analysis.Options{Checks: pc.checks, Threads: threads})
+				rep.Workload[pc.name].TimeMS += float64(time.Since(start)) / float64(time.Millisecond)
 				if err != nil {
 					return nil, fmt.Errorf("bench: precision: %s/%s [%s]: %w", wl.Name, variant.Name, pc.name, err)
 				}
@@ -143,11 +163,13 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 	fmt.Fprintf(out, "vet precision: %d corpus entries, %d workloads\n", rep.CorpusEntries, rep.Workloads)
 	for _, pc := range precisionChecks {
 		cc, wc := rep.Corpus[pc.name], rep.Workload[pc.name]
-		fmt.Fprintf(out, "  %-8s corpus %3dE %3dW %3dN   workloads %3dE %3dW %3dN\n",
-			pc.name, cc.Errors, cc.Warnings, cc.Notes, wc.Errors, wc.Warnings, wc.Notes)
+		fmt.Fprintf(out, "  %-8s corpus %3dE %3dW %3dN %7.1fms   workloads %3dE %3dW %3dN %7.1fms\n",
+			pc.name, cc.Errors, cc.Warnings, cc.Notes, cc.TimeMS, wc.Errors, wc.Warnings, wc.Notes, wc.TimeMS)
 	}
 	fmt.Fprintf(out, "  %d true positives held, %d false positives held off\n",
 		rep.TruePositives, rep.FalsePositivesHeld)
+	fmt.Fprintf(out, "  %d commutes pins verified, %d refutes pins flagged\n",
+		rep.CommutesHeld, rep.RefutesHeld)
 
 	if jsonOut != nil {
 		enc := json.NewEncoder(jsonOut)

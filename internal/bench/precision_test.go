@@ -36,6 +36,23 @@ func TestVetPrecision(t *testing.T) {
 	if c := rep.Corpus["lint"]; c.Warnings == 0 {
 		t.Error("lint check reported no corpus warnings")
 	}
+	if c := rep.Corpus["commute"]; c == nil || c.Errors == 0 {
+		t.Error("commute check reported no corpus errors: the refutation entries are not firing")
+	}
+	// ISSUE acceptance floor: at least 3 verified-commutes pins and 3
+	// refuted pins must hold in the corpus.
+	if rep.CommutesHeld < 3 {
+		t.Errorf("commutes pins held = %d, want at least 3", rep.CommutesHeld)
+	}
+	if rep.RefutesHeld < 3 {
+		t.Errorf("refutes pins held = %d, want at least 3", rep.RefutesHeld)
+	}
+	// Every check family must record nonzero wall-clock time in the report.
+	for _, pc := range precisionChecks {
+		if rep.Corpus[pc.name].TimeMS <= 0 {
+			t.Errorf("check %s recorded no corpus wall-clock time", pc.name)
+		}
+	}
 
 	// The JSON artifact must round-trip and agree with the report.
 	var back PrecisionReport

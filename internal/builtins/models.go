@@ -1,0 +1,240 @@
+package builtins
+
+import "repro/internal/effects"
+
+// This file gives each effectful builtin a small-step semantic model for
+// the commutativity verifier (internal/analysis, -checks=commute). Where
+// the effect table (world.go) answers "which locations may this call
+// touch", the model answers "what does the call do to them": assign a
+// cell, bump an abstract sum, append to an externalization stream, or
+// scramble a seed. The verifier symbolically executes both orders of a
+// member pair over these updates and diffs the post-states.
+//
+// The models may be *finer* than the effect declarations (fclose only
+// rewrites the descriptor table entry even though its decl coarsely claims
+// fs.file too); they must never be coarser. Builtins registered with an
+// empty Decl need no model: the substrate is deterministic, so they are
+// pure functions of their arguments.
+
+// UpdateKind classifies one state update of a builtin model.
+type UpdateKind int
+
+// Update kinds, in decreasing order of how much the differencing must
+// prove: assigns demand equal cells imply equal values, while the
+// commutative kinds carry their own order-insensitivity argument.
+const (
+	// UAssign overwrites a cell (strong update): last writer wins, so two
+	// assigns commute only on provably disjoint cells or with provably
+	// equal values (idempotent set-semantics inserts).
+	UAssign UpdateKind = iota
+	// UBump adds a contribution to an abstract commutative accumulator
+	// (histogram, stats sum, cursor advance): contributions form a
+	// multiset, so any order with the same multiset is equivalent.
+	UBump
+	// UAppend emits to an externalization stream (console, output file,
+	// log) whose observable is order-insensitive for commset members: the
+	// runtime may interleave, so equality is multiset equality.
+	UAppend
+	// UScramble perturbs an entropy pool (the RNG seed). The paper's
+	// contract: any permutation of a random sequence preserves the
+	// distribution, so the pool state is quotiented to the multiset of
+	// scramble events.
+	UScramble
+)
+
+// Ref names an argument of the modeled call, or a distinguished value.
+type Ref int
+
+// Distinguished Refs.
+const (
+	// RefNone means "not applicable": no handle (whole location), no key
+	// (whole handle), or a value synthesized from all arguments.
+	RefNone Ref = -1
+	// RefResult names the builtin's own result (the fresh token an
+	// allocator both returns and registers).
+	RefResult Ref = -2
+)
+
+// Update is one modeled state change.
+type Update struct {
+	Kind   UpdateKind
+	Loc    effects.Loc
+	Handle Ref    // which argument selects the handle; RefNone = whole location
+	Key    Ref    // which argument selects the element; RefNone = whole handle
+	Field  string // sub-cell within the handle ("pos"); "" = the handle itself
+	// ValConst, when non-empty, is the literal value assigned — used where
+	// the semantics are idempotent (a set bit is "1" no matter how often
+	// it is set), which lets equal-value assigns commute even on cells the
+	// verifier cannot separate. When empty, the written value is an
+	// uninterpreted function of the call's arguments and ValReads.
+	ValConst string
+	// ValReads lists locations whose current contents flow into the
+	// written value (km_swap publishes centers.new into centers.cur).
+	ValReads []effects.Loc
+}
+
+// ResultKind classifies what a modeled builtin returns.
+type ResultKind int
+
+// Result kinds.
+const (
+	// ResPure: a pure function of the arguments (and ValReads via the
+	// updates only). Void builtins also use this.
+	ResPure ResultKind = iota
+	// ResRead: the current contents of the cell named by Model.Read.
+	ResRead
+	// ResFresh: a globally fresh token no other call ever returned.
+	ResFresh
+	// ResDraw: a draw from a trusted distribution (RNG, input queue): the
+	// verifier treats draws as stable per (execution identity, occurrence)
+	// so a member's own draws agree across the two orders, while draws of
+	// different executions stay unrelated.
+	ResDraw
+)
+
+// CellRef names the cell a ResRead builtin returns.
+type CellRef struct {
+	Loc    effects.Loc
+	Handle Ref // RefNone = whole location
+	Key    Ref // RefNone = whole handle
+	Field  string
+}
+
+// Model is the commutativity-relevant semantics of one builtin.
+type Model struct {
+	Result  ResultKind
+	Read    *CellRef // set iff Result == ResRead
+	Updates []Update
+}
+
+func tl(tag string) effects.Loc { return effects.TagLoc(tag) }
+
+func assign(tag string, handle, key Ref, valConst string) Update {
+	return Update{Kind: UAssign, Loc: tl(tag), Handle: handle, Key: key, ValConst: valConst}
+}
+
+func bump(tag string) Update {
+	return Update{Kind: UBump, Loc: tl(tag), Handle: RefNone, Key: RefNone}
+}
+
+func appendTo(tag string) Update {
+	return Update{Kind: UAppend, Loc: tl(tag), Handle: RefNone, Key: RefNone}
+}
+
+func appendAt(tag string, handle Ref) Update {
+	return Update{Kind: UAppend, Loc: tl(tag), Handle: handle, Key: RefNone}
+}
+
+func scramble(tag string) Update {
+	return Update{Kind: UScramble, Loc: tl(tag), Handle: RefNone, Key: RefNone}
+}
+
+func read(tag string, handle, key Ref) *CellRef {
+	return &CellRef{Loc: tl(tag), Handle: handle, Key: key}
+}
+
+// builtinModels is the model table. Builtins absent here and registered
+// with an empty effects.Decl are pure; absent but effectful builtins are
+// handled conservatively by the verifier (whole-location havoc).
+var builtinModels = map[string]Model{
+	// --- console ---
+	"print_str":   {Updates: []Update{appendTo("io.console")}},
+	"print_int":   {Updates: []Update{appendTo("io.console")}},
+	"print_float": {Updates: []Update{appendTo("io.console")}},
+
+	// --- file system ---
+	"file_count": {Result: ResRead, Read: read("fs.table", RefNone, RefNone)},
+	"fopen_idx": {Result: ResFresh, Updates: []Update{
+		assign("fs.table", RefResult, RefNone, ""),
+	}},
+	"fname": {Result: ResRead, Read: read("fs.table", 0, RefNone)},
+	"fread_all": {Result: ResFresh, Updates: []Update{
+		{Kind: UAssign, Loc: tl("fs.file"), Handle: 0, Key: RefNone, Field: "pos"},
+	}},
+	"fclose":      {Updates: []Update{assign("fs.table", 0, RefNone, "closed")}},
+	"fwrite_line": {Updates: []Update{appendTo("fs.out")}},
+
+	// --- transaction database ---
+	"db_read_row": {Result: ResDraw, Updates: []Update{bump("db.cursor")}},
+
+	// --- bitmaps ---
+	"bitmap_new": {Result: ResFresh, Updates: []Update{
+		assign("bitmaps", RefResult, RefNone, "empty"),
+	}},
+	"bitmap_set":   {Updates: []Update{assign("bitmaps", 0, 1, "1")}},
+	"bitmap_get":   {Result: ResRead, Read: read("bitmaps", 0, 1)},
+	"bitmap_count": {Result: ResRead, Read: read("bitmaps", 0, RefNone)},
+
+	// --- vectors (set-semantics output containers) ---
+	"vec_new": {Result: ResFresh, Updates: []Update{
+		assign("vectors", RefResult, RefNone, "empty"),
+	}},
+	"vec_push": {Updates: []Update{appendAt("vectors", 0)}},
+	"vec_len":  {Result: ResRead, Read: read("vectors", 0, RefNone)},
+
+	// --- itemsets (idempotent inserts) ---
+	"iset_new": {Result: ResFresh, Updates: []Update{
+		assign("itemsets", RefResult, RefNone, "empty"),
+	}},
+	"iset_insert": {Updates: []Update{assign("itemsets", 0, 1, "1")}},
+
+	// --- list-of-itemsets ---
+	"lists_new": {Result: ResFresh, Updates: []Update{
+		assign("lists", RefResult, RefNone, "empty"),
+	}},
+	"lists_insert": {Updates: []Update{appendAt("lists", 0)}},
+	"lists_len":    {Result: ResRead, Read: read("lists", 0, RefNone)},
+
+	// --- stats accumulator ---
+	"stats_add":   {Updates: []Update{bump("stats")}},
+	"stats_count": {Result: ResRead, Read: read("stats", RefNone, RefNone)},
+	"stats_mean":  {Result: ResRead, Read: read("stats", RefNone, RefNone)},
+
+	// --- RNG ---
+	"rng_int":   {Result: ResDraw, Updates: []Update{scramble("rng.seed")}},
+	"rng_range": {Result: ResDraw, Updates: []Update{scramble("rng.seed")}},
+	"rng_float": {Result: ResDraw, Updates: []Update{scramble("rng.seed")}},
+	"seq_gen":   {Result: ResDraw, Updates: []Update{scramble("rng.seed")}},
+
+	// --- matrix heap ---
+	"matrix_alloc": {Result: ResFresh, Updates: []Update{
+		assign("heap.matrix", RefResult, RefNone, "live"),
+	}},
+	"matrix_free": {Updates: []Update{assign("heap.matrix", 0, RefNone, "freed")}},
+
+	// --- histogram ---
+	"histogram_add":   {Updates: []Update{bump("histogram")}},
+	"histogram_count": {Result: ResRead, Read: read("histogram", RefNone, RefNone)},
+
+	// --- k-means ---
+	"km_nearest": {Result: ResRead, Read: read("centers.cur", RefNone, RefNone)},
+	"km_update":  {Updates: []Update{bump("centers.new")}},
+	"km_swap": {Updates: []Update{
+		{Kind: UAssign, Loc: tl("centers.cur"), Handle: RefNone, Key: RefNone,
+			ValReads: []effects.Loc{tl("centers.new")}},
+		{Kind: UAssign, Loc: tl("centers.new"), Handle: RefNone, Key: RefNone, ValConst: "reset"},
+	}},
+
+	// --- packet processing ---
+	"pkt_count":   {Result: ResRead, Read: read("pkt.pool", RefNone, RefNone)},
+	"pkt_dequeue": {Result: ResDraw, Updates: []Update{bump("pkt.pool")}},
+	"log_pkt":     {Updates: []Update{appendTo("pkt.log")}},
+
+	// --- tracing (potrace) ---
+	"bmp_count": {Result: ResRead, Read: read("fs.table", RefNone, RefNone)},
+	"bmp_open": {Result: ResFresh, Updates: []Update{
+		assign("fs.table", RefResult, RefNone, ""),
+	}},
+	"img_write": {Updates: []Update{appendTo("fs.out")}},
+
+	// --- graph (em3d) ---
+	"ll_head":     {Result: ResRead, Read: read("graph.list", RefNone, RefNone)},
+	"ll_next":     {Result: ResRead, Read: read("graph.list", 0, RefNone)},
+	"graph_nodes": {Result: ResRead, Read: read("graph.list", RefNone, RefNone)},
+}
+
+// ModelOf returns the semantic model of a builtin, if one is registered.
+func ModelOf(name string) (Model, bool) {
+	m, ok := builtinModels[name]
+	return m, ok
+}

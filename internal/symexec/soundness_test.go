@@ -162,3 +162,83 @@ func TestSymbolicSoundnessSameIteration(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTermsEqualSoundnessNegatives randomizes concrete valuations against
+// the term-level equality used by the commutativity verifier: whenever
+// TermsEqual answers True the concrete affine images must coincide for
+// every sampled pre-state, and whenever it answers False they must never
+// coincide. A single counterexample is an unsound definite answer.
+func TestTermsEqualSoundnessNegatives(t *testing.T) {
+	check := func(a18, b18, a28, b28 int8, v18, v28 int16, shareBase bool) bool {
+		a1, b1 := int64(a18), int64(b18)
+		a2, b2 := int64(a28), int64(b28)
+		v1, v2 := int64(v18), int64(v28)
+
+		f := NewFacts(SameIteration)
+		k1, k2 := Sym("k", 1), Sym("k", 2)
+		var t1, t2 *Term
+		if shareBase {
+			t1, t2 = Lin(k1, a1, b1), Lin(k1, a2, b2)
+			v2 = v1 // one shared base, one concrete value
+		} else {
+			if v1 == v2 {
+				v2++ // the recorded fact promises distinct keys
+			}
+			f.AddDistinct(k1, k2)
+			t1, t2 = Lin(k1, a1, b1), Lin(k2, a2, b2)
+		}
+		c1, c2 := a1*v1+b1, a2*v2+b2
+
+		switch TermsEqual(t1, t2, f) {
+		case True:
+			if c1 != c2 {
+				t.Logf("True but %d != %d (a1=%d b1=%d a2=%d b2=%d v1=%d v2=%d share=%v)",
+					c1, c2, a1, b1, a2, b2, v1, v2, shareBase)
+				return false
+			}
+		case False:
+			if c1 == c2 {
+				t.Logf("False but both = %d (a1=%d b1=%d a2=%d b2=%d v1=%d v2=%d share=%v)",
+					c1, a1, b1, a2, b2, v1, v2, shareBase)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValsEqualSoundnessNegatives does the same for the value-level
+// equality: definite answers under DifferentIteration must hold for every
+// pair of distinct induction-variable values.
+func TestValsEqualSoundnessNegatives(t *testing.T) {
+	check := func(a18, b18, a28, b28 int8, iv18, iv28 int16) bool {
+		a1, b1 := int64(a18), int64(b18)
+		a2, b2 := int64(a28), int64(b28)
+		iv1, iv2 := int64(iv18), int64(iv28)
+		if iv1 == iv2 {
+			iv2++
+		}
+		p, q := Affine(a1, b1, 1), Affine(a2, b2, 2)
+		c1, c2 := a1*iv1+b1, a2*iv2+b2
+		switch ValsEqual(p, q, DifferentIteration) {
+		case True:
+			if c1 != c2 {
+				t.Logf("True but %d != %d (a1=%d b1=%d a2=%d b2=%d)", c1, c2, a1, b1, a2, b2)
+				return false
+			}
+		case False:
+			if c1 == c2 {
+				t.Logf("False but both = %d (a1=%d b1=%d a2=%d b2=%d iv1=%d iv2=%d)",
+					c1, a1, b1, a2, b2, iv1, iv2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

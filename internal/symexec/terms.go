@@ -1,0 +1,469 @@
+package symexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/vm/value"
+)
+
+// This file extends the predicate interpreter with the first-order term
+// algebra the commutativity verifier (differencing abstraction) works over.
+// Where Val captures the affine fragment the dependence analyzer needs,
+// Term closes that fragment under uninterpreted function application: the
+// language is deterministic, so any operation the verifier has no special
+// model for is a pure function of the values it read — equal inputs imply
+// equal outputs. Only the commutative structure (allocation freshness,
+// affine arithmetic, recorded disequalities) needs decision rules; the
+// rest rides on canonical syntactic equality.
+
+// TermKind discriminates terms.
+type TermKind int
+
+// Term kinds.
+const (
+	// TVal wraps a symbolic Val (constants, affine forms, invariants,
+	// allocator-rooted handles): the arithmetic fragment.
+	TVal TermKind = iota
+	// TSym is an opaque per-instance symbol: an unknown the verifier names
+	// so the two member instances can agree (same name and instance) or be
+	// constrained apart by recorded facts.
+	TSym
+	// TApp is an uninterpreted application: Op applied to Args. Ops with
+	// the "new:" prefix are allocation classes — results of fresh-handle
+	// allocations, injective in their arguments and disjoint across
+	// distinct allocation sites.
+	TApp
+	// TLin is an affine form a*base + b over an arbitrary base term
+	// (Args[0]), generalizing KAffine from induction variables to symbolic
+	// keys: bitmap_set(bm, k+1) keys by TLin{base: k, A: 1, B: 1}.
+	TLin
+)
+
+// Term is a symbolic first-order term. Terms are immutable once built.
+type Term struct {
+	Kind TermKind
+	V    Val    // TVal payload
+	Name string // TSym name
+	Inst int    // TSym instance (0 = shared across instances)
+	Op   string // TApp operator / allocation class
+	Args []*Term
+	A, B int64 // TLin coefficients over Args[0]
+
+	key string // memoized canonical form
+}
+
+// ValTerm wraps a Val.
+func ValTerm(v Val) *Term { return &Term{Kind: TVal, V: v} }
+
+// IntTerm builds an integer constant term.
+func IntTerm(c int64) *Term { return ValTerm(Affine(0, c, 0)) }
+
+// StrTerm builds a string constant term.
+func StrTerm(s string) *Term { return ValTerm(Const(value.Str(s))) }
+
+// Sym builds an opaque per-instance symbol.
+func Sym(name string, inst int) *Term { return &Term{Kind: TSym, Name: name, Inst: inst} }
+
+// App builds an uninterpreted application.
+func App(op string, args ...*Term) *Term { return &Term{Kind: TApp, Op: op, Args: args} }
+
+// Lin builds a*base + b, collapsing the degenerate cases: a == 0 is the
+// constant b, and a nested affine base composes into one level.
+func Lin(base *Term, a, b int64) *Term {
+	if a == 0 {
+		return IntTerm(b)
+	}
+	if base.Kind == TLin {
+		return Lin(base.Args[0], a*base.A, a*base.B+b)
+	}
+	if base.Kind == TVal && base.V.Kind == KAffine {
+		return ValTerm(Affine(a*base.V.A, a*base.V.B+b, base.V.Inst))
+	}
+	if a == 1 && b == 0 {
+		return base
+	}
+	return &Term{Kind: TLin, Args: []*Term{base}, A: a, B: b}
+}
+
+// IsAllocClass reports whether the term denotes a fresh-allocation result
+// (a "new:" application): distinct allocation sites never coincide, and a
+// site's results are injective in the allocation identity.
+func (t *Term) IsAllocClass() bool { return t.Kind == TApp && strings.HasPrefix(t.Op, "new:") }
+
+// Key returns the canonical string form, used for hashing, canonical
+// ordering, and fast syntactic equality.
+func (t *Term) Key() string {
+	if t == nil {
+		return "_"
+	}
+	if t.key != "" {
+		return t.key
+	}
+	var b strings.Builder
+	t.render(&b)
+	t.key = b.String()
+	return t.key
+}
+
+func (t *Term) render(b *strings.Builder) {
+	switch t.Kind {
+	case TVal:
+		fmt.Fprintf(b, "v(%s)", valKey(t.V))
+	case TSym:
+		fmt.Fprintf(b, "%s#%d", t.Name, t.Inst)
+	case TApp:
+		b.WriteString(t.Op)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Key())
+		}
+		b.WriteByte(')')
+	case TLin:
+		fmt.Fprintf(b, "%d*%s+%d", t.A, t.Args[0].Key(), t.B)
+	}
+}
+
+// String renders the term for diagnostics: a compact, human-oriented form.
+func (t *Term) String() string {
+	if t == nil {
+		return "_"
+	}
+	switch t.Kind {
+	case TVal:
+		return valString(t.V)
+	case TSym:
+		if t.Inst == 0 {
+			return t.Name
+		}
+		return fmt.Sprintf("%s#%d", t.Name, t.Inst)
+	case TApp:
+		args := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = a.String()
+		}
+		return t.Op + "(" + strings.Join(args, ", ") + ")"
+	case TLin:
+		if t.B == 0 {
+			return fmt.Sprintf("%d*%s", t.A, t.Args[0])
+		}
+		return fmt.Sprintf("%d*%s+%d", t.A, t.Args[0], t.B)
+	}
+	return "?"
+}
+
+func valKey(v Val) string {
+	switch v.Kind {
+	case KConst:
+		return "c:" + v.C.String()
+	case KAffine:
+		return fmt.Sprintf("a:%d*iv%d+%d", v.A, v.Inst, v.B)
+	case KInvariant:
+		return "i:" + v.ID
+	case KAlloc:
+		return fmt.Sprintf("h:%s/%v/%d", v.ID, v.PerIter, v.Inst)
+	}
+	return "u"
+}
+
+func valString(v Val) string {
+	switch v.Kind {
+	case KConst:
+		return v.C.String()
+	case KAffine:
+		if v.A == 0 {
+			return fmt.Sprintf("%d", v.B)
+		}
+		if v.B == 0 {
+			return fmt.Sprintf("%d*iv%d", v.A, v.Inst)
+		}
+		return fmt.Sprintf("%d*iv%d+%d", v.A, v.Inst, v.B)
+	case KInvariant:
+		return v.ID
+	case KAlloc:
+		return "handle@" + v.ID
+	}
+	return "?"
+}
+
+// Facts carries the relational context of a differencing query: the
+// iteration assumption for Val comparisons plus disequalities derived from
+// set predicates ("the relaxed pair had distinct keys at position j") and
+// from execution identity (two dynamic executions are distinct events).
+type Facts struct {
+	Assume   Assumption
+	distinct map[[2]string]bool
+}
+
+// NewFacts builds an empty fact set under the given iteration assumption.
+func NewFacts(assume Assumption) *Facts {
+	return &Facts{Assume: assume, distinct: map[[2]string]bool{}}
+}
+
+// AddDistinct records that two terms denote provably different values.
+func (f *Facts) AddDistinct(a, b *Term) {
+	ka, kb := a.Key(), b.Key()
+	if ka == kb {
+		return
+	}
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	f.distinct[[2]string{ka, kb}] = true
+}
+
+// Distinct reports whether the pair was recorded as provably different.
+func (f *Facts) Distinct(a, b *Term) bool {
+	ka, kb := a.Key(), b.Key()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	return f.distinct[[2]string{ka, kb}]
+}
+
+// TermsEqual compares two terms three-valuedly under the facts.
+//
+// The decision rules mirror the soundness argument of the differencing
+// abstraction: True only when the terms must evaluate equal in every
+// concrete pre-state satisfying the facts, False only when they can never
+// be equal, Unknown otherwise. Allocation classes ("new:" applications)
+// are injective and pairwise disjoint across sites; against arbitrary
+// integers they stay Unknown (handles are plain integers in this model, so
+// numeric collision is possible).
+func TermsEqual(x, y *Term, f *Facts) Tri {
+	if x == nil || y == nil {
+		if x == y {
+			return True
+		}
+		return Unknown
+	}
+	if x.Key() == y.Key() {
+		return True
+	}
+	if f != nil && f.Distinct(x, y) {
+		return False
+	}
+	assume := SameIteration
+	if f != nil {
+		assume = f.Assume
+	}
+	// Allocation classes.
+	if x.IsAllocClass() && y.IsAllocClass() {
+		if x.Op != y.Op {
+			return False // distinct allocation sites never coincide
+		}
+		return argsEqual(x.Args, y.Args, f, true)
+	}
+	if x.IsAllocClass() || y.IsAllocClass() {
+		a, o := x, y
+		if y.IsAllocClass() {
+			a, o = y, x
+		}
+		// A fresh allocation postdates any loop-invariant or pre-state
+		// value and any other allocator's handle; an arbitrary integer may
+		// still collide numerically.
+		if o.Kind == TVal && (o.V.Kind == KAlloc || o.V.Kind == KInvariant) {
+			return False
+		}
+		_ = a
+		return Unknown
+	}
+	switch {
+	case x.Kind == TVal && y.Kind == TVal:
+		return ValsEqual(x.V, y.V, assume)
+	case x.Kind == TSym && y.Kind == TSym:
+		if x.Name == y.Name && x.Inst == y.Inst {
+			return True
+		}
+		return Unknown
+	case x.Kind == TLin || y.Kind == TLin:
+		a, b := linOf(x), linOf(y)
+		baseEq := TermsEqual(a.Args[0], b.Args[0], f)
+		if baseEq == True {
+			// a1*k + b1 vs a2*k + b2 over the same base.
+			if a.A == b.A {
+				if a.B == b.B {
+					return True
+				}
+				return False
+			}
+			return Unknown
+		}
+		if baseEq == False && a.A == b.A {
+			if a.B == b.B {
+				return False // injective: same affine map, distinct keys
+			}
+			// Same slope, different offsets: coincidence requires the
+			// slope to divide the offset difference (2k vs 2k+1 never
+			// meet).
+			diff := a.B - b.B
+			if diff < 0 {
+				diff = -diff
+			}
+			step := a.A
+			if step < 0 {
+				step = -step
+			}
+			if step != 0 && diff%step != 0 {
+				return False
+			}
+		}
+		return Unknown
+	case x.Kind == TApp && y.Kind == TApp:
+		if x.Op == y.Op {
+			if eq := argsEqual(x.Args, y.Args, f, false); eq == True {
+				return True // deterministic: equal inputs, equal outputs
+			}
+		}
+		return Unknown
+	}
+	return Unknown
+}
+
+// linOf views any term as an affine form over a base.
+func linOf(t *Term) *Term {
+	if t.Kind == TLin {
+		return t
+	}
+	return &Term{Kind: TLin, Args: []*Term{t}, A: 1, B: 0}
+}
+
+// argsEqual compares argument vectors pairwise. With injective true (an
+// allocation class), one provably-distinct pair makes the whole
+// application pair distinct; otherwise disequality of arguments proves
+// nothing about the results.
+func argsEqual(xs, ys []*Term, f *Facts, injective bool) Tri {
+	if len(xs) != len(ys) {
+		if injective {
+			return False
+		}
+		return Unknown
+	}
+	all := True
+	for i := range xs {
+		switch TermsEqual(xs[i], ys[i], f) {
+		case False:
+			if injective {
+				return False
+			}
+			all = Unknown
+		case Unknown:
+			all = Unknown
+		}
+	}
+	return all
+}
+
+// Syms collects the distinct opaque symbols of the term, in first-use
+// order — the free variables a counterexample valuation must bind.
+func (t *Term) Syms() []*Term {
+	var out []*Term
+	seen := map[string]bool{}
+	var walk func(t *Term)
+	walk = func(t *Term) {
+		if t == nil {
+			return
+		}
+		if t.Kind == TSym && !seen[t.Key()] {
+			seen[t.Key()] = true
+			out = append(out, t)
+		}
+		for _, a := range t.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// ContainsOpPrefix reports whether any application in the term has an
+// operator with the given prefix (used to detect loop-varying markers).
+func (t *Term) ContainsOpPrefix(prefix string) bool {
+	if t == nil {
+		return false
+	}
+	if t.Kind == TApp && strings.HasPrefix(t.Op, prefix) {
+		return true
+	}
+	for _, a := range t.Args {
+		if a.ContainsOpPrefix(prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// SortTermsByKey orders terms canonically (for deterministic summaries).
+func SortTermsByKey(ts []*Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+}
+
+// ArithVals folds +, -, * over the affine Val fragment by operator
+// spelling. ok is false when the result leaves the fragment.
+func ArithVals(op string, a, b Val) (Val, bool) {
+	var k token.Kind
+	switch op {
+	case "+":
+		k = token.ADD
+	case "-":
+		k = token.SUB
+	case "*":
+		k = token.MUL
+	default:
+		return UnknownVal(), false
+	}
+	r := arith(k, a, b)
+	return r, r.Kind != KUnknown
+}
+
+// CompareVals decides <, <=, >, >= over Vals three-valuedly, mirroring the
+// predicate evaluator's ordering rules under the given assumption.
+func CompareVals(op string, a, b Val, assume Assumption) Tri {
+	decide := func(r bool) Tri {
+		if r {
+			return True
+		}
+		return False
+	}
+	if a.Kind == KAffine && b.Kind == KAffine && a.A == 0 && b.A == 0 {
+		switch op {
+		case "<":
+			return decide(a.B < b.B)
+		case "<=":
+			return decide(a.B <= b.B)
+		case ">":
+			return decide(a.B > b.B)
+		case ">=":
+			return decide(a.B >= b.B)
+		}
+		return Unknown
+	}
+	if a.Kind == KConst && b.Kind == KConst && a.C.T == ast.TString && b.C.T == ast.TString {
+		switch op {
+		case "<":
+			return decide(a.C.S < b.C.S)
+		case "<=":
+			return decide(a.C.S <= b.C.S)
+		case ">":
+			return decide(a.C.S > b.C.S)
+		case ">=":
+			return decide(a.C.S >= b.C.S)
+		}
+		return Unknown
+	}
+	if ValsEqual(a, b, assume) == True {
+		switch op {
+		case "<=", ">=":
+			return True
+		case "<", ">":
+			return False
+		}
+	}
+	return Unknown
+}

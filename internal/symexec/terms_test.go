@@ -1,0 +1,150 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/vm/value"
+)
+
+// TestTermsEqualAllocClasses pins the allocation-class rules the
+// commutativity verifier's fresh-handle reasoning depends on: distinct
+// allocation sites never coincide, a shared site is injective in its
+// arguments, and an allocator-rooted handle compared against an arbitrary
+// integer stays Unknown (handles are plain ints, collision is possible).
+func TestTermsEqualAllocClasses(t *testing.T) {
+	f := NewFacts(SameIteration)
+	iv1, iv2 := Sym("it", 1), Sym("it", 2)
+	f.AddDistinct(iv1, iv2)
+
+	siteA1 := App("new:vec_new@main:r1", iv1)
+	siteA2 := App("new:vec_new@main:r1", iv2)
+	siteB := App("new:bitmap_new@main:r2", iv1)
+
+	if got := TermsEqual(siteA1, siteB, f); got != False {
+		t.Errorf("distinct alloc sites: got %v, want False", got)
+	}
+	if got := TermsEqual(siteA1, App("new:vec_new@main:r1", iv1), f); got != True {
+		t.Errorf("same site, same args: got %v, want True", got)
+	}
+	// Injectivity: a shared site with provably distinct arguments yields
+	// provably distinct handles.
+	if got := TermsEqual(siteA1, siteA2, f); got != False {
+		t.Errorf("same site, distinct iterations: got %v, want False", got)
+	}
+	// Without the distinctness fact the arguments are merely Unknown, so
+	// the handles are too.
+	if got := TermsEqual(siteA1, siteA2, NewFacts(SameIteration)); got != Unknown {
+		t.Errorf("same site, unconstrained iterations: got %v, want Unknown", got)
+	}
+	// Aliased handle: an arbitrary symbolic integer may numerically equal
+	// a handle, so no definite answer is sound.
+	if got := TermsEqual(siteA1, Sym("h", 1), f); got != Unknown {
+		t.Errorf("alloc vs arbitrary sym: got %v, want Unknown", got)
+	}
+	// But a fresh allocation postdates a loop-invariant pre-state handle.
+	if got := TermsEqual(siteA1, ValTerm(Invariant("pre:g")), f); got != False {
+		t.Errorf("alloc vs invariant: got %v, want False", got)
+	}
+}
+
+// TestTermsEqualAffineKeys pins the symbolic-key equality rules behind
+// affine key generalization: same affine map over the same base is equal
+// iff offsets match, injectivity separates distinct keys under the same
+// map, and incongruent offsets (2k vs 2k+1) never meet.
+func TestTermsEqualAffineKeys(t *testing.T) {
+	f := NewFacts(SameIteration)
+	k1, k2 := Sym("k", 1), Sym("k", 2)
+	f.AddDistinct(k1, k2)
+
+	if got := TermsEqual(Lin(k1, 1, 1), Lin(k1, 1, 1), f); got != True {
+		t.Errorf("k+1 vs k+1: got %v, want True", got)
+	}
+	if got := TermsEqual(Lin(k1, 1, 1), Lin(k1, 1, 2), f); got != False {
+		t.Errorf("k+1 vs k+2 over same base: got %v, want False", got)
+	}
+	if got := TermsEqual(Lin(k1, 2, 0), Lin(k1, 3, 0), f); got != Unknown {
+		t.Errorf("2k vs 3k over same base: got %v, want Unknown", got)
+	}
+	// Injectivity of the shared map across distinct keys.
+	if got := TermsEqual(Lin(k1, 1, 1), Lin(k2, 1, 1), f); got != False {
+		t.Errorf("k1+1 vs k2+1, k1 != k2: got %v, want False", got)
+	}
+	// Parity split: even and odd images are disjoint for any key pair.
+	if got := TermsEqual(Lin(k1, 2, 0), Lin(k2, 2, 1), f); got != False {
+		t.Errorf("2*k1 vs 2*k2+1: got %v, want False", got)
+	}
+	// Congruent offsets may still coincide (2*k1 vs 2*k2+4 at k1 = k2+2).
+	if got := TermsEqual(Lin(k1, 2, 0), Lin(k2, 2, 4), f); got != Unknown {
+		t.Errorf("2*k1 vs 2*k2+4: got %v, want Unknown", got)
+	}
+	// Unconstrained distinct bases give no definite answer.
+	if got := TermsEqual(Lin(k1, 1, 0), Lin(k2, 1, 0), NewFacts(SameIteration)); got != Unknown {
+		t.Errorf("k1 vs k2 unconstrained: got %v, want Unknown", got)
+	}
+}
+
+// TestTermsEqualAppsAndNil covers uninterpreted applications and nil
+// terms: equal ops on equal args collapse to True (determinism), anything
+// else stays Unknown, and nil (absent key) only equals nil.
+func TestTermsEqualAppsAndNil(t *testing.T) {
+	f := NewFacts(SameIteration)
+	a, b := Sym("a", 1), Sym("b", 1)
+	f.AddDistinct(a, b)
+
+	if got := TermsEqual(App("hash", a), App("hash", a), f); got != True {
+		t.Errorf("hash(a) vs hash(a): got %v, want True", got)
+	}
+	// Distinct inputs do not refute equality of outputs: an uninterpreted
+	// function may collide.
+	if got := TermsEqual(App("hash", a), App("hash", b), f); got != Unknown {
+		t.Errorf("hash(a) vs hash(b): got %v, want Unknown", got)
+	}
+	if got := TermsEqual(App("hash", a), App("crc", a), f); got != Unknown {
+		t.Errorf("hash vs crc: got %v, want Unknown", got)
+	}
+	if got := TermsEqual(nil, nil, f); got != True {
+		t.Errorf("nil vs nil: got %v, want True", got)
+	}
+	if got := TermsEqual(nil, a, f); got != Unknown {
+		t.Errorf("nil vs sym: got %v, want Unknown", got)
+	}
+	// Recorded distinctness is consulted before structural rules.
+	if got := TermsEqual(a, b, f); got != False {
+		t.Errorf("distinct syms: got %v, want False", got)
+	}
+	if got := TermsEqual(a, b, NewFacts(SameIteration)); got != Unknown {
+		t.Errorf("unconstrained syms: got %v, want Unknown", got)
+	}
+}
+
+// TestArithAndCompareVals exercises the exported value-level arithmetic
+// and comparison the key-flow transforms rely on.
+func TestArithAndCompareVals(t *testing.T) {
+	k := Affine(1, 0, 1)
+	two := Affine(0, 2, 0)
+	if v, ok := ArithVals("+", k, two); !ok || v.Kind != KAffine || v.A != 1 || v.B != 2 {
+		t.Errorf("k+2 = %+v (ok=%v), want affine 1*iv+2", v, ok)
+	}
+	if v, ok := ArithVals("*", k, Affine(0, 3, 0)); !ok || v.A != 3 || v.B != 0 {
+		t.Errorf("k*3 = %+v (ok=%v), want affine 3*iv+0", v, ok)
+	}
+	if _, ok := ArithVals("+", k, UnknownVal()); ok {
+		t.Error("k + unknown folded, want not-ok")
+	}
+	if got := CompareVals("<", Affine(0, 1, 0), two, SameIteration); got != True {
+		t.Errorf("1 < 2: got %v, want True", got)
+	}
+	// Equal values decide the non-strict orders and refute the strict ones.
+	if got := CompareVals("<=", Affine(2, 1, 1), Affine(2, 1, 1), SameIteration); got != True {
+		t.Errorf("2k+1 <= 2k+1 same iteration: got %v, want True", got)
+	}
+	if got := CompareVals("<", Affine(2, 1, 1), Affine(2, 1, 1), SameIteration); got != False {
+		t.Errorf("2k+1 < 2k+1 same iteration: got %v, want False", got)
+	}
+	if got := ValsEqual(Affine(2, 0, 1), Affine(2, 1, 2), DifferentIteration); got != False {
+		t.Errorf("2k vs 2k'+1 different iterations: got %v, want False", got)
+	}
+	if got := ValsEqual(Const(value.Str("x")), Const(value.Str("y")), SameIteration); got != False {
+		t.Errorf(`"x" == "y": got %v, want False`, got)
+	}
+}
