@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race vet-precision bench-schedule bench-faults verify
+.PHONY: all build test vet fmt race vet-precision bench-schedule bench-faults bench-service verify
 
 all: build
 
@@ -43,7 +43,16 @@ bench-schedule:
 bench-faults:
 	$(GO) run ./cmd/commsetbench -faults -smoke -novet -faults-json BENCH_faults.json
 
+# Open-system service smoke: the CI-sized campaign over both services ×
+# all transforms under seeded arrival traces (steady, overload ladder
+# walk to the sequential fallback, mid-service crashes, rate ladder),
+# with the machine-readable report written to BENCH_service.json (the CI
+# artifact). -novet: vet-precision already gates the analyzers.
+bench-service:
+	$(GO) run ./cmd/commsetbench -service -smoke -novet -service-json BENCH_service.json
+
 # The full pre-merge gate: build, vet, formatting, the race-enabled test
-# suite, the analyzer precision gate, the schedule-report smoke, and the
-# fault-injection (crash/restart) smoke.
-verify: build vet fmt race vet-precision bench-schedule bench-faults
+# suite, the analyzer precision gate, the schedule-report smoke, the
+# fault-injection (crash/restart) smoke, and the open-system service
+# smoke.
+verify: build vet fmt race vet-precision bench-schedule bench-faults bench-service

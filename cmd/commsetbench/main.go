@@ -6,6 +6,7 @@
 //	commsetbench -figure3           the three md5sum schedules (Figure 3)
 //	commsetbench -claims            Section 5 qualitative claims checklist
 //	commsetbench -faults            deterministic fault-injection campaign
+//	commsetbench -service           open-system service campaign (arrivals, SLOs, degradation)
 //	commsetbench -vetprecision      analyzer precision gate (corpus + workloads)
 //	commsetbench -auto              run figures under the profile-guided auto-scheduler
 //	commsetbench -json FILE         write the schedule/speedup report (BENCH_schedule.json)
@@ -20,7 +21,10 @@
 // skips it. The -faults campaign sweeps workloads × schedules × sync modes
 // under seeded fault plans (-faultseed) and asserts sequential-equivalent
 // output for every recoverable plan; -smoke restricts it to the CI-sized
-// subset.
+// subset. The -service campaign runs the open-system service runtime
+// (seeded arrival traces, admission control, deadlines, SLO-guarded
+// degradation, mid-service crashes) over both services × all transforms
+// and emits BENCH_service.json.
 package main
 
 import (
@@ -44,9 +48,11 @@ func main() {
 		claims   = flag.Bool("claims", false, "check Section 5 qualitative claims")
 		ablation = flag.Bool("ablation", false, "run the annotation and synchronization ablations")
 		faults   = flag.Bool("faults", false, "run the deterministic fault-injection campaign")
-		smoke    = flag.Bool("smoke", false, "with -faults: run the CI-sized smoke subset")
-		seed     = flag.Uint64("faultseed", 1, "with -faults: fault plan seed")
+		service  = flag.Bool("service", false, "run the open-system service campaign (arrivals, admission, SLOs, degradation)")
+		smoke    = flag.Bool("smoke", false, "with -faults/-service: run the CI-sized smoke subset")
+		seed     = flag.Uint64("faultseed", 1, "with -faults/-service: fault plan and arrival-trace seed")
 		faultsJS = flag.String("faults-json", "BENCH_faults.json", "with -faults: write the machine-readable campaign report to this file (\"\" disables)")
+		svcJS    = flag.String("service-json", "BENCH_service.json", "with -service: write the machine-readable campaign report to this file (\"\" disables)")
 		novet    = flag.Bool("novet", false, "skip the commsetvet -werror pre-simulation gate")
 		vetprec  = flag.Bool("vetprecision", false, "run the analyzer precision gate (corpus + workloads, per-check counts)")
 		precJSON = flag.String("precision-json", "", "with -vetprecision: write the per-check JSON report to this file")
@@ -58,9 +64,9 @@ func main() {
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *vetprec = true, true, true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *service, *vetprec = true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*vetprec && *jsonPath == "" {
+	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*service && !*vetprec && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -74,7 +80,7 @@ func main() {
 
 	// The vet gate runs before any simulation: a misannotated workload fails
 	// fast with its diagnostics instead of a wrong-output mystery later.
-	if simulating := *table2 || *figure6 || *figure3 || *claims || *ablation || *faults || *jsonPath != ""; simulating && !*novet {
+	if simulating := *table2 || *figure6 || *figure3 || *claims || *ablation || *faults || *service || *jsonPath != ""; simulating && !*novet {
 		if err := bench.VetWorkloads(os.Stdout, *threads); err != nil {
 			fatal(err)
 		}
@@ -142,6 +148,14 @@ func main() {
 		fmt.Println()
 		if _, err := bench.FaultCampaign(os.Stdout, bench.CampaignOptions{
 			Threads: *threads, Seed: *seed, Smoke: *smoke, JSONPath: *faultsJS,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *service {
+		fmt.Println()
+		if _, err := bench.ServiceCampaign(os.Stdout, bench.ServiceOptions{
+			Threads: *threads, Seed: *seed, Smoke: *smoke, JSONPath: *svcJS,
 		}); err != nil {
 			fatal(err)
 		}

@@ -279,6 +279,40 @@ func (p *Plan) Validate(roster []string) error {
 	return nil
 }
 
+// ServiceRoster is the dynamic worker roster of a service-mode run. The
+// degradation ladder may scale Scalable workers away (parked workers consume
+// no crash ticks), so only Always workers — the structurally required set:
+// pipeline stages, plus the pool's MinWorkers — have guaranteed crash-tick
+// streams.
+type ServiceRoster struct {
+	Always   []string
+	Scalable []string
+}
+
+// ValidateService checks the plan against a service-mode roster: the
+// structural checks of Validate over the full dynamic roster, plus the
+// service-specific rule that a Crash spec may not target a Scalable worker.
+// A scaled-away worker is parked — it consumes no crash ticks — so a spec
+// whose target the ladder can scale away for the whole service window might
+// deterministically never fire; campaigns must pin crashes to Always roles.
+func (p *Plan) ValidateService(r ServiceRoster) error {
+	full := append(append([]string(nil), r.Always...), r.Scalable...)
+	if err := p.Validate(full); err != nil {
+		return err
+	}
+	for si := range p.Specs {
+		s := &p.Specs[si]
+		if s.Kind != Crash {
+			continue
+		}
+		if rosterHas(r.Scalable, s.Thread) && !rosterHas(r.Always, s.Thread) {
+			return fmt.Errorf("plan %s spec %d: crash targets scalable worker %q, which the degradation ladder can scale away for the whole service window (always-on: %s; scalable: %s)",
+				p.Name, si, s.Thread, strings.Join(r.Always, ", "), strings.Join(r.Scalable, ", "))
+		}
+	}
+	return nil
+}
+
 func rosterHas(roster []string, name string) bool {
 	for _, r := range roster {
 		if r == name {

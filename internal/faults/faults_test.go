@@ -376,3 +376,41 @@ func TestHasCrashAndDescribe(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateService: the service-mode roster check. Crash specs must pin
+// always-on roles — a crash aimed at a scalable worker might never fire
+// because the degradation ladder can scale its target away for the whole
+// service window.
+func TestValidateService(t *testing.T) {
+	roster := ServiceRoster{
+		Always:   []string{"svc.0", "svc.1"},
+		Scalable: []string{"svc.2", "svc.3"},
+	}
+	ok := Plan{Name: "pinned", Seed: 1, Specs: []Spec{
+		{Kind: Crash, Thread: "svc.1", After: 4},
+	}}
+	if err := ok.ValidateService(roster); err != nil {
+		t.Errorf("crash on always-on target rejected: %v", err)
+	}
+	bad := Plan{Name: "drifting", Seed: 1, Specs: []Spec{
+		{Kind: Crash, Thread: "svc.3", After: 4, Permanent: true},
+	}}
+	err := bad.ValidateService(roster)
+	if err == nil || !strings.Contains(err.Error(), "scale away") {
+		t.Errorf("crash on scalable-only target: err = %v, want scale-away rejection", err)
+	}
+	// Non-crash specs are untouched by the roster rule, and unknown crash
+	// threads still fail the structural check over the full dynamic roster.
+	lat := Plan{Name: "latency", Seed: 1, Specs: []Spec{
+		{Kind: Latency, Builtin: "*", After: 1, Count: 1, Delay: 100},
+	}}
+	if err := lat.ValidateService(roster); err != nil {
+		t.Errorf("non-crash spec rejected: %v", err)
+	}
+	ghost := Plan{Name: "ghost", Seed: 1, Specs: []Spec{
+		{Kind: Crash, Thread: "svc.9", After: 4},
+	}}
+	if err := ghost.ValidateService(roster); err == nil {
+		t.Error("crash on a thread outside the dynamic roster accepted")
+	}
+}

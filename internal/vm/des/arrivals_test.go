@@ -1,0 +1,323 @@
+package des
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// --- arrival-process determinism and shape ---
+
+func collectGaps(a Arrivals, n int) []int64 {
+	gaps := make([]int64, n)
+	for i := range gaps {
+		gaps[i] = a.Next()
+	}
+	return gaps
+}
+
+func TestArrivalsDeterministicPerSeed(t *testing.T) {
+	mks := map[string]func() Arrivals{
+		"poisson": func() Arrivals { return NewPoisson(99, 500) },
+		"bursty":  func() Arrivals { return NewBursty(99, 500, 20000) },
+		"diurnal": func() Arrivals { return NewDiurnal(99, 500, 200) },
+	}
+	for name, mk := range mks {
+		a := collectGaps(mk(), 200)
+		b := collectGaps(mk(), 200)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: same seed diverged at gap %d: %d vs %d", name, i, a[i], b[i])
+				break
+			}
+		}
+		if mk().Name() != name {
+			t.Errorf("Name() = %q, want %q", mk().Name(), name)
+		}
+	}
+	// Different seeds must produce different traces.
+	a := collectGaps(NewPoisson(1, 500), 50)
+	b := collectGaps(NewPoisson(2, 500), 50)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical Poisson traces")
+	}
+}
+
+func TestArrivalsGapsPositiveAndMeanReasonable(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    Arrivals
+	}{
+		{"poisson", NewPoisson(7, 300)},
+		{"bursty", NewBursty(7, 300, 5000)},
+		{"diurnal", NewDiurnal(7, 300, 2000)},
+	} {
+		var sum int64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			g := tc.a.Next()
+			if g < 1 {
+				t.Fatalf("%s: gap %d < 1 (virtual time must advance)", tc.name, g)
+			}
+			sum += g
+		}
+		mean := float64(sum) / n
+		// All three processes average around the base gap (the diurnal
+		// profile and MMPP phases are constructed to be roughly
+		// mean-preserving within a small factor).
+		if mean < 50 || mean > 1500 {
+			t.Errorf("%s: mean gap %.0f implausible for base 300", tc.name, mean)
+		}
+	}
+}
+
+func TestBurstyModulatesRate(t *testing.T) {
+	// Over a long trace the MMPP must visit both phases: some gaps near the
+	// slow phase's mean (600) and some near the fast phase's (75).
+	a := NewBursty(3, 400, 8000)
+	slow, fast := 0, 0
+	for i := 0; i < 5000; i++ {
+		g := a.Next()
+		if g > 600 {
+			slow++
+		}
+		if g < 100 {
+			fast++
+		}
+	}
+	if slow == 0 || fast == 0 {
+		t.Errorf("MMPP never modulated: %d slow gaps, %d fast gaps", slow, fast)
+	}
+}
+
+// --- queue batching edge cases (service-mode backpressure paths) ---
+
+// PushN with an empty batch is a no-op: no cost, no stall, no wakeups.
+func TestPushNEmptyBatchNoOp(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 2)
+	stalls := 0
+	q.Stall = func() int64 { stalls++; return 50 }
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, nil)
+		th.PushN(q, []any{})
+		th.Charge(10)
+		return nil
+	})
+	makespan, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != 10 {
+		t.Errorf("makespan = %d, want 10 (empty PushN must be free)", makespan)
+	}
+	if stalls != 0 {
+		t.Errorf("stall hook fired %d times for empty batches", stalls)
+	}
+	if q.Len() != 0 || q.HighWater() != 0 {
+		t.Errorf("queue len=%d high-water=%d after empty pushes", q.Len(), q.HighWater())
+	}
+}
+
+// A batch that exactly fills the queue leaves a zero-size residue: the
+// pusher must NOT block on an empty remainder.
+func TestPushNExactCapacityZeroResidue(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 3)
+	var after int64
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{1, 2, 3}) // exactly cap: full queue, zero residue
+		after = th.VTime
+		th.Charge(1)
+		return nil
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		th.Sleep(500)
+		for i := 0; i < 3; i++ {
+			th.Pop(q)
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after >= 500 {
+		t.Errorf("pusher resumed at t=%d: blocked on a zero-size residue", after)
+	}
+	if q.HighWater() != 3 {
+		t.Errorf("high-water = %d, want 3", q.HighWater())
+	}
+}
+
+// PopN with max larger than the buffered count returns what is there (no
+// blocking for the residue), and PopN(q, 0) still delivers at least one
+// token rather than spinning on a zero-size request.
+func TestPopNOverAndZeroSizedRequests(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 8)
+	var got, gotZero int
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{1, 2, 3})
+		th.Sleep(100)
+		th.Push(q, 4)
+		return nil
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		th.Sleep(10)
+		got = len(th.PopN(q, 10)) // 3 buffered, max 10: take the 3
+		gotZero = len(th.PopN(q, 0))
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("PopN(max=10) returned %d tokens, want the 3 buffered", got)
+	}
+	if gotZero < 1 {
+		t.Errorf("PopN(max=0) returned %d tokens, want at least 1", gotZero)
+	}
+}
+
+// Backpressure interacting with batched stalls: a stalled batch still
+// charges exactly one stall per transfer operation even when the batch
+// splits against a full queue, and the high-water mark tracks the deepest
+// occupancy across the splits.
+func TestBatchedStallUnderBackpressure(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("q", 2)
+	stalls := 0
+	q.Stall = func() int64 { stalls++; return 30 }
+	var order []int
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.PushN(q, []any{0, 1, 2, 3, 4}) // cap 2: splits into 2+2+1
+		return nil
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		for len(order) < 5 {
+			th.Charge(100)
+			for _, v := range th.PopN(q, 2) {
+				order = append(order, v.(int))
+			}
+		}
+		return nil
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated across stalled splits: %v", order)
+		}
+	}
+	if stalls != 3 {
+		t.Errorf("stall hook fired %d times for a 2+2+1 split, want 3", stalls)
+	}
+	if q.HighWater() != 2 {
+		t.Errorf("high-water = %d, want 2", q.HighWater())
+	}
+}
+
+// Flush-before-parking when the consumer is dead: a producer blocked
+// pushing a batch to a queue whose only consumer already exited must be
+// diagnosed as a deadlock naming the queue (not hang), with the per-queue
+// section reporting the buffered residue and the blocked pusher.
+func TestBatchedPushToDeadConsumerDiagnosed(t *testing.T) {
+	s := New(flatCost())
+	q := s.NewQueue("dead.q", 2)
+	s.Spawn("consumer", 0, func(th *Thread) error {
+		th.Pop(q) // one token, then exit (dead consumer)
+		return nil
+	})
+	s.Spawn("producer", 0, func(th *Thread) error {
+		th.Sleep(10)
+		th.PushN(q, []any{1, 2, 3, 4}) // 2 transfer, 1 consumed, residue blocks forever
+		return nil
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if len(se.Queues) == 0 {
+		t.Fatalf("StallError carries no queue diagnostics: %v", err)
+	}
+	found := false
+	for _, d := range se.Queues {
+		if d.Name == "dead.q" && d.BlockedPushers == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics do not name dead.q with its blocked pusher: %+v", se.Queues)
+	}
+	if !strings.Contains(err.Error(), "dead.q") {
+		t.Errorf("rendered error does not name the saturated queue: %v", err)
+	}
+}
+
+// The DiagNote hook surfaces harness state (service admission) in the
+// stall diagnostics.
+func TestStallErrorIncludesDiagNote(t *testing.T) {
+	s := New(flatCost())
+	s.DiagNote = func() string { return "admission: level=2 workers=1/4" }
+	q := s.NewQueue("ingress", 1)
+	s.Spawn("p", 0, func(th *Thread) error {
+		th.Push(q, 1)
+		th.Push(q, 2) // no consumer: blocks forever
+		return nil
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Note != "admission: level=2 workers=1/4" {
+		t.Errorf("Note = %q", se.Note)
+	}
+	if !strings.Contains(err.Error(), "admission: level=2") {
+		t.Errorf("rendered error omits the admission state: %v", err)
+	}
+	if !strings.Contains(err.Error(), "queue ingress: 1/1 buffered") {
+		t.Errorf("rendered error omits the ingress diagnostics: %v", err)
+	}
+}
+
+// Watchdog-triggered stalls carry the same queue diagnostics as deadlocks,
+// so a stalled (not deadlocked) service run still names the hot queue.
+func TestWatchdogStallCarriesQueueHighWater(t *testing.T) {
+	s := New(flatCost())
+	s.Watchdog = Watchdog{MaxEvents: 200}
+	q := s.NewQueue("hot", 4)
+	s.Spawn("p", 0, func(th *Thread) error {
+		for i := 0; ; i++ {
+			th.Push(q, i)
+		}
+	})
+	s.Spawn("c", 0, func(th *Thread) error {
+		for {
+			th.Pop(q)
+		}
+	})
+	_, err := s.Run()
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	found := false
+	for _, d := range se.Queues {
+		if d.Name == "hot" && d.HighWater > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("watchdog stall lacks hot-queue high-water diagnostics: %+v", se.Queues)
+	}
+}

@@ -115,9 +115,10 @@ type Queue struct {
 	// whole batch, not one per token.
 	Stall func() int64
 
-	items   []queueItem
-	waiters []*Thread // blocked poppers
-	blocked []*Thread // blocked pushers
+	items     []queueItem
+	waiters   []*Thread // blocked poppers
+	blocked   []*Thread // blocked pushers
+	highWater int       // deepest occupancy ever reached
 }
 
 type queueItem struct {
@@ -127,6 +128,17 @@ type queueItem struct {
 
 // Len reports the number of buffered tokens.
 func (q *Queue) Len() int { return len(q.items) }
+
+// HighWater reports the deepest occupancy the queue ever reached — the
+// backpressure signal service-mode reports and stall diagnostics surface.
+func (q *Queue) HighWater() int { return q.highWater }
+
+// noteDepth refreshes the high-water mark after a push.
+func (q *Queue) noteDepth() {
+	if len(q.items) > q.highWater {
+		q.highWater = len(q.items)
+	}
+}
 
 // reqKind enumerates thread yield reasons.
 type reqKind int
@@ -287,6 +299,12 @@ type Scheduler struct {
 	// StallErrors naming every live thread and what it waits on.
 	Watchdog Watchdog
 
+	// DiagNote, when set, contributes one line of harness state (e.g. the
+	// service runtime's current admission-controller state) to StallError
+	// diagnostics, so a stalled run names not just the saturated queue but
+	// the admission decisions that filled it.
+	DiagNote func() string
+
 	threads []*Thread
 	yieldCh chan *Thread
 
@@ -415,12 +433,48 @@ type ThreadDiag struct {
 	Holds []string
 }
 
+// QueueDiag is one queue's occupancy snapshot inside a StallError (and in
+// Scheduler.QueueDiags): current depth, capacity, the deepest occupancy
+// ever reached, and how many threads are parked on each side. A saturated
+// service-mode run names its bottleneck queue through these.
+type QueueDiag struct {
+	Name           string `json:"name"`
+	Len            int    `json:"len"`
+	Cap            int    `json:"cap"`
+	HighWater      int    `json:"high_water"`
+	BlockedPushers int    `json:"blocked_pushers,omitempty"`
+	WaitingPoppers int    `json:"waiting_poppers,omitempty"`
+}
+
+// QueueDiags snapshots every registered queue that has ever held a token,
+// in registration order.
+func (s *Scheduler) QueueDiags() []QueueDiag {
+	var out []QueueDiag
+	for _, q := range s.queues {
+		if q.highWater == 0 && len(q.blocked) == 0 && len(q.waiters) == 0 {
+			continue
+		}
+		out = append(out, QueueDiag{
+			Name: q.Name, Len: len(q.items), Cap: q.Cap, HighWater: q.highWater,
+			BlockedPushers: len(q.blocked), WaitingPoppers: len(q.waiters),
+		})
+	}
+	return out
+}
+
 // StallError diagnoses a deadlocked, livelocked, or stalled simulation:
 // every non-finished thread with what it waits on and what it holds.
 type StallError struct {
 	Kind    string // "deadlock" or "watchdog"
 	Reason  string
 	Threads []ThreadDiag
+	// Queues snapshots every active queue — depth, capacity, high-water
+	// mark, and parked threads per side — so a stalled service run names
+	// the saturated queue directly.
+	Queues []QueueDiag
+	// Note carries one line of harness state (the Scheduler.DiagNote hook;
+	// e.g. the service admission controller's level and shed counters).
+	Note string
 	// Deaths lists the injected thread crashes that preceded the stall —
 	// the restart history a post-mortem needs to see whether the stall is
 	// a recovery bug or an unrelated hang.
@@ -437,6 +491,18 @@ func (e *StallError) Error() string {
 			fmt.Fprintf(&b, "; holds [%s]", strings.Join(t.Holds, ", "))
 		}
 	}
+	for _, q := range e.Queues {
+		fmt.Fprintf(&b, "\n  queue %s: %d/%d buffered, high-water %d", q.Name, q.Len, q.Cap, q.HighWater)
+		if q.BlockedPushers > 0 {
+			fmt.Fprintf(&b, ", %d pusher(s) blocked", q.BlockedPushers)
+		}
+		if q.WaitingPoppers > 0 {
+			fmt.Fprintf(&b, ", %d popper(s) waiting", q.WaitingPoppers)
+		}
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, "\n  %s", e.Note)
+	}
 	for _, d := range e.Deaths {
 		fmt.Fprintf(&b, "\n  died: %s @t=%d: %s", d.Thread, d.VTime, d.Reason)
 	}
@@ -445,7 +511,10 @@ func (e *StallError) Error() string {
 
 // stallError builds a StallError over every live thread, in thread order.
 func (s *Scheduler) stallError(kind, reason string) *StallError {
-	e := &StallError{Kind: kind, Reason: reason, Deaths: s.deaths}
+	e := &StallError{Kind: kind, Reason: reason, Queues: s.QueueDiags(), Deaths: s.deaths}
+	if s.DiagNote != nil {
+		e.Note = s.DiagNote()
+	}
 	for _, t := range s.threads {
 		if t.state == tDone {
 			continue
@@ -666,6 +735,7 @@ func (s *Scheduler) push(t *Thread, q *Queue, v any) {
 		latency += q.Stall()
 	}
 	q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
+	q.noteDepth()
 	s.wakePoppers(q)
 	s.resume(t, grant{vtime: pushTime})
 }
@@ -687,6 +757,7 @@ func (s *Scheduler) pushN(t *Thread, q *Queue, vs []any) {
 	for _, v := range vs {
 		q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
 	}
+	q.noteDepth()
 	s.wakePoppers(q)
 	s.resume(t, grant{vtime: pushTime})
 }

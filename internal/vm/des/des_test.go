@@ -591,8 +591,10 @@ func TestStalledPushNDiagnosticNamesQueueOnce(t *testing.T) {
 	if !strings.Contains(msg, "blocked pushing a batch of 3 to queue out (full 2/4") {
 		t.Errorf("diagnostic = %v", err)
 	}
-	if n := strings.Count(msg, "queue out"); n != 1 {
-		t.Errorf("queue named %d times, want once:\n%s", n, msg)
+	// The per-queue diagnostics section names the saturated queue with its
+	// occupancy, high-water mark, and blocked pushers.
+	if !strings.Contains(msg, "queue out: 2/4 buffered, high-water 2, 1 pusher(s) blocked") {
+		t.Errorf("per-queue diagnostic missing:\n%s", msg)
 	}
 }
 

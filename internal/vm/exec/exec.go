@@ -301,6 +301,11 @@ type machine struct {
 	// exitBlock is the loop's unique exit target.
 	exitBlock int
 
+	// svc, when non-nil, marks a service-mode (open-system) run: the
+	// executors record per-request latency, admission, and degradation
+	// state here instead of treating the loop as a closed batch.
+	svc *svcState
+
 	// failDiag records the first unrecoverable fault (resilient mode only);
 	// the simulator serializes threads, so plain fields suffice.
 	failDiag *FailureDiag

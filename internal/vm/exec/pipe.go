@@ -20,6 +20,9 @@ type token struct {
 	stop   bool
 	poison bool
 	locals []value.Value
+	// arrival stamps the request this token carries in service mode (zero
+	// in batch mode); the last stage records the completion latency.
+	arrival int64
 }
 
 // pipeJoin is the completion message of one stage worker.
@@ -596,13 +599,23 @@ func (m *machine) stageRun(th *des.Thread, st *stepper, ss *stageState, in []*qR
 					if k == inIdx {
 						continue
 					}
-					for !in[k].next(th).stop {
+					for {
+						t2 := in[k].next(th)
+						if t2.stop {
+							break
+						}
+						if m.svc != nil {
+							m.svc.rejected++ // zero silent drops: drained requests stay accounted
+						}
 					}
 				}
 			}
 			break
 		}
 		if ss.dead || (m.resilient() && m.failed()) {
+			if m.svc != nil {
+				m.svc.rejected++ // zero silent drops: discarded requests stay accounted
+			}
 			advance()
 			continue // discard: the run is already diagnosed as failed
 		}
@@ -628,6 +641,13 @@ func (m *machine) stageRun(th *des.Thread, st *stepper, ss *stageState, in []*qR
 			continue
 		}
 		ss.lastIter = tok.iter
+		if m.svc != nil && ss.si == len(m.sched.Stages)-1 {
+			m.svc.complete(tok.arrival, th.VTime, 0)
+			// A response left the system: treat the completion as an
+			// externalized effect so the output-commit checkpoint refreshes
+			// and a crash replay can never re-complete this request.
+			st.effects++
+		}
 		if out != nil {
 			// Forward the incoming snapshot, overlaying only the values
 			// this stage flows to later stages; slots this stage mutates
@@ -644,7 +664,7 @@ func (m *machine) stageRun(th *des.Thread, st *stepper, ss *stageState, in []*qR
 			} else {
 				w = out[int(tok.iter)%len(out)]
 			}
-			w.push(th, token{iter: tok.iter, locals: locals})
+			w.push(th, token{iter: tok.iter, arrival: tok.arrival, locals: locals})
 		}
 		advance()
 		if m.checkpointing() {
