@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt race vet-precision bench-schedule bench-faults bench-service verify
+.PHONY: all build test vet fmt staticcheck race vet-precision bench-schedule bench-faults bench-service bench-sanitize verify
 
 all: build
 
@@ -17,6 +17,14 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck, when installed; skipped gracefully otherwise so the gate
+# works in containers that only ship the go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; fi
 
 race:
 	$(GO) test -race ./...
@@ -51,8 +59,17 @@ bench-faults:
 bench-service:
 	$(GO) run ./cmd/commsetbench -service -smoke -novet -service-json BENCH_service.json
 
-# The full pre-merge gate: build, vet, formatting, the race-enabled test
-# suite, the analyzer precision gate, the schedule-report smoke, the
-# fault-injection (crash/restart) smoke, and the open-system service
-# smoke.
-verify: build vet fmt race vet-precision bench-schedule bench-faults bench-service
+# Dynamic-sanitizer smoke: the CI-sized campaign (each workload's primary
+# variant, all transforms × sync modes) under the vector-clock race
+# detector and both-order replay oracle, plus the seeded misannotation
+# negatives, with the machine-readable report written to
+# BENCH_sanitize.json (the CI artifact). Every cell must be clean with
+# virtual time bit-for-bit unchanged, and every negative flagged.
+bench-sanitize:
+	$(GO) run ./cmd/commsetbench -sanitize -smoke -novet -sanitize-json BENCH_sanitize.json
+
+# The full pre-merge gate: build, vet (plus staticcheck when installed),
+# formatting, the race-enabled test suite, the analyzer precision gate,
+# the schedule-report smoke, the fault-injection (crash/restart) smoke,
+# the open-system service smoke, and the dynamic-sanitizer smoke.
+verify: build vet staticcheck fmt race vet-precision bench-schedule bench-faults bench-service bench-sanitize

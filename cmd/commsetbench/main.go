@@ -7,6 +7,7 @@
 //	commsetbench -claims            Section 5 qualitative claims checklist
 //	commsetbench -faults            deterministic fault-injection campaign
 //	commsetbench -service           open-system service campaign (arrivals, SLOs, degradation)
+//	commsetbench -sanitize          dynamic sanitizer campaign (races, commute replay, misannotation negatives)
 //	commsetbench -vetprecision      analyzer precision gate (corpus + workloads)
 //	commsetbench -auto              run figures under the profile-guided auto-scheduler
 //	commsetbench -json FILE         write the schedule/speedup report (BENCH_schedule.json)
@@ -49,6 +50,8 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the annotation and synchronization ablations")
 		faults   = flag.Bool("faults", false, "run the deterministic fault-injection campaign")
 		service  = flag.Bool("service", false, "run the open-system service campaign (arrivals, admission, SLOs, degradation)")
+		sanit    = flag.Bool("sanitize", false, "run the dynamic sanitizer campaign (race detection + commute replay + misannotation negatives)")
+		sanJS    = flag.String("sanitize-json", "BENCH_sanitize.json", "with -sanitize: write the machine-readable campaign report to this file (\"\" disables)")
 		smoke    = flag.Bool("smoke", false, "with -faults/-service: run the CI-sized smoke subset")
 		seed     = flag.Uint64("faultseed", 1, "with -faults/-service: fault plan and arrival-trace seed")
 		faultsJS = flag.String("faults-json", "BENCH_faults.json", "with -faults: write the machine-readable campaign report to this file (\"\" disables)")
@@ -64,9 +67,9 @@ func main() {
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *service, *vetprec = true, true, true, true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *service, *vetprec, *sanit = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*service && !*vetprec && *jsonPath == "" {
+	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*service && !*vetprec && !*sanit && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -156,6 +159,14 @@ func main() {
 		fmt.Println()
 		if _, err := bench.ServiceCampaign(os.Stdout, bench.ServiceOptions{
 			Threads: *threads, Seed: *seed, Smoke: *smoke, JSONPath: *svcJS,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *sanit {
+		fmt.Println()
+		if _, err := bench.SanitizeCampaign(os.Stdout, bench.SanitizeOptions{
+			Threads: *threads, Smoke: *smoke, JSONPath: *sanJS,
 		}); err != nil {
 			fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func main() {
 		workload = flag.String("workload", "", "run a named benchmark workload")
 		variant  = flag.String("variant", "comm", "workload variant")
 		quiet    = flag.Bool("quiet", false, "suppress program output")
+		sanFlag  = flag.Bool("sanitize", false, "rerun under the dynamic commset sanitizer (race detection + commute replay)")
+		sanJSON  = flag.String("sanitize-json", "", "with -sanitize: write the sanitizer report to this file")
 	)
 	flag.Parse()
 
@@ -91,6 +94,62 @@ func main() {
 	fmt.Fprintf(os.Stderr, "schedule %s  sync %s  threads %d\n", m.Schedule, m.Sync, m.Threads)
 	fmt.Fprintf(os.Stderr, "virtual time %d  sequential %d  speedup %.2fx\n",
 		m.VirtualTime, cp.SeqCost, m.Speedup)
+
+	if *sanFlag {
+		cell, err := bench.SanitizeRun(cp, kind, mode, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		printSanitize(cell)
+		if *sanJSON != "" {
+			f, err := os.Create(*sanJSON)
+			if err != nil {
+				fatal(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(cell); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		if !cell.Clean || !cell.VTimeMatch {
+			os.Exit(1)
+		}
+	}
+}
+
+// printSanitize renders the sanitizer verdict for one run: races, then
+// each replayed same-set pair with its verdict (and the concrete
+// counterexample diff for violations).
+func printSanitize(cell *bench.SanitizeCell) {
+	status := "clean"
+	if !cell.Clean {
+		status = "DIRTY"
+	}
+	fmt.Fprintf(os.Stderr, "sanitizer: races %d  candidates %d  verified %d  violations %d  vtime-match %v  %s\n",
+		len(cell.Races), cell.Candidates, cell.Verified, cell.Violations, cell.VTimeMatch, status)
+	for _, r := range cell.Races {
+		fmt.Fprintf(os.Stderr, "  race: %s on %s (threads %d/%d, extents %s/%s)\n",
+			r.Kind, r.Cell, r.FirstThread, r.SecondThread, orDash(r.FirstExtent), orDash(r.SecondExtent))
+	}
+	for _, p := range cell.Pairs {
+		fmt.Fprintf(os.Stderr, "  pair %s %s/%s gseq %d:%d: %s", p.Set, p.FnA, p.FnB, p.GseqA, p.GseqB, p.Verdict)
+		if p.Diff != "" {
+			fmt.Fprintf(os.Stderr, " (%s)", p.Diff)
+		}
+		if p.Note != "" {
+			fmt.Fprintf(os.Stderr, " (%s)", p.Note)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func parseKind(s string) (transform.Kind, error) {

@@ -5,7 +5,10 @@
 //	commsetvet -workload md5sum                 vet a benchmark's comm variant
 //	commsetvet program.mc                       vet a source file
 //	commsetvet -checks=race -json program.mc    one family, machine-readable
+//	commsetvet -checks=help                     list the check families
 //	commsetvet -werror -workload geti           warnings fail the build
+//	commsetvet -sanitize-out rep.json prog.mc   record dynamic commute verdicts
+//	commsetvet -discharge rep.json prog.mc      discharge cannot-decides with them
 //
 // Exit status: 0 when the program is clean, 1 when the analyzers report an
 // error (or, with -werror, a warning), 2 on usage or compile failure.
@@ -20,9 +23,12 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/bench"
 	"repro/internal/builtins"
 	"repro/internal/pipeline"
+	"repro/internal/sanitize"
 	"repro/internal/source"
+	"repro/internal/transform"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		werror   = fs.Bool("werror", false, "treat analyzer warnings as errors")
 		baseline = fs.String("baseline", "", "suppress findings recorded in this JSON baseline (from -json); fail only on new ones")
 		priv     = fs.Bool("privatize", false, "analyze under the runtime's privatized-commutative-update tuning (suppresses races a common commset relaxes; the unsound audit still runs)")
+		disch    = fs.String("discharge", "", "merge dynamic sanitizer verdicts from this JSON report (commsetrun/commsetbench/-sanitize-out output): cannot-decide commute warnings become verified-dynamic notes or hard errors")
+		sanOut   = fs.String("sanitize-out", "", "run the program sequentially under the dynamic commute oracle and write the pair verdicts to this JSON file (usable with -discharge)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: commsetvet [flags] (-workload NAME | program.mc)")
@@ -51,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if trimmed := strings.TrimSpace(*checks); trimmed == "" || trimmed == "help" {
+		printChecks(stdout)
+		return 0
+	}
 	cks, err := parseChecks(*checks)
 	if err != nil {
 		fmt.Fprintln(stderr, "commsetvet:", err)
@@ -64,6 +76,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fs.Usage()
 		}
 		return 2
+	}
+
+	if *sanOut != "" {
+		if err := writeSanitizeOut(*sanOut, *workload, *variant, name, src, *threads); err != nil {
+			fmt.Fprintln(stderr, "commsetvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote dynamic commute verdicts to %s\n", *sanOut)
+	}
+
+	var discharge analysis.DischargeSet
+	if *disch != "" {
+		discharge, err = loadDischarge(*disch)
+		if err != nil {
+			fmt.Fprintln(stderr, "commsetvet:", err)
+			return 2
+		}
 	}
 
 	world := builtins.NewWorld()
@@ -82,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := analysis.Run(c, analysis.Options{Checks: cks, Threads: *threads, Privatize: *priv})
+	diags, err := analysis.Run(c, analysis.Options{Checks: cks, Threads: *threads, Privatize: *priv, Discharge: discharge})
 	if err != nil {
 		fmt.Fprintln(stderr, "commsetvet:", err)
 		return 2
@@ -167,6 +196,96 @@ func loadBaseline(path string) (map[string]int, error) {
 		known[baselineKey(d.Severity, d.File, d.Message)]++
 	}
 	return known, nil
+}
+
+// printChecks lists the analyzer families (-checks=help or -checks=).
+func printChecks(w io.Writer) {
+	fmt.Fprintln(w, "commsetvet check families (comma-separate for -checks):")
+	for _, f := range []struct{ name, desc string }{
+		{"unsound", "relaxed dependence edges whose conflicting locations are neither serialized by a set lock nor provably disjoint under the set's predicate"},
+		{"race", "cross-iteration conflicts that a generated parallel schedule (DOALL, DSWP, PS-DSWP) runs concurrently without protection"},
+		{"lint", "dead pragmas, provably-false commset predicates, and subsumed self-commutativity annotations"},
+		{"commute", "symbolic both-order execution of every member pair; a non-empty post-state difference is reported with a counterexample, an undecidable pair as commute-unverified (dischargeable with -discharge)"},
+	} {
+		fmt.Fprintf(w, "  %-8s %s\n", f.name, f.desc)
+	}
+}
+
+// writeSanitizeOut runs the program sequentially under the VerifyAll
+// oracle (snapshotting and replaying every same-set member pair in both
+// orders) and writes the verdicts as JSON for later -discharge use.
+func writeSanitizeOut(path, workload, variant, name, src string, threads int) error {
+	var pairs []sanitize.PairVerdict
+	if workload != "" {
+		wl := workloads.ByName(workload)
+		cp, err := bench.Compile(wl, variant, threads)
+		if err != nil {
+			return err
+		}
+		cell, err := bench.SanitizeRun(cp, transform.Sequential, 0, 1)
+		if err != nil {
+			return err
+		}
+		pairs = cell.Pairs
+	} else {
+		var err error
+		pairs, err = bench.VerifyAllSource(name, src, func(c sanitize.Candidate) string {
+			return fmt.Sprintf("commsetvet -sanitize-out %s %s # pair gseq %d:%d", path, name, c.GseqA, c.GseqB)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Mode  string                 `json:"mode"`
+		Pairs []sanitize.PairVerdict `json:"pairs"`
+	}{Mode: "verify-all", Pairs: pairs})
+}
+
+// loadDischarge reads any sanitizer report shape — a commsetrun cell, a
+// commsetbench campaign, a -sanitize-out verdict file, or a bare verdict
+// array — and collects its pair verdicts into a DischargeSet.
+func loadDischarge(path string) (analysis.DischargeSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("discharge: %w", err)
+	}
+	type pairHolder struct {
+		Pairs []sanitize.PairVerdict `json:"pairs"`
+	}
+	var rep struct {
+		Pairs     []sanitize.PairVerdict `json:"pairs"`
+		Cells     []pairHolder           `json:"cells"`
+		Negatives []pairHolder           `json:"negatives"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		var arr []sanitize.PairVerdict
+		if err2 := json.Unmarshal(data, &arr); err2 != nil {
+			return nil, fmt.Errorf("discharge %s: %w", path, err)
+		}
+		rep.Pairs = arr
+	}
+	ds := analysis.DischargeSet{}
+	add := func(ps []sanitize.PairVerdict) {
+		for _, p := range ps {
+			ds.Add(p.Set, p.FnA, p.FnB, analysis.Discharge{Verdict: p.Verdict, Diff: p.Diff, Replay: p.Replay})
+		}
+	}
+	add(rep.Pairs)
+	for _, c := range rep.Cells {
+		add(c.Pairs)
+	}
+	for _, n := range rep.Negatives {
+		add(n.Pairs)
+	}
+	return ds, nil
 }
 
 // parseChecks turns the -checks flag into an analysis.Checks selection.

@@ -65,6 +65,11 @@ type Options struct {
 	// support — privatization changes when updates are published, not
 	// whether they commute.
 	Privatize bool
+	// Discharge carries dynamic sanitizer verdicts into the commute
+	// check: a cannot-decide warning whose (set, member pair) has a
+	// dynamic verdict becomes a verified-dynamic note or a hard error
+	// with the concrete counterexample and replay seed.
+	Discharge DischargeSet
 }
 
 // loopCtx is one analyzed loop with the function that owns it.

@@ -126,6 +126,22 @@ func (v *vet) commuteWarn(s *types.Set, fn1, fn2 string, b1 *boundMember, why st
 	if b1 != nil {
 		pos = b1.pos
 	}
+	// A dynamic verdict for this pair discharges the cannot-decide: the
+	// sanitizer replayed both orders on a captured concrete pre-state.
+	if d, ok := v.opts.Discharge[DischargeKey(s.Name, fn1, fn2)]; ok {
+		switch d.Verdict {
+		case "verified":
+			v.diags.Notef(v.c.File.Name, pos,
+				"commute-unverified: cannot decide statically whether %s of commset %s commute (%s); verified-dynamic by sanitizer replay (%s)",
+				v.pairDesc(fn1, fn2), setDisplay(s), why, d.Replay)
+			return
+		case "violation":
+			v.diags.Errorf(v.c.File.Name, pos,
+				"commute-violation: %s of commset %s do not commute, refuted by sanitizer replay; counterexample: %s (replay: %s)",
+				v.pairDesc(fn1, fn2), setDisplay(s), d.Diff, d.Replay)
+			return
+		}
+	}
 	v.diags.Warnf(v.c.File.Name, pos,
 		"commute-unverified: cannot decide whether %s of commset %s commute: %s",
 		v.pairDesc(fn1, fn2), setDisplay(s), why)

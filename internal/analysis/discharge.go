@@ -1,0 +1,49 @@
+package analysis
+
+// Dynamic discharge: the sanitizer (internal/sanitize) replays member
+// pairs in both orders on captured concrete pre-states and records a
+// verdict per (commset, member pair). commsetvet -discharge feeds those
+// verdicts back into the static commute check, so a pair the symbolic
+// verifier cannot decide is downgraded to a verified-dynamic note (when
+// the replay proved both orders equivalent) or hardened into an error
+// with the concrete counterexample and replay seed (when it did not).
+// Only cannot-decide warnings are affected: a static refutation or proof
+// never defers to the weaker dynamic evidence.
+
+// Discharge is one dynamic verdict for a member pair of a commset.
+type Discharge struct {
+	// Verdict is "verified" or "violation" (sanitize.VerdictVerified /
+	// VerdictViolation); inconclusive replays discharge nothing.
+	Verdict string
+	// Diff is the concrete counterexample for a violation: the first
+	// observable divergence between the orders A;B and B;A.
+	Diff string
+	// Replay is the deterministic repro command naming the run and the
+	// gseq pair that reproduces the verdict.
+	Replay string
+}
+
+// DischargeSet maps DischargeKey(set, fnA, fnB) to its dynamic verdict.
+type DischargeSet map[string]Discharge
+
+// DischargeKey identifies an unordered member pair of a set.
+func DischargeKey(set, fnA, fnB string) string {
+	if fnB < fnA {
+		fnA, fnB = fnB, fnA
+	}
+	return set + "\x00" + fnA + "\x00" + fnB
+}
+
+// Add records a verdict, keeping the strongest evidence per pair: a
+// violation (concrete counterexample) beats a verification from another
+// run, and anything beats an inconclusive replay (which is dropped).
+func (ds DischargeSet) Add(set, fnA, fnB string, d Discharge) {
+	if d.Verdict != "verified" && d.Verdict != "violation" {
+		return
+	}
+	k := DischargeKey(set, fnA, fnB)
+	if prev, ok := ds[k]; ok && prev.Verdict == "violation" {
+		return
+	}
+	ds[k] = d
+}

@@ -1,0 +1,167 @@
+package analysis_test
+
+// The discharge roundtrip: a corpus program whose member pair the static
+// verifier cannot decide (recursion past the unrolling cap) is run
+// sequentially under the dynamic VerifyAll oracle, and the resulting
+// verdicts are fed back through Options.Discharge. A verified pair must
+// downgrade the warning to a verified-dynamic note; a violation verdict
+// must harden it into an error carrying the counterexample and replay.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/bench"
+	"repro/internal/builtins"
+	"repro/internal/pipeline"
+	"repro/internal/sanitize"
+	"repro/internal/source"
+)
+
+const dischargeEntry = "ds_recursive_verified"
+
+func corpusEntry(t *testing.T, name string) analysis.CorpusEntry {
+	t.Helper()
+	for _, e := range analysis.Corpus() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("corpus entry %s not found", name)
+	return analysis.CorpusEntry{}
+}
+
+func compileEntry(t *testing.T, e analysis.CorpusEntry) *pipeline.Compiled {
+	t.Helper()
+	w := builtins.NewWorld()
+	c, err := pipeline.Compile(pipeline.Options{
+		File:    source.NewFile(e.Name+".mc", e.Source),
+		Sigs:    w.Sigs(),
+		Effects: w.EffectTable(),
+	})
+	if err != nil {
+		t.Fatalf("compile %s: %v", e.Name, err)
+	}
+	return c
+}
+
+func commuteDiags(t *testing.T, c *pipeline.Compiled, ds analysis.DischargeSet) *source.DiagList {
+	t.Helper()
+	diags, err := analysis.Run(c, analysis.Options{
+		Checks: analysis.Checks{Commute: true}, Threads: 8, Discharge: ds,
+	})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	return diags
+}
+
+func dynamicPairs(t *testing.T, e analysis.CorpusEntry) []sanitize.PairVerdict {
+	t.Helper()
+	pairs, err := bench.VerifyAllSource(e.Name+".mc", e.Source, func(c sanitize.Candidate) string {
+		return "replay-cmd"
+	})
+	if err != nil {
+		t.Fatalf("VerifyAllSource: %v", err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("oracle produced no pair verdicts")
+	}
+	return pairs
+}
+
+func TestDischargeVerifiedDynamic(t *testing.T) {
+	e := corpusEntry(t, dischargeEntry)
+	c := compileEntry(t, e)
+
+	// Without discharge: the static verifier must bail with a warning.
+	plain := commuteDiags(t, c, nil)
+	var warned bool
+	for i := range plain.Diags {
+		d := &plain.Diags[i]
+		if d.Sev == source.SevWarning && strings.Contains(d.Msg, "cannot decide") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("expected a cannot-decide warning, got:\n%s", plain.String())
+	}
+
+	// The dynamic oracle verifies the pair concretely.
+	pairs := dynamicPairs(t, e)
+	ds := analysis.DischargeSet{}
+	for _, p := range pairs {
+		if p.Verdict != sanitize.VerdictVerified {
+			t.Fatalf("pair %s/%s: verdict %s (%s), want verified", p.FnA, p.FnB, p.Verdict, p.Note)
+		}
+		ds.Add(p.Set, p.FnA, p.FnB, analysis.Discharge{Verdict: p.Verdict, Diff: p.Diff, Replay: p.Replay})
+	}
+
+	// With discharge: the warning becomes a verified-dynamic note.
+	merged := commuteDiags(t, c, ds)
+	var note bool
+	for i := range merged.Diags {
+		d := &merged.Diags[i]
+		if d.Sev == source.SevWarning {
+			t.Errorf("warning survived discharge: %s", d.Msg)
+		}
+		if d.Sev == source.SevNote && strings.Contains(d.Msg, "verified-dynamic") {
+			note = true
+		}
+	}
+	if !note {
+		t.Errorf("expected a verified-dynamic note, got:\n%s", merged.String())
+	}
+}
+
+func TestDischargeViolationHardens(t *testing.T) {
+	e := corpusEntry(t, dischargeEntry)
+	c := compileEntry(t, e)
+
+	// Seed a violation verdict for the same pair the oracle identified:
+	// the cannot-decide must harden into an error with the counterexample.
+	ds := analysis.DischargeSet{}
+	for _, p := range dynamicPairs(t, e) {
+		ds.Add(p.Set, p.FnA, p.FnB, analysis.Discharge{
+			Verdict: sanitize.VerdictViolation,
+			Diff:    "global g: A;B=int:3 B;A=int:4",
+			Replay:  "replay-cmd",
+		})
+	}
+	merged := commuteDiags(t, c, ds)
+	var hardened bool
+	for i := range merged.Diags {
+		d := &merged.Diags[i]
+		if d.Sev == source.SevError && strings.Contains(d.Msg, "commute-violation") &&
+			strings.Contains(d.Msg, "counterexample") && strings.Contains(d.Msg, "replay-cmd") {
+			hardened = true
+		}
+	}
+	if !hardened {
+		t.Errorf("expected a hardened commute-violation error, got:\n%s", merged.String())
+	}
+}
+
+func TestDischargeSetPrecedence(t *testing.T) {
+	ds := analysis.DischargeSet{}
+	// Inconclusive verdicts discharge nothing.
+	ds.Add("S", "a", "b", analysis.Discharge{Verdict: sanitize.VerdictInconclusive})
+	if len(ds) != 0 {
+		t.Fatal("inconclusive verdict must not be recorded")
+	}
+	// The key is unordered: (a,b) and (b,a) are the same pair.
+	ds.Add("S", "b", "a", analysis.Discharge{Verdict: sanitize.VerdictVerified})
+	if _, ok := ds[analysis.DischargeKey("S", "a", "b")]; !ok {
+		t.Fatal("unordered pair key mismatch")
+	}
+	// A violation beats a verification from another run, in either order.
+	ds.Add("S", "a", "b", analysis.Discharge{Verdict: sanitize.VerdictViolation, Diff: "d"})
+	if got := ds[analysis.DischargeKey("S", "b", "a")]; got.Verdict != sanitize.VerdictViolation {
+		t.Fatalf("violation must override verified, got %q", got.Verdict)
+	}
+	ds.Add("S", "a", "b", analysis.Discharge{Verdict: sanitize.VerdictVerified})
+	if got := ds[analysis.DischargeKey("S", "a", "b")]; got.Verdict != sanitize.VerdictViolation {
+		t.Fatalf("verified must not override violation, got %q", got.Verdict)
+	}
+}

@@ -60,9 +60,20 @@ type PrecisionReport struct {
 	RefutesHeld  int `json:"refutes_held"`
 	// Per-check diagnostic counts over the corpus and over the workload
 	// variants, keyed by check name (unsound, race, lint, commute).
-	Corpus     map[string]*CheckCounts `json:"corpus"`
-	Workload   map[string]*CheckCounts `json:"workload"`
-	Violations []string                `json:"violations,omitempty"`
+	Corpus   map[string]*CheckCounts `json:"corpus"`
+	Workload map[string]*CheckCounts `json:"workload"`
+	// CannotDecide counts the commute verifier's cannot-decide warnings
+	// (the dynamic sanitizer's discharge targets), keyed by
+	// workload/variant — every variant is listed, zero or not — and by
+	// corpus entry name for entries that drew at least one.
+	CannotDecide map[string]int `json:"commute_cannot_decide"`
+	Violations   []string       `json:"violations,omitempty"`
+}
+
+// isCannotDecide reports whether a diagnostic is a commute-unverified
+// warning the verifier bailed on (as opposed to a concrete refutation).
+func isCannotDecide(d *source.Diagnostic) bool {
+	return d.Sev == source.SevWarning && strings.Contains(d.Msg, "commute-unverified: cannot decide")
 }
 
 // precisionChecks enumerates the analyzer passes in report order.
@@ -82,8 +93,9 @@ var precisionChecks = []struct {
 // either way.
 func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error) {
 	rep := &PrecisionReport{
-		Corpus:   map[string]*CheckCounts{},
-		Workload: map[string]*CheckCounts{},
+		Corpus:       map[string]*CheckCounts{},
+		Workload:     map[string]*CheckCounts{},
+		CannotDecide: map[string]int{},
 	}
 	for _, pc := range precisionChecks {
 		rep.Corpus[pc.name] = &CheckCounts{}
@@ -108,6 +120,9 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 			}
 			for i := range diags.Diags {
 				rep.Corpus[pc.name].add(&diags.Diags[i])
+				if isCannotDecide(&diags.Diags[i]) {
+					rep.CannotDecide[e.Name]++
+				}
 			}
 			all.Diags = append(all.Diags, diags.Diags...)
 		}
@@ -135,6 +150,8 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 	for _, wl := range workloads.All() {
 		rep.Workloads++
 		for _, variant := range wl.Variants {
+			wlKey := fmt.Sprintf("%s/%s", wl.Name, variant.Name)
+			rep.CannotDecide[wlKey] = 0
 			c, err := compileVetSource(fmt.Sprintf("%s[%s]", wl.Name, variant.Name), variant.Source)
 			if err != nil {
 				return nil, fmt.Errorf("bench: precision: compile %s/%s: %w", wl.Name, variant.Name, err)
@@ -149,6 +166,9 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 				for i := range diags.Diags {
 					d := &diags.Diags[i]
 					rep.Workload[pc.name].add(d)
+					if isCannotDecide(d) {
+						rep.CannotDecide[wlKey]++
+					}
 					if d.Sev >= source.SevWarning {
 						rep.Violations = append(rep.Violations, fmt.Sprintf(
 							"%s/%s [%s]: workload annotation drew %s: %s",
@@ -170,6 +190,20 @@ func VetPrecision(out, jsonOut io.Writer, threads int) (*PrecisionReport, error)
 		rep.TruePositives, rep.FalsePositivesHeld)
 	fmt.Fprintf(out, "  %d commutes pins verified, %d refutes pins flagged\n",
 		rep.CommutesHeld, rep.RefutesHeld)
+	var cdTotal int
+	var cdKeys []string
+	for k, n := range rep.CannotDecide {
+		if n > 0 {
+			cdTotal += n
+			cdKeys = append(cdKeys, fmt.Sprintf("%s:%d", k, n))
+		}
+	}
+	sort.Strings(cdKeys)
+	fmt.Fprintf(out, "  %d commute cannot-decide warnings (discharge targets)", cdTotal)
+	if len(cdKeys) > 0 {
+		fmt.Fprintf(out, ": %s", strings.Join(cdKeys, ", "))
+	}
+	fmt.Fprintln(out)
 
 	if jsonOut != nil {
 		enc := json.NewEncoder(jsonOut)

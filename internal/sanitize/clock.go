@@ -1,0 +1,42 @@
+// Package sanitize is the dynamic commset-aware sanitizer: a
+// vector-clock happens-before race detector over the deterministic DES,
+// plus a concrete-state commutativity oracle that replays racing member
+// pairs in both orders on a captured pre-state.
+//
+// The monitor is fed by instrumentation hooks in internal/vm/interp
+// (global loads/stores, builtin effect accesses), internal/vm/exec
+// (shared-cell traffic, member-extent enter/exit), and internal/vm/des
+// (lock, queue, and spawn happens-before edges). Hooks never charge
+// virtual time, so sanitized runs are bit-for-bit identical in simulated
+// cost to plain runs.
+package sanitize
+
+// vclock is a sparse vector clock over simulated thread IDs. Thread IDs
+// are small dense integers, but crash/restart replacements can push them
+// past the initial thread count, so a map keeps the representation exact.
+type vclock map[int]int64
+
+func newClock(tid int) vclock { return vclock{tid: 1} }
+
+func (c vclock) get(tid int) int64 { return c[tid] }
+
+// tick advances the owning thread's component; called at every outgoing
+// happens-before edge source (lock release, queue push, spawn).
+func (c vclock) tick(tid int) { c[tid]++ }
+
+// join folds o into c componentwise (c := c ⊔ o).
+func (c vclock) join(o vclock) {
+	for t, v := range o {
+		if v > c[t] {
+			c[t] = v
+		}
+	}
+}
+
+func (c vclock) clone() vclock {
+	out := make(vclock, len(c))
+	for t, v := range c {
+		out[t] = v
+	}
+	return out
+}

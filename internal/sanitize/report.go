@@ -1,0 +1,30 @@
+package sanitize
+
+// RunReport is the deterministic machine-readable result of one
+// sanitized run: the races found, the candidate pairs routed to the
+// oracle, and the replay verdicts.
+type RunReport struct {
+	Mode       string        `json:"mode"`
+	Races      []RaceReport  `json:"races,omitempty"`
+	Candidates []Candidate   `json:"candidates,omitempty"`
+	Pairs      []PairVerdict `json:"pairs,omitempty"`
+	Verified   int           `json:"verified"`
+	Violations int           `json:"violations"`
+	Clean      bool          `json:"clean"`
+}
+
+// BuildReport assembles a run report from a monitor's races and the
+// replay verdicts of its candidates.
+func BuildReport(mode string, races []RaceReport, cands []Candidate, pairs []PairVerdict) RunReport {
+	r := RunReport{Mode: mode, Races: races, Candidates: cands, Pairs: pairs}
+	for _, p := range pairs {
+		switch p.Verdict {
+		case VerdictVerified:
+			r.Verified++
+		case VerdictViolation:
+			r.Violations++
+		}
+	}
+	r.Clean = len(races) == 0 && r.Violations == 0
+	return r
+}

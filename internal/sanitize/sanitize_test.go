@@ -1,0 +1,260 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/builtins"
+	"repro/internal/ir"
+	"repro/internal/vm/value"
+)
+
+func newTestMonitor(mode Mode) *Monitor {
+	return New(mode, &ir.Program{}, builtins.NewWorld())
+}
+
+func TestClockBasics(t *testing.T) {
+	a := newClock(1)
+	if a.get(1) != 1 || a.get(2) != 0 {
+		t.Fatalf("fresh clock = %v", a)
+	}
+	a.tick(1)
+	b := newClock(2)
+	b.join(a)
+	if b.get(1) != 2 || b.get(2) != 1 {
+		t.Fatalf("joined clock = %v", b)
+	}
+	c := a.clone()
+	a.tick(1)
+	if c.get(1) != 2 {
+		t.Fatal("clone must not alias the original")
+	}
+}
+
+func TestWriteWriteRaceUnordered(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.TraceGlobal(1, "g", true)
+	m.TraceGlobal(2, "g", true)
+	races := m.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want 1", races)
+	}
+	r := races[0]
+	if r.Cell != "g:g" || r.Kind != "write-write" || r.FirstThread != 1 || r.SecondThread != 2 {
+		t.Errorf("race = %+v", r)
+	}
+	// Dedup: further conflicts on the same cell report once.
+	m.TraceGlobal(3, "g", true)
+	if len(m.Races()) != 1 {
+		t.Errorf("per-cell dedup failed: %v", m.Races())
+	}
+}
+
+func TestReadWriteKinds(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.TraceGlobal(1, "g", true)
+	m.TraceGlobal(2, "g", false)
+	if rs := m.Races(); len(rs) != 1 || rs[0].Kind != "write-read" {
+		t.Errorf("races = %v, want one write-read", rs)
+	}
+	m2 := newTestMonitor(Detect)
+	m2.TraceGlobal(1, "h", false)
+	m2.TraceGlobal(2, "h", true)
+	if rs := m2.Races(); len(rs) != 1 || rs[0].Kind != "read-write" {
+		t.Errorf("races = %v, want one read-write", rs)
+	}
+	// Two concurrent reads never conflict.
+	m3 := newTestMonitor(Detect)
+	m3.TraceGlobal(1, "k", false)
+	m3.TraceGlobal(2, "k", false)
+	if rs := m3.Races(); len(rs) != 0 {
+		t.Errorf("read-read raced: %v", rs)
+	}
+}
+
+func TestLockEdgeOrdersAccesses(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.LockAcquired(1, "L")
+	m.TraceGlobal(1, "g", true)
+	m.LockReleased(1, "L")
+	m.LockAcquired(2, "L")
+	m.TraceGlobal(2, "g", true)
+	m.LockReleased(2, "L")
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("lock-ordered accesses raced: %v", rs)
+	}
+	// A different lock provides no edge.
+	m.LockAcquired(3, "M")
+	m.TraceGlobal(3, "g", true)
+	if rs := m.Races(); len(rs) != 1 {
+		t.Errorf("unrelated lock suppressed a race: %v", rs)
+	}
+}
+
+func TestQueueEdgeOrdersAccesses(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.TraceGlobal(1, "g", true)
+	m.QueuePushed(1, "q", []int64{7})
+	m.QueuePopped(2, "q", []int64{7})
+	m.TraceGlobal(2, "g", true)
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("queue-ordered accesses raced: %v", rs)
+	}
+	// A pop of a different token does not order thread 3.
+	m.QueuePopped(3, "q", []int64{99})
+	m.TraceGlobal(3, "g", true)
+	if rs := m.Races(); len(rs) != 1 {
+		t.Errorf("unrelated token suppressed a race: %v", rs)
+	}
+}
+
+func TestSpawnEdgeOrdersAccesses(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.TraceGlobal(0, "g", true)
+	m.ThreadSpawned(0, 1)
+	m.TraceGlobal(1, "g", true)
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("spawn-ordered accesses raced: %v", rs)
+	}
+}
+
+func TestCommonSetRoutesToCandidate(t *testing.T) {
+	m := newTestMonitor(Detect)
+	tags := []SetTag{{Name: "S", Self: true}}
+	m.MemberEnter(1, "f", tags, nil, nil, nil, nil)
+	m.TraceGlobal(1, "g", true)
+	m.MemberExit(1, nil, nil)
+	m.MemberEnter(2, "f", tags, nil, nil, nil, nil)
+	m.TraceGlobal(2, "g", true)
+	m.MemberExit(2, nil, nil)
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("common-set conflict reported as race: %v", rs)
+	}
+	cands := m.Candidates()
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v, want 1", cands)
+	}
+	c := cands[0]
+	if c.Set != "S" || c.FnA != "f" || c.FnB != "f" || c.GseqA != 0 || c.GseqB != 1 || c.Cell != "g:g" {
+		t.Errorf("candidate = %+v", c)
+	}
+	// Dedup: a third conflicting invocation adds no new (set, pair) entry.
+	m.MemberEnter(3, "f", tags, nil, nil, nil, nil)
+	m.TraceGlobal(3, "g", true)
+	m.MemberExit(3, nil, nil)
+	if got := m.Candidates(); len(got) != 1 {
+		t.Errorf("candidate dedup failed: %v", got)
+	}
+}
+
+func TestDisjointSetsStillRace(t *testing.T) {
+	m := newTestMonitor(Detect)
+	m.MemberEnter(1, "f", []SetTag{{Name: "A"}}, nil, nil, nil, nil)
+	m.TraceGlobal(1, "g", true)
+	m.MemberExit(1, nil, nil)
+	m.MemberEnter(2, "h", []SetTag{{Name: "B"}}, nil, nil, nil, nil)
+	m.TraceGlobal(2, "g", true)
+	m.MemberExit(2, nil, nil)
+	rs := m.Races()
+	if len(rs) != 1 {
+		t.Fatalf("races = %v, want 1", rs)
+	}
+	if rs[0].FirstExtent != "f#0" || rs[0].SecondExtent != "h#1" {
+		t.Errorf("race extents = %+v", rs[0])
+	}
+	if len(m.Candidates()) != 0 {
+		t.Errorf("disjoint sets produced a candidate: %v", m.Candidates())
+	}
+}
+
+func TestBuiltinEffectShadowCells(t *testing.T) {
+	// bitmap_set is instanced by handle and keyed by bit: different
+	// handles or different bits land in distinct shadow cells.
+	m := newTestMonitor(Detect)
+	m.TraceBuiltin(1, "bitmap_set", []value.Value{value.Int(1), value.Int(3)})
+	m.TraceBuiltin(2, "bitmap_set", []value.Value{value.Int(1), value.Int(4)})
+	m.TraceBuiltin(2, "bitmap_set", []value.Value{value.Int(2), value.Int(3)})
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("distinct keys/handles conflicted: %v", rs)
+	}
+	m.TraceBuiltin(2, "bitmap_set", []value.Value{value.Int(1), value.Int(3)})
+	if rs := m.Races(); len(rs) != 1 {
+		t.Errorf("same handle+key must conflict: %v", rs)
+	}
+}
+
+func TestAllocatingBuiltinIsFresh(t *testing.T) {
+	// bitmap_new allocates its result: the allocator-bump write commutes
+	// under handle renaming and must not register shadow accesses.
+	m := newTestMonitor(Detect)
+	m.TraceBuiltin(1, "bitmap_new", nil)
+	m.TraceBuiltin(2, "bitmap_new", nil)
+	if rs := m.Races(); len(rs) != 0 {
+		t.Errorf("fresh allocation raced: %v", rs)
+	}
+}
+
+func TestCaptureTargets(t *testing.T) {
+	cands := []Candidate{{Set: "S", FnA: "f", FnB: "f", GseqA: 3, GseqB: 9}}
+	m := NewCapture(&ir.Program{}, builtins.NewWorld(), cands)
+	if m.targets[3] != targetFull || m.targets[9] != targetArgs {
+		t.Errorf("targets = %v", m.targets)
+	}
+	// The earlier gseq keeps its full snapshot even when named again as
+	// the later half of another pair.
+	m2 := NewCapture(&ir.Program{}, builtins.NewWorld(), []Candidate{
+		{GseqA: 3, GseqB: 9}, {GseqA: 1, GseqB: 3},
+	})
+	if m2.targets[3] != targetFull {
+		t.Errorf("full snapshot demoted: %v", m2.targets)
+	}
+}
+
+func TestVerifyPairsObligations(t *testing.T) {
+	// Group sets claim distinct-member pairs only; self sets claim
+	// same-member pairs. Replays of an empty program fail, so verdicts
+	// come back inconclusive — the pairing itself is what's under test.
+	m := newTestMonitor(VerifyAll)
+	group := []SetTag{{Name: "G", Self: false}}
+	m.MemberEnter(0, "f", group, nil, nil, nil, nil)
+	m.MemberExit(0, nil, nil)
+	m.MemberEnter(0, "f", group, nil, nil, nil, nil)
+	m.MemberExit(0, nil, nil)
+	m.MemberEnter(0, "h", group, nil, nil, nil, nil)
+	m.MemberExit(0, nil, nil)
+	vs := m.VerifyPairs(func(Candidate) string { return "r" })
+	if len(vs) != 1 || vs[0].FnA == vs[0].FnB {
+		t.Fatalf("group-set pairs = %+v, want exactly f/h", vs)
+	}
+	if vs[0].Verdict != VerdictInconclusive || !strings.Contains(vs[0].Note, "failed") {
+		t.Errorf("empty-program replay verdict = %+v", vs[0])
+	}
+
+	m2 := newTestMonitor(VerifyAll)
+	self := []SetTag{{Name: "S", Self: true}}
+	m2.MemberEnter(0, "f", self, nil, nil, nil, nil)
+	m2.MemberExit(0, nil, nil)
+	m2.MemberEnter(0, "f", self, nil, nil, nil, nil)
+	m2.MemberExit(0, nil, nil)
+	vs2 := m2.VerifyPairs(func(Candidate) string { return "r" })
+	if len(vs2) != 1 || vs2[0].FnA != "f" || vs2[0].FnB != "f" {
+		t.Fatalf("self-set pairs = %+v, want exactly f/f", vs2)
+	}
+}
+
+func TestNilMonitorHooksAreSafe(t *testing.T) {
+	var m *Monitor
+	m.ThreadSpawned(0, 1)
+	m.LockAcquired(0, "L")
+	m.LockReleased(0, "L")
+	m.QueuePushed(0, "q", []int64{1})
+	m.QueuePopped(0, "q", []int64{1})
+	m.TraceGlobal(0, "g", true)
+	m.TraceBuiltin(0, "print_int", nil)
+	m.Cell(0, 1, true)
+	m.MemberEnter(0, "f", nil, nil, nil, nil, nil)
+	m.MemberExit(0, nil, nil)
+	if m.Races() != nil || m.Candidates() != nil || m.VerifyPairs(nil) != nil {
+		t.Error("nil monitor must report nothing")
+	}
+}

@@ -124,6 +124,7 @@ type Queue struct {
 type queueItem struct {
 	val   any
 	ready int64 // virtual time at which the consumer can observe it
+	seq   int64 // scheduler-wide token number (happens-before probes)
 }
 
 // Len reports the number of buffered tokens.
@@ -291,9 +292,26 @@ type Watchdog struct {
 	MaxEvents int64
 }
 
+// Probe observes the scheduler's synchronization events. The sanitizer
+// derives happens-before edges from it: lock release→acquire, queue
+// push→pop (per token), and spawn parent→child. Probe calls happen
+// outside cost accounting, so an attached probe never changes virtual
+// time.
+type Probe interface {
+	ThreadSpawned(parent, child int)
+	LockAcquired(thread int, lock string)
+	LockReleased(thread int, lock string)
+	QueuePushed(thread int, queue string, seqs []int64)
+	QueuePopped(thread int, queue string, seqs []int64)
+}
+
 // Scheduler coordinates all threads of one simulation.
 type Scheduler struct {
 	Cost CostModel
+
+	// Probe, when set, observes synchronization events (see Probe). It
+	// has no effect on scheduling or virtual time.
+	Probe Probe
 
 	// Watchdog, when set, converts stalls and livelocks into diagnosed
 	// StallErrors naming every live thread and what it waits on.
@@ -307,6 +325,8 @@ type Scheduler struct {
 
 	threads []*Thread
 	yieldCh chan *Thread
+	running *Thread // thread whose body is currently executing
+	tokSeq  int64   // next queue-token sequence number
 
 	locks  []*Lock
 	queues []*Queue
@@ -368,6 +388,13 @@ func (s *Scheduler) Spawn(name string, start int64, body func(*Thread) error) *T
 	}
 	t.reqTime = t.VTime
 	s.threads = append(s.threads, t)
+	if s.Probe != nil {
+		parent := -1
+		if s.running != nil {
+			parent = s.running.ID
+		}
+		s.Probe.ThreadSpawned(parent, t.ID)
+	}
 	return t
 }
 
@@ -589,7 +616,12 @@ func (s *Scheduler) pickNext() *Thread {
 }
 
 // resume lets the thread continue and waits for its next yield (or exit).
+// While the body runs, s.running names it so Spawn can attribute the
+// parent of a new thread (the spawn happens-before edge).
 func (s *Scheduler) resume(t *Thread, g grant) {
+	prev := s.running
+	s.running = t
+	defer func() { s.running = prev }()
 	if !t.started {
 		t.started = true
 		go func() {
@@ -659,6 +691,9 @@ func (s *Scheduler) acquire(t *Thread, l *Lock) {
 		l.held = true
 		l.owner = t
 		t.holds = append(t.holds, l)
+		if s.Probe != nil {
+			s.Probe.LockAcquired(t.ID, l.Name)
+		}
 		cost := s.Cost.MutexAcquire
 		if l.Kind == Spin {
 			cost = s.Cost.SpinAcquire
@@ -689,6 +724,9 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 			break
 		}
 	}
+	if s.Probe != nil {
+		s.Probe.LockReleased(t.ID, l.Name)
+	}
 
 	if len(l.waiters) > 0 {
 		// Grant to the earliest requester (FIFO by request time, then ID).
@@ -716,6 +754,9 @@ func (s *Scheduler) release(t *Thread, l *Lock) {
 		w.reqTime = wake
 		w.VTime = wake
 		w.pending = request{kind: reqWake}
+		if s.Probe != nil {
+			s.Probe.LockAcquired(w.ID, l.Name)
+		}
 	} else {
 		l.held = false
 		l.owner = nil
@@ -734,8 +775,13 @@ func (s *Scheduler) push(t *Thread, q *Queue, v any) {
 	if q.Stall != nil {
 		latency += q.Stall()
 	}
-	q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
+	seq := s.tokSeq
+	s.tokSeq++
+	q.items = append(q.items, queueItem{val: v, ready: pushTime + latency, seq: seq})
 	q.noteDepth()
+	if s.Probe != nil {
+		s.Probe.QueuePushed(t.ID, q.Name, []int64{seq})
+	}
 	s.wakePoppers(q)
 	s.resume(t, grant{vtime: pushTime})
 }
@@ -754,10 +800,17 @@ func (s *Scheduler) pushN(t *Thread, q *Queue, vs []any) {
 	if q.Stall != nil {
 		latency += q.Stall()
 	}
+	seqs := make([]int64, 0, len(vs))
 	for _, v := range vs {
-		q.items = append(q.items, queueItem{val: v, ready: pushTime + latency})
+		seq := s.tokSeq
+		s.tokSeq++
+		seqs = append(seqs, seq)
+		q.items = append(q.items, queueItem{val: v, ready: pushTime + latency, seq: seq})
 	}
 	q.noteDepth()
+	if s.Probe != nil {
+		s.Probe.QueuePushed(t.ID, q.Name, seqs)
+	}
 	s.wakePoppers(q)
 	s.resume(t, grant{vtime: pushTime})
 }
@@ -770,6 +823,9 @@ func (s *Scheduler) pop(t *Thread, q *Queue) {
 	}
 	item := q.items[0]
 	q.items = q.items[1:]
+	if s.Probe != nil {
+		s.Probe.QueuePopped(t.ID, q.Name, []int64{item.seq})
+	}
 	s.wakePushers(t.VTime, q)
 	at := maxI64(t.VTime, item.ready) + s.Cost.QueuePop
 	s.resume(t, grant{val: item.val, vtime: at})
@@ -784,29 +840,34 @@ func (s *Scheduler) popN(t *Thread, q *Queue, max int) {
 		q.waiters = append(q.waiters, t)
 		return
 	}
-	taken, ready := q.take(max)
+	taken, ready, seqs := q.take(max)
+	if s.Probe != nil {
+		s.Probe.QueuePopped(t.ID, q.Name, seqs)
+	}
 	s.wakePushers(t.VTime, q)
 	at := maxI64(t.VTime, ready) + s.Cost.QueuePop + s.Cost.QueuePopPer*int64(len(taken)-1)
 	s.resume(t, grant{val: taken, vtime: at})
 }
 
 // take removes up to max items from the head of the queue, returning the
-// values and the latest ready time among them.
-func (q *Queue) take(max int) ([]any, int64) {
+// values, the latest ready time among them, and their token numbers.
+func (q *Queue) take(max int) ([]any, int64, []int64) {
 	n := max
 	if n > len(q.items) {
 		n = len(q.items)
 	}
 	taken := make([]any, n)
+	seqs := make([]int64, n)
 	var ready int64
 	for i := 0; i < n; i++ {
 		taken[i] = q.items[i].val
+		seqs[i] = q.items[i].seq
 		if q.items[i].ready > ready {
 			ready = q.items[i].ready
 		}
 	}
 	q.items = q.items[n:]
-	return taken, ready
+	return taken, ready, seqs
 }
 
 // wakePoppers hands buffered tokens to blocked poppers in block order
@@ -817,7 +878,10 @@ func (s *Scheduler) wakePoppers(q *Queue) {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		if w.pending.kind == reqPopN {
-			taken, ready := q.take(w.pending.n)
+			taken, ready, seqs := q.take(w.pending.n)
+			if s.Probe != nil {
+				s.Probe.QueuePopped(w.ID, q.Name, seqs)
+			}
 			w.unblock()
 			w.reqTime = maxI64(w.reqTime, ready) + s.Cost.QueuePop + s.Cost.QueuePopPer*int64(len(taken)-1)
 			w.VTime = w.reqTime
@@ -826,6 +890,9 @@ func (s *Scheduler) wakePoppers(q *Queue) {
 		}
 		item := q.items[0]
 		q.items = q.items[1:]
+		if s.Probe != nil {
+			s.Probe.QueuePopped(w.ID, q.Name, []int64{item.seq})
+		}
 		w.unblock()
 		w.reqTime = maxI64(w.reqTime, item.ready) + s.Cost.QueuePop
 		w.VTime = w.reqTime

@@ -36,6 +36,7 @@ import (
 	"repro/internal/commset"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/sanitize"
 	"repro/internal/transform"
 	"repro/internal/types"
 	"repro/internal/vm/des"
@@ -120,6 +121,13 @@ type Config struct {
 	// injector's CrashNow). Arming it also activates the checkpoint layer;
 	// see crash.go for the recovery model.
 	CrashCheck func(role string) (die, permanent bool)
+
+	// Sanitize, when set, attaches the dynamic sanitizer: the monitor
+	// receives happens-before edges from the scheduler, memory accesses
+	// from the interpreter, and member-extent boundaries from the
+	// stepper. Hooks run outside cost accounting, so a sanitized run's
+	// virtual time is bit-for-bit identical to a plain run.
+	Sanitize *sanitize.Monitor
 }
 
 func (c *Config) queueCap() int {
@@ -168,7 +176,7 @@ func RunSequential(cfg Config) (*Result, error) {
 	th := interp.NewThread(env)
 	retries := 0
 	if r := cfg.Recovery; r != nil {
-		th.Interceptor = func(t *interp.Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+		th.Interceptor = func(t *interp.Thread, in *ir.Instr, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error) {
 			if cfg.Prog.Funcs[in.Name] != nil {
 				return invoke() // user function: inner builtin calls retry individually
 			}
@@ -192,6 +200,47 @@ func RunSequential(cfg Config) (*Result, error) {
 		CallRetries: retries,
 		Recovered:   retries > 0,
 	}, nil
+}
+
+// RunSequentialSanitized executes the program sequentially with the
+// sanitizer monitor attached (normally in VerifyAll mode): every member
+// invocation is recorded — the first few per member with a full
+// pre-state snapshot — so the commute oracle can replay all same-set
+// pairs afterwards. Sequential runs have no races to observe; this is
+// the path behind commsetvet's dynamic verification and discharge.
+func RunSequentialSanitized(cfg Config, mon *sanitize.Monitor) (*Result, error) {
+	env := interp.NewEnv(cfg.Prog, cfg.Builtins)
+	th := interp.NewThread(env)
+	th.Tracer = mon
+	tags := map[string][]sanitize.SetTag{}
+	setTags := func(fn string) []sanitize.SetTag {
+		if t, ok := tags[fn]; ok {
+			return t
+		}
+		sets := cfg.Model.SetsOf[fn]
+		t := make([]sanitize.SetTag, len(sets))
+		for i, s := range sets {
+			t[i] = sanitize.SetTag{Name: s.Name, Self: s.SelfSet}
+		}
+		tags[fn] = t
+		return t
+	}
+	snap := func() (map[string]value.Value, map[int]value.Value) {
+		return env.Globals.Snapshot(), nil
+	}
+	th.Interceptor = func(t *interp.Thread, in *ir.Instr, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+		if len(cfg.Model.SetsOf[in.Name]) == 0 {
+			return invoke()
+		}
+		mon.MemberEnter(t.ID, in.Name, setTags(in.Name), args, nil, nil, snap)
+		rets, err := invoke()
+		mon.MemberExit(t.ID, rets, err)
+		return rets, err
+	}
+	if err := th.RunMain(); err != nil {
+		return nil, err
+	}
+	return &Result{VirtualTime: th.Cost, Threads: 1, Schedule: "Sequential"}, nil
 }
 
 // Run executes the program with the target loop parallelized per the
@@ -220,6 +269,9 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 	m := newMachine(cfg, la, sched, mode)
 	sim := des.New(cfg.Cost)
 	sim.Watchdog = cfg.Watchdog
+	if cfg.Sanitize != nil {
+		sim.Probe = cfg.Sanitize
+	}
 	m.sim = sim
 	for _, set := range cfg.Model.Sets {
 		kind := des.Mutex
@@ -291,6 +343,9 @@ type machine struct {
 	env   *interp.Env
 	locks map[*types.Set]*des.Lock
 	cells map[int]*sharedCell
+
+	// setTagCache memoizes the sanitizer's per-member commset tags.
+	setTagCache map[string][]sanitize.SetTag
 
 	tm tmLog
 

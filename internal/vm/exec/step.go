@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/sanitize"
 	"repro/internal/types"
 	"repro/internal/vm/des"
 	"repro/internal/vm/interp"
@@ -76,20 +77,50 @@ func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
 	st := &stepper{m: m, th: th, fr: fr}
 	st.it = interp.NewThread(m.env)
 	st.it.ID = th.ID
-	st.it.Interceptor = func(t *interp.Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+	if m.cfg.Sanitize != nil {
+		st.it.Tracer = m.cfg.Sanitize
+	}
+	st.it.Interceptor = func(t *interp.Thread, in *ir.Instr, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error) {
 		member := len(m.cfg.Model.SetsOf[in.Name]) > 0
 		builtin := m.env.Prog.Funcs[in.Name] == nil
 		switch {
 		case builtin:
 			// Builtins fail atomically (an injected failure fires before
 			// the builtin runs), so call-level retry is safe.
-			return st.invokeBuiltin(in.Name, member, invoke)
+			return st.invokeBuiltin(in.Name, member, args, invoke)
 		case member:
-			return st.withMemberSync(in.Name, invoke)
+			return st.withMemberSync(in.Name, args, nil, nil, invoke)
 		}
 		return invoke()
 	}
 	return st
+}
+
+// setTags renders a member's commsets for the sanitizer, memoized.
+func (m *machine) setTags(fn string) []sanitize.SetTag {
+	if t, ok := m.setTagCache[fn]; ok {
+		return t
+	}
+	sets := m.cfg.Model.SetsOf[fn]
+	t := make([]sanitize.SetTag, len(sets))
+	for i, s := range sets {
+		t[i] = sanitize.SetTag{Name: s.Name, Self: s.SelfSet}
+	}
+	if m.setTagCache == nil {
+		m.setTagCache = map[string][]sanitize.SetTag{}
+	}
+	m.setTagCache[fn] = t
+	return t
+}
+
+// snapState hands the sanitizer the executor-side pre-state: the global
+// heap and the current shared-cell values.
+func (m *machine) snapState() (map[string]value.Value, map[int]value.Value) {
+	cells := make(map[int]value.Value, len(m.cells))
+	for slot, c := range m.cells {
+		cells[slot] = c.v
+	}
+	return m.env.Globals.Snapshot(), cells
 }
 
 // invokeBuiltin runs one builtin call — member-synchronized when member —
@@ -97,10 +128,10 @@ func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
 // virtual time. User-function calls are never retried here: they may have
 // externalized partial work, and their inner builtin calls retry
 // individually through the interceptor.
-func (st *stepper) invokeBuiltin(name string, member bool, invoke func() ([]value.Value, error)) ([]value.Value, error) {
+func (st *stepper) invokeBuiltin(name string, member bool, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error) {
 	run := func() ([]value.Value, error) {
 		if member {
-			return st.withMemberSync(name, invoke)
+			return st.withMemberSync(name, args, nil, nil, invoke)
 		}
 		rets, err := invoke()
 		st.flush()
@@ -141,9 +172,10 @@ func (st *stepper) call(name string, args []value.Value) ([]value.Value, error) 
 // withMemberSync executes body under the synchronization required for a
 // commutative member; a successful call counts as an externalized effect
 // (its commit is visible to other threads, so the iteration that made it
-// cannot be re-executed).
-func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
-	rets, err := st.memberSyncInner(name, body)
+// cannot be re-executed). args and the shared-cell slot wirings feed the
+// sanitizer's member-extent record when a monitor is attached.
+func (st *stepper) withMemberSync(name string, args []value.Value, argSlots, outSlots map[int]int, body func() ([]value.Value, error)) ([]value.Value, error) {
+	rets, err := st.memberSyncInner(name, args, argSlots, outSlots, body)
 	if err == nil {
 		st.effects++
 	}
@@ -153,10 +185,23 @@ func (st *stepper) withMemberSync(name string, body func() ([]value.Value, error
 // memberSyncInner executes body under the synchronization required for a
 // commutative member: locks of every (non-nosync) set the member belongs
 // to, acquired in global rank order and released in reverse (Section 4.6).
-func (st *stepper) memberSyncInner(name string, body func() ([]value.Value, error)) ([]value.Value, error) {
+func (st *stepper) memberSyncInner(name string, args []value.Value, argSlots, outSlots map[int]int, body func() ([]value.Value, error)) ([]value.Value, error) {
 	m := st.m
 	lockSets := m.cfg.Model.LockSets(name)
 	st.flush()
+	if mon := m.cfg.Sanitize; mon != nil {
+		// The member extent opens after synchronization is in place (the
+		// snapshot sees the serialized pre-state) and closes before the
+		// locks drop, so every access inside the atomic section is
+		// attributed to this invocation.
+		inner := body
+		body = func() ([]value.Value, error) {
+			mon.MemberEnter(st.th.ID, name, m.setTags(name), args, argSlots, outSlots, m.snapState)
+			rets, err := inner()
+			mon.MemberExit(st.th.ID, rets, err)
+			return rets, err
+		}
+	}
 	if st.privatized && len(lockSets) > 0 {
 		// Privatized commutative update: the call mutates this thread's
 		// shadow copy with no synchronization at all; the per-set commit
@@ -356,6 +401,9 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 	case ir.OpLoadLocal:
 		clearTag(in.Dst)
 		if st.sharedActive && st.m.isShared(in.Slot) {
+			if mon := st.m.cfg.Sanitize; mon != nil {
+				mon.Cell(st.th.ID, in.Slot, false)
+			}
 			fr.regs[in.Dst] = st.m.cells[in.Slot].v
 			fr.sharedSrc[in.Dst] = in.Slot
 		} else {
@@ -364,15 +412,24 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 	case ir.OpStoreLocal:
 		if st.sharedActive && st.m.isShared(in.Slot) {
 			st.effects++
+			if mon := st.m.cfg.Sanitize; mon != nil {
+				mon.Cell(st.th.ID, in.Slot, true)
+			}
 			st.m.cells[in.Slot].v = fr.regs[in.A]
 		} else {
 			fr.locals[in.Slot] = fr.regs[in.A]
 		}
 	case ir.OpLoadGlobal:
 		clearTag(in.Dst)
+		if mon := st.m.cfg.Sanitize; mon != nil {
+			mon.TraceGlobal(st.th.ID, in.Name, false)
+		}
 		fr.regs[in.Dst] = st.m.env.Globals.Get(in.Name)
 	case ir.OpStoreGlobal:
 		st.it.HeapWrites++
+		if mon := st.m.cfg.Sanitize; mon != nil {
+			mon.TraceGlobal(st.th.ID, in.Name, true)
+		}
 		st.m.env.Globals.Set(in.Name, fr.regs[in.A])
 	case ir.OpBin:
 		clearTag(in.Dst)
@@ -415,6 +472,30 @@ func (st *stepper) execCall(in *ir.Instr) error {
 		args[i] = fr.regs[r]
 	}
 	member := len(st.m.cfg.Model.SetsOf[in.Name]) > 0
+	mon := st.m.cfg.Sanitize
+
+	// The sanitizer's replay needs the shared-cell wiring of a member
+	// call: which argument indices are re-read from which cells, and
+	// which return indices write back to which cells.
+	var argSlots, outSlots map[int]int
+	if member && st.sharedActive && mon != nil {
+		for i, r := range in.Args {
+			if slot, ok := fr.sharedSrc[r]; ok {
+				if argSlots == nil {
+					argSlots = map[int]int{}
+				}
+				argSlots[i] = slot
+			}
+		}
+		for i, slot := range in.OutSlots {
+			if st.m.isShared(slot) {
+				if outSlots == nil {
+					outSlots = map[int]int{}
+				}
+				outSlots[i] = slot
+			}
+		}
+	}
 
 	invoke := func() ([]value.Value, error) {
 		if member && st.sharedActive {
@@ -422,6 +503,9 @@ func (st *stepper) execCall(in *ir.Instr) error {
 			// the read-modify-write of shared scalars is not lost.
 			for i, r := range in.Args {
 				if slot, ok := fr.sharedSrc[r]; ok {
+					if mon != nil {
+						mon.Cell(st.th.ID, slot, false)
+					}
 					args[i] = st.m.cells[slot].v
 				}
 			}
@@ -435,6 +519,9 @@ func (st *stepper) execCall(in *ir.Instr) error {
 			for i, slot := range in.OutSlots {
 				if st.m.isShared(slot) {
 					st.effects++
+					if mon != nil {
+						mon.Cell(st.th.ID, slot, true)
+					}
 					st.m.cells[slot].v = rets[i]
 				}
 			}
@@ -447,9 +534,9 @@ func (st *stepper) execCall(in *ir.Instr) error {
 	builtin := st.m.env.Prog.Funcs[in.Name] == nil
 	switch {
 	case builtin:
-		rets, err = st.invokeBuiltin(in.Name, member, invoke)
+		rets, err = st.invokeBuiltin(in.Name, member, args, invoke)
 	case member:
-		rets, err = st.withMemberSync(in.Name, invoke)
+		rets, err = st.withMemberSync(in.Name, args, argSlots, outSlots, invoke)
 	default:
 		rets, err = invoke()
 		st.flush()
@@ -471,6 +558,9 @@ func (st *stepper) execCall(in *ir.Instr) error {
 			if st.sharedActive && st.m.isShared(slot) {
 				if !member {
 					st.effects++
+					if mon != nil {
+						mon.Cell(st.th.ID, slot, true)
+					}
 					st.m.cells[slot].v = rets[i]
 				}
 				// Member writes already landed in the cell under the lock.

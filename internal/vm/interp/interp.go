@@ -86,8 +86,17 @@ func NewProfile(f *ir.Func) *Profile {
 
 // Interceptor wraps a call instruction's execution. invoke performs the
 // actual call (charging its cost to the thread); the interceptor may charge
-// additional cost or block the thread in virtual time around it.
-type Interceptor func(t *Thread, in *ir.Instr, invoke func() ([]value.Value, error)) ([]value.Value, error)
+// additional cost or block the thread in virtual time around it. args are
+// the concrete argument values the call was issued with.
+type Interceptor func(t *Thread, in *ir.Instr, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error)
+
+// Tracer observes memory-relevant events as they execute: global
+// loads/stores and builtin invocations (with concrete arguments). The
+// sanitizer's shadow-cell engine hangs off it. Tracing charges no cost.
+type Tracer interface {
+	TraceGlobal(tid int, name string, write bool)
+	TraceBuiltin(tid int, name string, args []value.Value)
+}
 
 // Thread is one logical execution context.
 type Thread struct {
@@ -105,6 +114,9 @@ type Thread struct {
 
 	// Interceptor, when set, wraps every OpCall.
 	Interceptor Interceptor
+
+	// Tracer, when set, observes global accesses and builtin calls.
+	Tracer Tracer
 
 	// Profile, when set, accumulates per-instruction cost for the function
 	// it names.
@@ -132,6 +144,9 @@ func (t *Thread) CallByName(name string, args []value.Value) ([]value.Value, err
 		return t.Exec(f, args)
 	}
 	if b := t.Env.Builtins[name]; b != nil {
+		if t.Tracer != nil {
+			t.Tracer.TraceBuiltin(t.ID, name, args)
+		}
 		v, cost, err := b(args)
 		t.Cost += cost
 		if err != nil {
@@ -207,9 +222,15 @@ func (t *Thread) step(f *ir.Func, in *ir.Instr, regs, locals []value.Value) (nex
 	case ir.OpStoreLocal:
 		locals[in.Slot] = regs[in.A]
 	case ir.OpLoadGlobal:
+		if t.Tracer != nil {
+			t.Tracer.TraceGlobal(t.ID, in.Name, false)
+		}
 		regs[in.Dst] = t.Env.Globals.Get(in.Name)
 	case ir.OpStoreGlobal:
 		t.HeapWrites++
+		if t.Tracer != nil {
+			t.Tracer.TraceGlobal(t.ID, in.Name, true)
+		}
 		t.Env.Globals.Set(in.Name, regs[in.A])
 	case ir.OpBin:
 		v, e := EvalBin(in.BinOp, regs[in.A], regs[in.B])
@@ -253,7 +274,7 @@ func (t *Thread) execCall(in *ir.Instr, regs, locals []value.Value) error {
 	var rets []value.Value
 	var err error
 	if t.Interceptor != nil {
-		rets, err = t.Interceptor(t, in, invoke)
+		rets, err = t.Interceptor(t, in, args, invoke)
 	} else {
 		rets, err = invoke()
 	}
