@@ -195,11 +195,31 @@ func FaultCampaign(out io.Writer, opts CampaignOptions) (*FaultReport, error) {
 	rep := &FaultReport{Threads: opts.Threads, Seed: opts.Seed, Smoke: opts.Smoke}
 	sum := &rep.Summary
 	var violations []string
-	for _, wl := range wls {
-		cp, err := Compile(wl, "comm", opts.Threads)
-		if err != nil {
-			return nil, err
-		}
+
+	// Compile every workload, then flatten the sweep into independent
+	// (workload, schedule, sync) groups. Each group runs its fault-free
+	// baseline and its whole plan list; groups share only read-only compile
+	// artifacts, so they execute concurrently under -hostpar. Results are
+	// replayed in submission order below, which keeps the printed table,
+	// the summary, and the JSON report byte-identical to a sequential run.
+	cps := make([]*Compiled, len(wls))
+	if err := parDo(len(wls), func(i int) error {
+		cp, err := Compile(wls[i], "comm", opts.Threads)
+		cps[i] = cp
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	type faultGroup struct {
+		cp    *Compiled
+		kind  transform.Kind
+		mode  exec.SyncMode
+		plans []faults.Plan
+	}
+	var groups []faultGroup
+	for wi, wl := range wls {
+		cp := cps[wi]
 		for _, kind := range campaignKinds {
 			sched := cp.Schedule(kind)
 			if sched == nil {
@@ -220,43 +240,61 @@ func FaultCampaign(out io.Writer, opts CampaignOptions) (*FaultReport, error) {
 				kindPlans = append(append([]faults.Plan(nil), plans...), crash...)
 			}
 			for _, mode := range wl.Syncs() {
-				baseline, err := cleanBaseline(cp, sched, mode, opts.Threads)
-				if err != nil {
-					return nil, fmt.Errorf("bench: fault-free baseline %s %v/%v: %w", wl.Name, kind, mode, err)
-				}
-				for _, plan := range kindPlans {
-					cell, err := runFaulted(cp, sched, kind, mode, opts.Threads, plan)
-					if err != nil {
-						return nil, err
-					}
-					cell.BaselineVTime = baseline
-					if cell.VTime > 0 && baseline > 0 {
-						cell.OverheadPct = 100 * float64(cell.VTime-baseline) / float64(baseline)
-					}
-					sum.Runs++
-					switch cell.Outcome {
-					case "clean":
-						sum.Clean++
-					case "recovered":
-						sum.Recovered++
-					case "degraded":
-						sum.Degraded++
-					case "diagnosed":
-						sum.Diagnosed++
-					}
-					sum.Restarts += cell.Restarts
-					sum.Repartitioned += cell.Repartitioned
-					ok := cell.Outcome == "diagnosed" != plan.Recoverable
-					if !ok {
-						violations = append(violations, fmt.Sprintf(
-							"%s %v/%v plan %s: outcome %s violates recoverable=%v (%s)",
-							wl.Name, kind, mode, plan.Name, cell.Outcome, plan.Recoverable, cell.Detail))
-					}
-					rep.Cells = append(rep.Cells, cell)
-					fmt.Fprintf(out, "  %-10s %-8v %-6v %-16s %-10s %s\n",
-						wl.Name, kind, mode, plan.Name, cell.Outcome, cell.Detail)
-				}
+				groups = append(groups, faultGroup{cp, kind, mode, kindPlans})
 			}
+		}
+	}
+
+	cells := make([][]FaultCell, len(groups))
+	if err := parDo(len(groups), func(i int) error {
+		g := groups[i]
+		sched := g.cp.Schedule(g.kind)
+		baseline, err := cleanBaseline(g.cp, sched, g.mode, opts.Threads)
+		if err != nil {
+			return fmt.Errorf("bench: fault-free baseline %s %v/%v: %w", g.cp.WL.Name, g.kind, g.mode, err)
+		}
+		cells[i] = make([]FaultCell, 0, len(g.plans))
+		for _, plan := range g.plans {
+			cell, err := runFaulted(g.cp, sched, g.kind, g.mode, opts.Threads, plan)
+			if err != nil {
+				return err
+			}
+			cell.BaselineVTime = baseline
+			if cell.VTime > 0 && baseline > 0 {
+				cell.OverheadPct = 100 * float64(cell.VTime-baseline) / float64(baseline)
+			}
+			cells[i] = append(cells[i], cell)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for gi, g := range groups {
+		for ci, cell := range cells[gi] {
+			plan := g.plans[ci]
+			sum.Runs++
+			switch cell.Outcome {
+			case "clean":
+				sum.Clean++
+			case "recovered":
+				sum.Recovered++
+			case "degraded":
+				sum.Degraded++
+			case "diagnosed":
+				sum.Diagnosed++
+			}
+			sum.Restarts += cell.Restarts
+			sum.Repartitioned += cell.Repartitioned
+			ok := cell.Outcome == "diagnosed" != plan.Recoverable
+			if !ok {
+				violations = append(violations, fmt.Sprintf(
+					"%s %v/%v plan %s: outcome %s violates recoverable=%v (%s)",
+					g.cp.WL.Name, g.kind, g.mode, plan.Name, cell.Outcome, plan.Recoverable, cell.Detail))
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Fprintf(out, "  %-10s %-8v %-6v %-16s %-10s %s\n",
+				g.cp.WL.Name, g.kind, g.mode, plan.Name, cell.Outcome, cell.Detail)
 		}
 	}
 	fmt.Fprintf(out, "  %d runs: %d clean, %d recovered, %d degraded, %d diagnosed (%d restarts, %d re-partitions)\n",

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/vm/interp"
+	"repro/internal/workloads"
+)
+
+// HostOptions configures HostReport.
+type HostOptions struct {
+	Threads  int
+	Seed     uint64
+	Smoke    bool
+	JSONPath string
+}
+
+// HostWorkloadTiming is one workload's fast-vs-legacy measurement: the
+// fixed simulation bundle (compile with its profiling and sequential runs,
+// then one parallel run per applicable transform at the primary sync mode)
+// executed once on the legacy stepper and once on the compiled fast path.
+type HostWorkloadTiming struct {
+	Workload string `json:"workload"`
+	// SimCost estimates the virtual cost units the bundle simulates:
+	// the sequential cost times the number of whole-program executions
+	// (profiling run + sequential baseline + one run per transform).
+	SimCost  int64   `json:"sim_cost"`
+	LegacyMs float64 `json:"legacy_ms"`
+	FastMs   float64 `json:"fast_ms"`
+	Speedup  float64 `json:"speedup"`
+	// LegacyNsPerCost / FastNsPerCost are host nanoseconds per simulated
+	// cost unit — the simulator's hardware speed.
+	LegacyNsPerCost float64 `json:"legacy_ns_per_cost"`
+	FastNsPerCost   float64 `json:"fast_ns_per_cost"`
+	// VTimeMatch asserts the two substrates produced bit-for-bit identical
+	// virtual times for every run of the bundle.
+	VTimeMatch bool `json:"vtime_match"`
+}
+
+// HostCampaignTiming is one campaign's wall-clock under both substrates.
+type HostCampaignTiming struct {
+	Campaign string  `json:"campaign"`
+	LegacyMs float64 `json:"legacy_ms"`
+	FastMs   float64 `json:"fast_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// HostPerfReport is the machine-readable host-performance report behind
+// BENCH_host.json: per-workload simulator speed, per-campaign wall-clock,
+// and the suite-level fast-vs-legacy speedup, all measured in one process
+// (legacy pass first, cold caches for both passes).
+type HostPerfReport struct {
+	Threads     int    `json:"threads"`
+	Seed        uint64 `json:"seed"`
+	Smoke       bool   `json:"smoke"`
+	HostWorkers int    `json:"host_workers"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	Workloads []HostWorkloadTiming `json:"workloads"`
+	Campaigns []HostCampaignTiming `json:"campaigns"`
+
+	// LegacyNsPerCost / FastNsPerCost aggregate the workload bundles:
+	// total host nanoseconds over total simulated cost units.
+	LegacyNsPerCost float64 `json:"legacy_ns_per_cost"`
+	FastNsPerCost   float64 `json:"fast_ns_per_cost"`
+
+	SuiteLegacyMs float64 `json:"suite_legacy_ms"`
+	SuiteFastMs   float64 `json:"suite_fast_ms"`
+	SuiteSpeedup  float64 `json:"suite_speedup"`
+
+	AllVTimesMatch bool `json:"all_vtimes_match"`
+}
+
+// hostBundle runs one workload's measurement bundle on the current
+// substrate (interp.FastEnabled decides which), bypassing the bench-level
+// memos so the simulation itself is what gets timed. It returns the
+// wall-clock, the bundle's simulated-cost estimate, and the virtual time
+// of every run for the bit-for-bit comparison between passes.
+func hostBundle(wl *workloads.Workload, threads int) (time.Duration, int64, map[string]int64, error) {
+	start := time.Now()
+	cp, err := compileUncached(wl, "comm", threads)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	vtimes := map[string]int64{"seq": cp.SeqCost}
+	runs := int64(2) // the profiling run and the sequential baseline
+	mode := wl.Syncs()[0]
+	for _, kind := range campaignKinds {
+		if cp.Schedule(kind) == nil {
+			continue
+		}
+		m, err := cp.runUncached(kind, mode, threads, false)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		vtimes[kind.String()] = m.VirtualTime
+		runs++
+	}
+	return time.Since(start), cp.SeqCost * runs, vtimes, nil
+}
+
+// hostCampaigns is the campaign suite the host benchmark times, in fixed
+// order. Output goes to io.Discard and no JSON artifacts are written: only
+// the wall-clock is of interest here.
+func hostCampaigns(opts HostOptions) []struct {
+	name string
+	run  func(io.Writer) error
+} {
+	return []struct {
+		name string
+		run  func(io.Writer) error
+	}{
+		{"schedule", func(w io.Writer) error {
+			_, err := PrintFigure6(w, opts.Threads, false)
+			return err
+		}},
+		{"faults", func(w io.Writer) error {
+			_, err := FaultCampaign(w, CampaignOptions{Threads: opts.Threads, Seed: opts.Seed, Smoke: opts.Smoke})
+			return err
+		}},
+		{"service", func(w io.Writer) error {
+			_, err := ServiceCampaign(w, ServiceOptions{Threads: opts.Threads, Seed: opts.Seed, Smoke: opts.Smoke})
+			return err
+		}},
+		{"sanitize", func(w io.Writer) error {
+			_, err := SanitizeCampaign(w, SanitizeOptions{Threads: opts.Threads, Smoke: opts.Smoke})
+			return err
+		}},
+	}
+}
+
+// HostReport measures host wall-clock performance: every workload's
+// simulation bundle and the full campaign suite, first on the legacy
+// per-instruction stepper with sequential campaign cells (FastEnabled off,
+// one host worker), then on the compiled fast path with the configured
+// -hostpar pool. Both passes run in this process from cold caches; the
+// fast pass must reproduce every legacy virtual time bit-for-bit.
+func HostReport(out io.Writer, opts HostOptions) (*HostPerfReport, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	savedFast, savedWorkers := interp.FastEnabled, HostWorkers
+	defer func() {
+		interp.FastEnabled, HostWorkers = savedFast, savedWorkers
+	}()
+
+	rep := &HostPerfReport{
+		Threads: opts.Threads, Seed: opts.Seed, Smoke: opts.Smoke,
+		HostWorkers: savedWorkers, GoMaxProcs: runtime.GOMAXPROCS(0),
+		AllVTimesMatch: true,
+	}
+	wls := workloads.All()
+	campaigns := hostCampaigns(opts)
+
+	type pass struct {
+		wlDur   []time.Duration
+		wlCost  []int64
+		wlVt    []map[string]int64
+		campDur []time.Duration
+	}
+	runPass := func(fast bool) (*pass, error) {
+		interp.FastEnabled = fast
+		if fast {
+			HostWorkers = savedWorkers
+		} else {
+			HostWorkers = 1
+		}
+		resetCaches()
+		p := &pass{
+			wlDur: make([]time.Duration, len(wls)), wlCost: make([]int64, len(wls)),
+			wlVt: make([]map[string]int64, len(wls)), campDur: make([]time.Duration, len(campaigns)),
+		}
+		for i, wl := range wls {
+			d, cost, vt, err := hostBundle(wl, opts.Threads)
+			if err != nil {
+				return nil, fmt.Errorf("bench: host bundle %s: %w", wl.Name, err)
+			}
+			p.wlDur[i], p.wlCost[i], p.wlVt[i] = d, cost, vt
+		}
+		for i, c := range campaigns {
+			// Collect before starting the clock so GC debt left by the
+			// previous campaign (or, in the fast pass, by filling the memo
+			// caches) is not charged to this one.
+			runtime.GC()
+			start := time.Now()
+			if err := c.run(io.Discard); err != nil {
+				return nil, fmt.Errorf("bench: host campaign %s: %w", c.name, err)
+			}
+			p.campDur[i] = time.Since(start)
+		}
+		return p, nil
+	}
+
+	fmt.Fprintf(out, "Host performance: legacy stepper vs compiled fast path (GOMAXPROCS=%d, hostpar %d)\n",
+		rep.GoMaxProcs, savedWorkers)
+	legacy, err := runPass(false)
+	if err != nil {
+		return nil, err
+	}
+	fast, err := runPass(true)
+	if err != nil {
+		return nil, err
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	ratio := func(a, b float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return a / b
+	}
+
+	var totLegacyNs, totFastNs, totCost float64
+	fmt.Fprintf(out, "  %-10s %10s %10s %8s %7s %12s %12s  %s\n",
+		"workload", "legacy-ms", "fast-ms", "speedup", "Mcost", "legacy-ns/cu", "fast-ns/cu", "vtime")
+	for i, wl := range wls {
+		t := HostWorkloadTiming{
+			Workload: wl.Name,
+			SimCost:  legacy.wlCost[i],
+			LegacyMs: ms(legacy.wlDur[i]),
+			FastMs:   ms(fast.wlDur[i]),
+		}
+		t.Speedup = ratio(t.LegacyMs, t.FastMs)
+		t.LegacyNsPerCost = ratio(float64(legacy.wlDur[i].Nanoseconds()), float64(t.SimCost))
+		t.FastNsPerCost = ratio(float64(fast.wlDur[i].Nanoseconds()), float64(t.SimCost))
+		t.VTimeMatch = len(legacy.wlVt[i]) == len(fast.wlVt[i])
+		for k, v := range legacy.wlVt[i] {
+			if fast.wlVt[i][k] != v {
+				t.VTimeMatch = false
+			}
+		}
+		if !t.VTimeMatch {
+			rep.AllVTimesMatch = false
+		}
+		totLegacyNs += float64(legacy.wlDur[i].Nanoseconds())
+		totFastNs += float64(fast.wlDur[i].Nanoseconds())
+		totCost += float64(t.SimCost)
+		rep.Workloads = append(rep.Workloads, t)
+		match := "match"
+		if !t.VTimeMatch {
+			match = "DRIFT"
+		}
+		fmt.Fprintf(out, "  %-10s %10.1f %10.1f %7.2fx %7.1f %12.1f %12.1f  %s\n",
+			t.Workload, t.LegacyMs, t.FastMs, t.Speedup, float64(t.SimCost)/1e6,
+			t.LegacyNsPerCost, t.FastNsPerCost, match)
+	}
+	rep.LegacyNsPerCost = ratio(totLegacyNs, totCost)
+	rep.FastNsPerCost = ratio(totFastNs, totCost)
+
+	fmt.Fprintf(out, "  %-10s %10s %10s %8s\n", "campaign", "legacy-ms", "fast-ms", "speedup")
+	for i, c := range campaigns {
+		t := HostCampaignTiming{
+			Campaign: c.name,
+			LegacyMs: ms(legacy.campDur[i]),
+			FastMs:   ms(fast.campDur[i]),
+		}
+		t.Speedup = ratio(t.LegacyMs, t.FastMs)
+		rep.SuiteLegacyMs += t.LegacyMs
+		rep.SuiteFastMs += t.FastMs
+		rep.Campaigns = append(rep.Campaigns, t)
+		fmt.Fprintf(out, "  %-10s %10.1f %10.1f %7.2fx\n", t.Campaign, t.LegacyMs, t.FastMs, t.Speedup)
+	}
+	rep.SuiteSpeedup = ratio(rep.SuiteLegacyMs, rep.SuiteFastMs)
+	fmt.Fprintf(out, "  suite: legacy %.1fms, fast %.1fms, %.2fx; simulator %.1f -> %.1f ns/cost-unit; vtimes match=%v\n",
+		rep.SuiteLegacyMs, rep.SuiteFastMs, rep.SuiteSpeedup,
+		rep.LegacyNsPerCost, rep.FastNsPerCost, rep.AllVTimesMatch)
+
+	if !rep.AllVTimesMatch {
+		return rep, fmt.Errorf("bench: fast-path virtual time drifted from the legacy stepper")
+	}
+	if opts.JSONPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(opts.JSONPath, append(data, '\n'), 0o644); err != nil {
+			return rep, err
+		}
+		fmt.Fprintf(out, "wrote %s\n", opts.JSONPath)
+	}
+	return rep, nil
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/vm/interp"
+	"repro/internal/workloads"
+)
+
+// withHostState runs fn under the given substrate (fast path on/off) and
+// host worker count, restoring the package globals and dropping every memo
+// cache afterwards so tests cannot leak state into each other.
+func withHostState(fast bool, workers int, fn func()) {
+	savedFast, savedWorkers := interp.FastEnabled, HostWorkers
+	interp.FastEnabled, HostWorkers = fast, workers
+	resetCaches()
+	defer func() {
+		interp.FastEnabled, HostWorkers = savedFast, savedWorkers
+		resetCaches()
+	}()
+	fn()
+}
+
+// TestHostParCampaignsByteIdentical: running a campaign's cells on the
+// -hostpar worker pool must reproduce the sequential run exactly — the
+// printed report byte for byte and the machine-readable report
+// JSON-identical — because results are always replayed in submission
+// order.
+func TestHostParCampaignsByteIdentical(t *testing.T) {
+	campaigns := []struct {
+		name string
+		run  func(w io.Writer) (any, error)
+	}{
+		{"faults", func(w io.Writer) (any, error) {
+			return FaultCampaign(w, CampaignOptions{Threads: 4, Seed: 7, Smoke: true})
+		}},
+		{"service", func(w io.Writer) (any, error) {
+			return ServiceCampaign(w, ServiceOptions{Threads: 4, Seed: 7, Smoke: true})
+		}},
+		{"sanitize", func(w io.Writer) (any, error) {
+			return SanitizeCampaign(w, SanitizeOptions{Threads: 4, Smoke: true})
+		}},
+	}
+	for _, c := range campaigns {
+		render := func(workers int) (text string, rep []byte) {
+			withHostState(true, workers, func() {
+				var buf bytes.Buffer
+				r, err := c.run(&buf)
+				if err != nil {
+					t.Fatalf("%s (workers=%d) failed:\n%s%v", c.name, workers, buf.String(), err)
+				}
+				js, err := json.Marshal(r)
+				if err != nil {
+					t.Fatalf("%s: marshal report: %v", c.name, err)
+				}
+				text, rep = buf.String(), js
+			})
+			return text, rep
+		}
+		seqText, seqRep := render(1)
+		parText, parRep := render(4)
+		if seqText != parText {
+			t.Errorf("%s: parallel cells changed the printed report:\n--- sequential ---\n%s--- hostpar 4 ---\n%s",
+				c.name, seqText, parText)
+		}
+		if !bytes.Equal(seqRep, parRep) {
+			t.Errorf("%s: parallel cells changed the JSON report:\n--- sequential ---\n%s\n--- hostpar 4 ---\n%s",
+				c.name, seqRep, parRep)
+		}
+	}
+}
+
+// TestFastLegacyVTimesEqual: the compiled fast path must be bit-for-bit
+// virtual-time identical to the legacy stepper for every workload, every
+// applicable schedule kind, and every declared sync mode — the correctness
+// contract that lets the host benchmark call the two substrates
+// interchangeable.
+func TestFastLegacyVTimesEqual(t *testing.T) {
+	for _, wl := range workloads.All() {
+		vtimes := func(fast bool) map[string]int64 {
+			out := map[string]int64{}
+			withHostState(fast, 1, func() {
+				cp, err := compileUncached(wl, "comm", 4)
+				if err != nil {
+					t.Fatalf("compile %s (fast=%v): %v", wl.Name, fast, err)
+				}
+				out["seq"] = cp.SeqCost
+				for _, kind := range campaignKinds {
+					if cp.Schedule(kind) == nil {
+						continue
+					}
+					for _, mode := range wl.Syncs() {
+						m, err := cp.runUncached(kind, mode, 4, false)
+						if err != nil {
+							t.Fatalf("run %s %v/%v (fast=%v): %v", wl.Name, kind, mode, fast, err)
+						}
+						out[fmt.Sprintf("%v/%v", kind, mode)] = m.VirtualTime
+					}
+				}
+			})
+			return out
+		}
+		legacy, fast := vtimes(false), vtimes(true)
+		if len(legacy) != len(fast) {
+			t.Errorf("%s: substrates ran different cells: legacy %d, fast %d", wl.Name, len(legacy), len(fast))
+		}
+		for k, lv := range legacy {
+			if fv, ok := fast[k]; !ok || fv != lv {
+				t.Errorf("%s %s: virtual time drifted: legacy %d, fast %d", wl.Name, k, lv, fv)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// HostWorkers is the number of host goroutines campaign harnesses may use
+// to run independent campaign cells concurrently (the -hostpar flag).
+// Zero or negative selects GOMAXPROCS. Campaign cells are deterministic
+// per seed and share only read-only compile artifacts, so the worker
+// count never changes any report: results are collected in submission
+// order and every JSON artifact is byte-identical to a sequential run.
+var HostWorkers = 1
+
+// hostWorkers resolves HostWorkers to a concrete pool size.
+func hostWorkers() int {
+	if HostWorkers > 0 {
+		return HostWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parDo runs fn(i) for every i in [0, n) on a bounded worker pool and
+// returns the first error in index order. fn must be safe to call
+// concurrently with distinct indices; with a single worker everything
+// runs sequentially on the calling goroutine, preserving the legacy
+// execution order exactly.
+func parDo(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	workers := hostWorkers()
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/builtins"
 	"repro/internal/pipeline"
@@ -36,6 +37,10 @@ type Compiled struct {
 	// SeqWorld is the sequential run's final substrate, used to validate
 	// parallel runs.
 	SeqWorld *builtins.World
+
+	// runMu guards runCache, the fast-mode measurement memo (cache.go).
+	runMu    sync.Mutex
+	runCache map[runKey]*runEntry
 }
 
 // freshWorld builds a substrate instance populated for the workload.
@@ -47,8 +52,17 @@ func freshWorld(wl *workloads.Workload) *builtins.World {
 
 // Compile compiles, profiles, and analyzes one variant of a workload.
 // variant may be a variant name, or "noannot" for the pragma-stripped
-// non-COMMSET baseline of the primary source.
+// non-COMMSET baseline of the primary source. In fast mode the artifact is
+// memoized per (workload, variant, threads) — compilation is deterministic
+// and the result is read-only, so the campaigns share one copy.
 func Compile(wl *workloads.Workload, variant string, threads int) (*Compiled, error) {
+	if interpFast() {
+		return compileCached(wl, variant, threads)
+	}
+	return compileUncached(wl, variant, threads)
+}
+
+func compileUncached(wl *workloads.Workload, variant string, threads int) (*Compiled, error) {
 	src := ""
 	switch variant {
 	case "noannot":
@@ -167,6 +181,13 @@ func (cp *Compiled) RunAuto(kind transform.Kind, mode exec.SyncMode, threads int
 }
 
 func (cp *Compiled) run(kind transform.Kind, mode exec.SyncMode, threads int, auto bool) (*Measurement, error) {
+	if interpFast() {
+		return cp.runCached(kind, mode, threads, auto)
+	}
+	return cp.runUncached(kind, mode, threads, auto)
+}
+
+func (cp *Compiled) runUncached(kind transform.Kind, mode exec.SyncMode, threads int, auto bool) (*Measurement, error) {
 	sched := cp.Schedule(kind)
 	if sched == nil {
 		return nil, fmt.Errorf("bench: %s/%s: schedule %v not applicable", cp.WL.Name, cp.Variant, kind)
@@ -180,7 +201,8 @@ func (cp *Compiled) run(kind transform.Kind, mode exec.SyncMode, threads int, au
 	}
 	if auto {
 		cfg.Auto = &exec.AutoOptions{
-			Fresh: func() map[string]interp.BuiltinFn { return freshWorld(cp.WL).Fns() },
+			Fresh:    func() map[string]interp.BuiltinFn { return freshWorld(cp.WL).Fns() },
+			Parallel: parDo,
 		}
 	}
 	res, err := exec.Run(cfg, cp.LA, sched, mode, threads)

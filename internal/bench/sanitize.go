@@ -116,50 +116,82 @@ func SanitizeCampaign(w io.Writer, opts SanitizeOptions) (*SanitizeReport, error
 	fmt.Fprintf(w, "  %-10s %-8s %-8s %-6s %12s %6s %6s %6s %6s  %s\n",
 		"workload", "variant", "sched", "sync", "vtime", "races", "cand", "verif", "viol", "status")
 
+	// Compile every swept variant, then run the workload × transform × sync
+	// cells concurrently under -hostpar: each cell owns its fresh worlds
+	// and monitors and shares only read-only compile artifacts. Cells are
+	// replayed in submission order, so the table and JSON report are
+	// byte-identical to a sequential run.
 	parallelKinds := []transform.Kind{transform.DOALL, transform.DSWP, transform.PSDSWP}
+	type compileSpec struct {
+		wl      *workloads.Workload
+		variant string
+	}
+	var toCompile []compileSpec
 	for _, wl := range workloads.All() {
 		variants := wl.Variants
 		if opts.Smoke {
 			variants = variants[:1]
 		}
 		for _, variant := range variants {
-			cp, err := Compile(wl, variant.Name, threads)
-			if err != nil {
-				return nil, err
+			toCompile = append(toCompile, compileSpec{wl, variant.Name})
+		}
+	}
+	cps := make([]*Compiled, len(toCompile))
+	if err := parDo(len(toCompile), func(i int) error {
+		cp, err := Compile(toCompile[i].wl, toCompile[i].variant, threads)
+		cps[i] = cp
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	type cellSpec struct {
+		cp   *Compiled
+		kind transform.Kind
+		mode exec.SyncMode
+	}
+	var specs []cellSpec
+	for i, tc := range toCompile {
+		for _, kind := range parallelKinds {
+			if cps[i].Schedule(kind) == nil {
+				continue
 			}
-			for _, kind := range parallelKinds {
-				if cp.Schedule(kind) == nil {
-					continue
-				}
-				for _, mode := range wl.Syncs() {
-					cell, err := runSanitizedCell(cp, kind, mode, threads)
-					if err != nil {
-						return nil, err
-					}
-					rep.Cells = append(rep.Cells, *cell)
-					rep.TotalCells++
-					if cell.Clean {
-						rep.CleanCells++
-					} else {
-						rep.AllClean = false
-					}
-					if !cell.VTimeMatch {
-						rep.VTimeBitForBit = false
-					}
-					status := "clean"
-					if !cell.Clean {
-						status = "DIRTY"
-					}
-					if !cell.VTimeMatch {
-						status += " VTIME-DRIFT"
-					}
-					fmt.Fprintf(w, "  %-10s %-8s %-8s %-6s %12d %6d %6d %6d %6d  %s\n",
-						cell.Workload, cell.Variant, cell.Schedule, cell.Sync,
-						cell.VirtualTime, len(cell.Races), cell.Candidates,
-						cell.Verified, cell.Violations, status)
-				}
+			for _, mode := range tc.wl.Syncs() {
+				specs = append(specs, cellSpec{cps[i], kind, mode})
 			}
 		}
+	}
+	cells := make([]*SanitizeCell, len(specs))
+	if err := parDo(len(specs), func(i int) error {
+		cell, err := runSanitizedCell(specs[i].cp, specs[i].kind, specs[i].mode, threads)
+		cells[i] = cell
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, cell := range cells {
+		rep.Cells = append(rep.Cells, *cell)
+		rep.TotalCells++
+		if cell.Clean {
+			rep.CleanCells++
+		} else {
+			rep.AllClean = false
+		}
+		if !cell.VTimeMatch {
+			rep.VTimeBitForBit = false
+		}
+		status := "clean"
+		if !cell.Clean {
+			status = "DIRTY"
+		}
+		if !cell.VTimeMatch {
+			status += " VTIME-DRIFT"
+		}
+		fmt.Fprintf(w, "  %-10s %-8s %-8s %-6s %12d %6d %6d %6d %6d  %s\n",
+			cell.Workload, cell.Variant, cell.Schedule, cell.Sync,
+			cell.VirtualTime, len(cell.Races), cell.Candidates,
+			cell.Verified, cell.Violations, status)
 	}
 
 	fmt.Fprintf(w, "\nMisannotation negatives (must be flagged dynamically):\n")
@@ -318,17 +350,32 @@ func runSanitizedCell(cp *Compiled, kind transform.Kind, mode exec.SyncMode, thr
 // refutes family of the precision corpus under VerifyAll, plus the
 // embedded parallel negative through the two-phase detect/capture path.
 func sanitizeNegatives() ([]SanitizeNegative, error) {
-	var out []SanitizeNegative
+	var refutes []analysis.CorpusEntry
 	for _, e := range analysis.Corpus() {
-		if !e.Refutes {
-			continue
+		if e.Refutes {
+			refutes = append(refutes, e)
 		}
+	}
+	// Each negative compiles and replays its own program; the corpus cases
+	// and the embedded parallel negative run concurrently under -hostpar
+	// and are collected in corpus order.
+	out := make([]SanitizeNegative, len(refutes)+1)
+	if err := parDo(len(refutes)+1, func(i int) error {
+		if i == len(refutes) {
+			par, err := parallelNegative()
+			if err != nil {
+				return err
+			}
+			out[i] = *par
+			return nil
+		}
+		e := refutes[i]
 		pairs, err := VerifyAllSource(e.Name+".mc", e.Source, func(c sanitize.Candidate) string {
 			return fmt.Sprintf("commsetvet -sanitize-out report.json internal/analysis/testdata/corpus/%s.mc # pair gseq %d:%d",
 				e.Name, c.GseqA, c.GseqB)
 		})
 		if err != nil {
-			return nil, fmt.Errorf("bench: negative %s: %w", e.Name, err)
+			return fmt.Errorf("bench: negative %s: %w", e.Name, err)
 		}
 		n := SanitizeNegative{Name: e.Name, Mode: "verify-all", Pairs: pairs}
 		for _, p := range pairs {
@@ -337,14 +384,11 @@ func sanitizeNegatives() ([]SanitizeNegative, error) {
 			}
 		}
 		n.Flagged = n.Violations > 0
-		out = append(out, n)
-	}
-
-	par, err := parallelNegative()
-	if err != nil {
+		out[i] = n
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	out = append(out, *par)
 	return out, nil
 }
 

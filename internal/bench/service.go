@@ -388,7 +388,17 @@ func ServiceCampaign(out io.Writer, opts ServiceOptions) (*ServiceReport, error)
 
 		// Steady cells: every applicable schedule × sync under moderate load;
 		// the full arrival-trace sweep rides on the DOALL primary-sync cell
-		// in smoke mode and on every cell otherwise.
+		// in smoke mode and on every cell otherwise. The capacity
+		// calibrations and the cells are independent seeded runs, so both
+		// sweeps execute concurrently under -hostpar; cells are recorded in
+		// submission order, keeping table and JSON byte-identical to a
+		// sequential run.
+		type kmSpec struct {
+			kind  transform.Kind
+			sched *transform.Schedule
+			mode  exec.SyncMode
+		}
+		var kms []kmSpec
 		for _, kind := range campaignKinds {
 			sched := sc.cp.Schedule(kind)
 			if sched == nil {
@@ -397,33 +407,60 @@ func ServiceCampaign(out io.Writer, opts ServiceOptions) (*ServiceReport, error)
 				continue
 			}
 			for _, mode := range syncs {
-				capac, err := sc.capacity(sched, mode, opts.Threads)
-				if err != nil {
-					return nil, err
-				}
-				traces := []string{"poisson", "bursty", "diurnal"}
-				if opts.Smoke && !(kind == transform.DOALL && mode == primary) {
-					traces = []string{"poisson"}
-				}
-				for _, trace := range traces {
-					gap := sc.gap(steadyUtil, capac)
-					scaler := &exec.ScalerConfig{Window: 8 * sc.reqCost}
-					mk := sc.svcConfig(trace, opts.Seed+traceSeeds[trace], gap, scaler, 32)
-					res, w, err := sc.runOnce(sched, mode, opts.Threads, mk(), nil)
-					cell := ServiceCell{
-						Service: svc.Name, Kind: fmt.Sprintf("%v", kind), Sync: fmt.Sprintf("%v", mode),
-						Trace: trace, Scenario: "steady", Util: steadyUtil,
-					}
-					if err == nil {
-						err = sc.validate(w, res)
-					}
-					if err == nil {
-						cell.Outcome = "ok"
-						cell.Detail = resultDetail(res)
-					}
-					record(cell, res, err)
-				}
+				kms = append(kms, kmSpec{kind, sched, mode})
 			}
+		}
+		capacs := make([]float64, len(kms))
+		if err := parDo(len(kms), func(i int) error {
+			c, err := sc.capacity(kms[i].sched, kms[i].mode, opts.Threads)
+			capacs[i] = c
+			return err
+		}); err != nil {
+			return nil, err
+		}
+
+		type steadyCell struct {
+			km    int
+			trace string
+			cell  ServiceCell
+			res   *exec.ServiceResult
+			err   error
+		}
+		var steady []*steadyCell
+		for ki, km := range kms {
+			traces := []string{"poisson", "bursty", "diurnal"}
+			if opts.Smoke && !(km.kind == transform.DOALL && km.mode == primary) {
+				traces = []string{"poisson"}
+			}
+			for _, trace := range traces {
+				steady = append(steady, &steadyCell{km: ki, trace: trace})
+			}
+		}
+		if err := parDo(len(steady), func(i int) error {
+			st := steady[i]
+			km := kms[st.km]
+			gap := sc.gap(steadyUtil, capacs[st.km])
+			scaler := &exec.ScalerConfig{Window: 8 * sc.reqCost}
+			mk := sc.svcConfig(st.trace, opts.Seed+traceSeeds[st.trace], gap, scaler, 32)
+			res, w, err := sc.runOnce(km.sched, km.mode, opts.Threads, mk(), nil)
+			cell := ServiceCell{
+				Service: svc.Name, Kind: fmt.Sprintf("%v", km.kind), Sync: fmt.Sprintf("%v", km.mode),
+				Trace: st.trace, Scenario: "steady", Util: steadyUtil,
+			}
+			if err == nil {
+				err = sc.validate(w, res)
+			}
+			if err == nil {
+				cell.Outcome = "ok"
+				cell.Detail = resultDetail(res)
+			}
+			st.cell, st.res, st.err = cell, res, err
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, st := range steady {
+			record(st.cell, st.res, st.err)
 		}
 
 		doall := sc.cp.Schedule(transform.DOALL)
@@ -621,16 +658,30 @@ func ServiceCampaign(out io.Writer, opts ServiceOptions) (*ServiceReport, error)
 		if opts.Smoke {
 			utils = ladderUtilsSmoke
 		}
-		lastSustainable := -1
-		points := make([]RatePoint, 0, len(utils))
-		for _, util := range utils {
-			gap := sc.gap(util, capac)
+		// Ladder points are independent seeded runs: measure them
+		// concurrently, classify them in ladder order.
+		type ladderRun struct {
+			res *exec.ServiceResult
+			err error
+		}
+		runs := make([]ladderRun, len(utils))
+		if err := parDo(len(utils), func(i int) error {
+			gap := sc.gap(utils[i], capac)
 			scaler := &exec.ScalerConfig{Window: 8 * sc.reqCost}
 			mk := sc.svcConfig("poisson", opts.Seed+traceSeeds["poisson"], gap, scaler, 32)
 			res, w, err := sc.runOnce(doall, primary, opts.Threads, mk(), nil)
 			if err == nil {
 				err = sc.validate(w, res)
 			}
+			runs[i] = ladderRun{res, err}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		lastSustainable := -1
+		points := make([]RatePoint, 0, len(utils))
+		for i, util := range utils {
+			res, err := runs[i].res, runs[i].err
 			if err != nil {
 				violations = append(violations, fmt.Sprintf("%s rate ladder util %.2f: %v", svc.Name, util, err))
 				continue

@@ -3,6 +3,7 @@ package builtins
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -27,9 +28,12 @@ func (w *World) Clone() *World {
 
 	c.seed = w.seed
 
+	// Matrix contents are never written after matrix_alloc (deallocation is
+	// deferred and marks freedMats only), so clones share the backing
+	// arrays instead of deep-copying them.
 	c.matrices = make(map[int64][]float64, len(w.matrices))
 	for h, m := range w.matrices {
-		c.matrices[h] = append([]float64(nil), m...)
+		c.matrices[h] = m
 	}
 	c.freedMats = make(map[int64]bool, len(w.freedMats))
 	for h, v := range w.freedMats {
@@ -165,7 +169,10 @@ func (w *World) ObservableState(base Baseline) map[string]string {
 
 	var freshMats []string
 	for h, m := range w.matrices {
-		r := renderFloats(m)
+		// Matrices are immutable after creation, so fast mode memoizes
+		// their rendering by backing-array identity (the arrays are shared
+		// across clones and recur on every replay diff).
+		r := cachedFloatRender(m, func() string { return renderFloats(m) })
 		if h < base.NextMat {
 			out[fmt.Sprintf("hmm.mat:%d", h)] = r
 		} else {
@@ -238,11 +245,14 @@ func multiset(s []string) string {
 }
 
 func renderInt64s(s []int64) string {
-	parts := make([]string, len(s))
+	buf := make([]byte, 0, 8*len(s))
 	for i, v := range s {
-		parts[i] = fmt.Sprint(v)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, v, 10)
 	}
-	return strings.Join(parts, ",")
+	return string(buf)
 }
 
 func renderInt64Multiset(s []int64) string {
@@ -251,12 +261,17 @@ func renderInt64Multiset(s []int64) string {
 	return renderInt64s(cp)
 }
 
+// renderFloats renders through 'g'/precision 9 — byte-identical to the
+// former per-element %.9g Sprintf, without fmt's interface boxing.
 func renderFloats(s []float64) string {
-	parts := make([]string, len(s))
+	buf := make([]byte, 0, 12*len(s))
 	for i, v := range s {
-		parts[i] = fmt.Sprintf("%.9g", v)
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendFloat(buf, v, 'g', 9, 64)
 	}
-	return strings.Join(parts, ",")
+	return string(buf)
 }
 
 func renderFloatRows(s [][]float64) string {

@@ -3,6 +3,7 @@ package builtins
 import (
 	"repro/internal/ast"
 	"repro/internal/effects"
+	"repro/internal/vm/interp"
 	"repro/internal/vm/value"
 )
 
@@ -42,13 +43,16 @@ func (w *World) registerHMM() {
 			}
 			h := w.nextMat
 			w.nextMat++
-			m := make([]float64, n*hmmAlphabet)
-			for i := range m {
-				// Deterministic emission scores independent of the shared
-				// seed (so allocation commutes with sequence generation).
-				x := uint64(h)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
-				m[i] = float64(x%1000)/1000.0 - 0.5
-			}
+			m := cachedMatrix(h, n, func() []float64 {
+				m := make([]float64, n*hmmAlphabet)
+				for i := range m {
+					// Deterministic emission scores independent of the shared
+					// seed (so allocation commutes with sequence generation).
+					x := uint64(h)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+					m[i] = float64(x%1000)/1000.0 - 0.5
+				}
+				return m
+			})
 			w.matrices[h] = m
 			w.liveMats++
 			if w.liveMats > w.MaxLiveMats {
@@ -86,31 +90,49 @@ func (w *World) registerHMM() {
 			if err != nil {
 				return value.Value{}, 0, err
 			}
-			m, ok := w.matrices[args[1].AsInt()]
+			mat := args[1].AsInt()
+			m, ok := w.matrices[mat]
 			if !ok {
 				return value.Value{}, 0, errArg("hmm_score", "bad matrix handle")
 			}
 			states := len(m) / hmmAlphabet
-			prev := make([]float64, states)
-			cur := make([]float64, states)
-			for _, r := range seq {
-				for s := 0; s < states; s++ {
-					best := prev[s]
-					if s > 0 && prev[s-1] > best {
-						best = prev[s-1]
-					}
-					cur[s] = best + m[s*hmmAlphabet+int(r)]
-				}
-				prev, cur = cur, prev
-			}
-			best := prev[0]
-			for _, v := range prev {
-				if v > best {
-					best = v
-				}
-			}
 			cost := int64(len(seq)) * int64(states) * 3
-			return value.Int(int64(best * 100)), cost, nil
+			dp := func() int64 {
+				prev := make([]float64, states)
+				cur := make([]float64, states)
+				for _, r := range seq {
+					for s := 0; s < states; s++ {
+						best := prev[s]
+						if s > 0 && prev[s-1] > best {
+							best = prev[s-1]
+						}
+						cur[s] = best + m[s*hmmAlphabet+int(r)]
+					}
+					prev, cur = cur, prev
+				}
+				best := prev[0]
+				for _, v := range prev {
+					if v > best {
+						best = v
+					}
+				}
+				return int64(best * 100)
+			}
+			var score int64
+			if interp.FastEnabled {
+				// The score is a pure function of the sequence content and
+				// the matrix (itself a pure function of handle and size), so
+				// fast mode content-addresses it: identical sequences recur
+				// across schedules and repeated runs, and hashing is ~100x
+				// cheaper than the dynamic program.
+				score = cachedScore(scoreKey{
+					seqHash: hashBytes(seq), seqLen: len(seq),
+					mat: mat, matLen: len(m),
+				}, dp)
+			} else {
+				score = dp()
+			}
+			return value.Int(score), cost, nil
 		})
 
 	// histogram_add performs the abstract SUM the paper marks

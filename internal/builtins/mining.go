@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/effects"
+	"repro/internal/vm/interp"
 	"repro/internal/vm/value"
 )
 
@@ -17,21 +18,26 @@ import (
 // AddTransactions installs a deterministic synthetic transaction database:
 // rows of item IDs in [0, items).
 func (w *World) AddTransactions(rows, items, rowLen int) {
-	h := uint64(0xfeedface)
-	for r := 0; r < rows; r++ {
-		row := make([]int64, 0, rowLen)
-		seen := map[int64]bool{}
-		for len(row) < rowLen {
-			h = h*6364136223846793005 + 1442695040888963407
-			it := int64((h >> 17) % uint64(items))
-			if !seen[it] {
-				seen[it] = true
-				row = append(row, it)
+	db := cachedTransactions(rows, items, rowLen, func() [][]int64 {
+		db := make([][]int64, 0, rows)
+		h := uint64(0xfeedface)
+		for r := 0; r < rows; r++ {
+			row := make([]int64, 0, rowLen)
+			seen := map[int64]bool{}
+			for len(row) < rowLen {
+				h = h*6364136223846793005 + 1442695040888963407
+				it := int64((h >> 17) % uint64(items))
+				if !seen[it] {
+					seen[it] = true
+					row = append(row, it)
+				}
 			}
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+			db = append(db, row)
 		}
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
-		w.dbRows = append(w.dbRows, row)
-	}
+		return db
+	})
+	w.dbRows = append(w.dbRows, db...)
 }
 
 // NumTransactions reports the database size.
@@ -176,14 +182,32 @@ func (w *World) registerMining() {
 				return value.Value{}, 0, errArg("iset_intersect_size", "bad itemset")
 			}
 			sa, sb := w.itemsets[a], w.itemsets[b]
-			seen := map[int64]bool{}
-			for _, x := range sa {
-				seen[x] = true
-			}
 			n := int64(0)
-			for _, x := range sb {
-				if seen[x] {
-					n++
+			if interp.FastEnabled {
+				// Reuse one epoch-stamped scratch map: a per-call
+				// allocation here dominates the host profile on the
+				// mining workloads.
+				w.isectEpoch++
+				if w.isectSeen == nil {
+					w.isectSeen = make(map[int64]uint32, 64)
+				}
+				for _, x := range sa {
+					w.isectSeen[x] = w.isectEpoch
+				}
+				for _, x := range sb {
+					if w.isectSeen[x] == w.isectEpoch {
+						n++
+					}
+				}
+			} else {
+				seen := map[int64]bool{}
+				for _, x := range sa {
+					seen[x] = true
+				}
+				for _, x := range sb {
+					if seen[x] {
+						n++
+					}
 				}
 			}
 			cost := 40 + 45*int64(len(sa)+len(sb))

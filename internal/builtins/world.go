@@ -75,6 +75,12 @@ type World struct {
 	statsN   int64
 	statsSum float64
 
+	// Epoch-stamped scratch for iset_intersect_size (fast mode only): one
+	// map reused across calls, entries invalidated by bumping the epoch
+	// instead of reallocating.
+	isectSeen  map[int64]uint32
+	isectEpoch uint32
+
 	// Transaction database (eclat, geti).
 	dbRows   [][]int64
 	dbCursor int
@@ -311,26 +317,34 @@ func (w *World) registerCore() {
 			if n < 0 {
 				n = 0
 			}
-			h := uint64(n) ^ 0x9e3779b97f4a7c15
-			for i := int64(0); i < n/64; i++ {
-				h = h*6364136223846793005 + 1442695040888963407
-				h ^= h >> 29
-			}
-			return value.Int(int64(h & 0x7fffffff)), n, nil
+			r := cachedBurn(n, func() int64 {
+				h := uint64(n) ^ 0x9e3779b97f4a7c15
+				for i := int64(0); i < n/64; i++ {
+					h = h*6364136223846793005 + 1442695040888963407
+					h ^= h >> 29
+				}
+				return int64(h & 0x7fffffff)
+			})
+			return value.Int(r), n, nil
 		})
 }
 
 // --- filesystem ---
 
 // AddFile installs a synthetic file. Content is derived deterministically
-// from the seed so workloads are reproducible.
+// from the file index so workloads are reproducible (and fast mode can
+// share one generated copy across worlds — file data is never written).
 func (w *World) AddFile(name string, size int) {
-	data := make([]byte, size)
-	h := uint64(len(w.files))*0x9e3779b97f4a7c15 + 0xabcdef
-	for i := 0; i < size; i += 8 {
-		h = h*6364136223846793005 + 1442695040888963407
-		binary.LittleEndian.PutUint64(pad(data, i), h)
-	}
+	idx := len(w.files)
+	data := cachedFileData(idx, size, func() []byte {
+		data := make([]byte, size)
+		h := uint64(idx)*0x9e3779b97f4a7c15 + 0xabcdef
+		for i := 0; i < size; i += 8 {
+			h = h*6364136223846793005 + 1442695040888963407
+			binary.LittleEndian.PutUint64(pad(data, i), h)
+		}
+		return data
+	})
 	w.files = append(w.files, file{name: name, data: data})
 }
 
@@ -416,8 +430,11 @@ func (w *World) registerFS() {
 			if err != nil {
 				return value.Value{}, 0, err
 			}
-			sum := md5.Sum(b)
-			return value.Str(fmt.Sprintf("%x", sum[:])), 200 + int64(len(b)), nil
+			digest := cachedMD5(b, func() string {
+				sum := md5.Sum(b)
+				return fmt.Sprintf("%x", sum[:])
+			})
+			return value.Str(digest), 200 + int64(len(b)), nil
 		})
 }
 

@@ -239,9 +239,9 @@ func (m *Monitor) runOrder(pre *Snapshot, order []*Invocation, tape *drawTape) (
 		}
 		out.rets[tag] = renderVals(rets)
 	}
-	for k, val := range env.Globals.Snapshot() {
+	env.Globals.Range(func(k string, val value.Value) {
 		out.heap[k] = renderVal(val)
-	}
+	})
 	for slot, val := range cells {
 		out.cells[fmt.Sprintf("cell:%d", slot)] = renderVal(val)
 	}

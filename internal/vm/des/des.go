@@ -632,23 +632,19 @@ func (s *Scheduler) resume(t *Thread, g grant) {
 			s.yieldCh <- t
 		}()
 		t.resumeCh <- grant{vtime: t.VTime}
-		<-s.waitYield(t)
+		s.waitYield(t)
 		return
 	}
 	t.resumeCh <- g
-	<-s.waitYield(t)
+	s.waitYield(t)
 }
 
 // waitYield waits until this specific thread yields again. Because only one
 // thread runs at a time, the next yield is always from t.
-func (s *Scheduler) waitYield(t *Thread) chan struct{} {
-	done := make(chan struct{}, 1)
-	y := <-s.yieldCh
-	if y != t {
+func (s *Scheduler) waitYield(t *Thread) {
+	if y := <-s.yieldCh; y != t {
 		panic("des: yield from unexpected thread")
 	}
-	done <- struct{}{}
-	return done
 }
 
 // step processes one thread's pending event.

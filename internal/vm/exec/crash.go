@@ -117,15 +117,11 @@ func (m *machine) ckptEvery() int64 {
 // snapshotFrame copies a frame exactly, including the shared-source
 // register tags (unlike clone, which resets them for a fresh worker).
 func snapshotFrame(fr *frame) *frame {
-	nf := &frame{
+	return &frame{
 		locals:    append([]value.Value(nil), fr.locals...),
 		regs:      append([]value.Value(nil), fr.regs...),
-		sharedSrc: make(map[int]int, len(fr.sharedSrc)),
+		sharedSrc: append([]int(nil), fr.sharedSrc...),
 	}
-	for k, v := range fr.sharedSrc {
-		nf.sharedSrc[k] = v
-	}
-	return nf
 }
 
 // copyPriv copies a privatized-shadow commit map.

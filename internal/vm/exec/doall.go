@@ -100,10 +100,7 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 	}
 	snapLocals := append([]value.Value(nil), fr.locals...)
 	snapRegs := append([]value.Value(nil), fr.regs...)
-	snapShared := make(map[int]int, len(fr.sharedSrc))
-	for k, v := range fr.sharedSrc {
-		snapShared[k] = v
-	}
+	snapShared := append([]int(nil), fr.sharedSrc...)
 	effects0, writes0 := st.effects, st.it.HeapWrites
 	for attempt := 0; ; attempt++ {
 		err := runUnits()
@@ -116,10 +113,7 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 		}
 		copy(fr.locals, snapLocals)
 		copy(fr.regs, snapRegs)
-		fr.sharedSrc = make(map[int]int, len(snapShared))
-		for k, v := range snapShared {
-			fr.sharedSrc[k] = v
-		}
+		copy(fr.sharedSrc, snapShared)
 		m.stats.iterRetries++
 		st.th.Sleep(r.backoff(attempt))
 	}

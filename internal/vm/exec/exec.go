@@ -343,16 +343,30 @@ type machine struct {
 	env   *interp.Env
 	locks map[*types.Set]*des.Lock
 	cells map[int]*sharedCell
+	// cellAt is the dense shared-cell lookup (indexed by frame slot, nil
+	// for private slots); cells stays the iteration-order registry.
+	cellAt []*sharedCell
+
+	// fast, when non-nil, is the slot-resolved metadata of the compiled
+	// substrate (interp.FastEnabled at machine construction): global names
+	// resolved to heap slots and callees to callInfo. The legacy stepper
+	// keeps its name-keyed map lookups.
+	fast *machineFast
 
 	// setTagCache memoizes the sanitizer's per-member commset tags.
 	setTagCache map[string][]sanitize.SetTag
 
 	tm tmLog
 
-	// instrPos locates every instruction of main: block ID and index.
-	instrPos map[int]instrLoc
-	// unitOf maps loop instruction IDs to unit indices (-1 for control).
-	unitOf map[int]int
+	// instrPos locates every instruction of main: block ID and index,
+	// indexed by the dense instruction ID.
+	instrPos []instrLoc
+	// unitOf maps loop instruction IDs to unit indices (-1 for control,
+	// noUnit for instructions outside the loop), indexed by instruction ID.
+	unitOf []int
+	// groupSets memoizes the dense membership sets instruction groups are
+	// executed under (see stepper.runGroup).
+	groupSets map[groupKey][]bool
 	// exitBlock is the loop's unique exit target.
 	exitBlock int
 
@@ -394,7 +408,85 @@ type instrLoc struct {
 	index int
 }
 
+// groupKey identifies an instruction group by its backing list.
+type groupKey struct {
+	first *ir.Instr
+	n     int
+}
+
+// noUnit marks instructions outside the parallelized loop in unitOf.
+const noUnit = -2
+
+// callInfo is resolved call-site metadata: whether the callee is a
+// commutative member, whether it is a builtin, and the rank-ordered lock
+// sets a member call must acquire (Model.LockSets allocates a fresh slice
+// per query, so the resolution is worth memoizing).
+type callInfo struct {
+	member   bool
+	builtin  bool
+	lockSets []*types.Set
+}
+
+// machineFast carries the slot-indexed fast layer of one machine: per
+// main-instruction global heap slots and call info (indexed by the dense
+// instruction ID), plus a name-keyed memo for callee-side interceptor
+// calls, whose instruction IDs are dense per callee function and so cannot
+// index the main tables.
+type machineFast struct {
+	gslot  []int32
+	call   []*callInfo
+	byName map[string]*callInfo
+}
+
+// resolve memoizes callInfo by callee name. Simulated threads are
+// serialized by the discrete-event scheduler, so the map needs no lock.
+func (fa *machineFast) resolve(m *machine, name string) *callInfo {
+	if ci, ok := fa.byName[name]; ok {
+		return ci
+	}
+	ci := &callInfo{
+		member:   len(m.cfg.Model.SetsOf[name]) > 0,
+		builtin:  m.env.Prog.Funcs[name] == nil,
+		lockSets: m.cfg.Model.LockSets(name),
+	}
+	fa.byName[name] = ci
+	return ci
+}
+
+// buildFast precomputes the slot-indexed tables for main's instructions.
+func (m *machine) buildFast(numInstrs int) *machineFast {
+	fa := &machineFast{
+		gslot:  make([]int32, numInstrs),
+		call:   make([]*callInfo, numInstrs),
+		byName: map[string]*callInfo{},
+	}
+	for i := range fa.gslot {
+		fa.gslot[i] = -1
+	}
+	for _, b := range m.la.Fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoadGlobal, ir.OpStoreGlobal:
+				fa.gslot[in.ID] = int32(m.env.Globals.SlotOf(in.Name))
+			case ir.OpCall:
+				fa.call[in.ID] = fa.resolve(m, in.Name)
+			}
+		}
+	}
+	return fa
+}
+
+// lockSetsOf returns the rank-ordered lock sets of a member, through the
+// fast layer's memo when it is active.
+func (m *machine) lockSetsOf(name string) []*types.Set {
+	if m.fast != nil {
+		return m.fast.resolve(m, name).lockSets
+	}
+	return m.cfg.Model.LockSets(name)
+}
+
 func newMachine(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode SyncMode) *machine {
+	numInstrs := la.Fn.NumInstrs()
 	m := &machine{
 		cfg:      cfg,
 		la:       la,
@@ -403,17 +495,23 @@ func newMachine(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule
 		env:      interp.NewEnv(cfg.Prog, cfg.Builtins),
 		locks:    map[*types.Set]*des.Lock{},
 		cells:    map[int]*sharedCell{},
-		instrPos: map[int]instrLoc{},
+		instrPos: make([]instrLoc, numInstrs),
 	}
+	m.cellAt = make([]*sharedCell, len(la.Fn.Locals))
 	for _, s := range sched.SharedSlots {
-		m.cells[s] = &sharedCell{}
+		c := &sharedCell{}
+		m.cells[s] = c
+		m.cellAt[s] = c
 	}
 	for _, b := range la.Fn.Blocks {
 		for i, in := range b.Instrs {
 			m.instrPos[in.ID] = instrLoc{block: b.ID, index: i}
 		}
 	}
-	m.unitOf = map[int]int{}
+	m.unitOf = make([]int, numInstrs)
+	for i := range m.unitOf {
+		m.unitOf[i] = noUnit
+	}
 	for ui, instrs := range la.Units.Units {
 		for _, in := range instrs {
 			m.unitOf[in.ID] = ui
@@ -430,13 +528,15 @@ func newMachine(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule
 		m.exitBlock = e
 		break
 	}
+	if interp.FastEnabled {
+		m.fast = m.buildFast(numInstrs)
+	}
 	return m
 }
 
 // isShared reports whether the slot is promoted to a shared cell.
 func (m *machine) isShared(slot int) bool {
-	_, ok := m.cells[slot]
-	return ok
+	return slot >= 0 && slot < len(m.cellAt) && m.cellAt[slot] != nil
 }
 
 // runMain executes main: prologue up to the loop, the parallel loop, and

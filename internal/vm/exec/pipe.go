@@ -253,9 +253,12 @@ func (m *machine) flowForward() []map[int]bool {
 		if !isSlot || e.LoopCarried || e.Kind != pdg.DepFlow || shared[slot] {
 			continue
 		}
-		u1, ok1 := m.unitOf[e.From]
-		u2, ok2 := m.unitOf[e.To]
-		if !ok1 || !ok2 || u1 < 0 || u2 < 0 {
+		if e.From >= len(m.unitOf) || e.To >= len(m.unitOf) {
+			continue
+		}
+		u1 := m.unitOf[e.From]
+		u2 := m.unitOf[e.To]
+		if u1 < 0 || u2 < 0 {
 			continue
 		}
 		s1, in1 := stageOf[u1]

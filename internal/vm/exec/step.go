@@ -15,16 +15,18 @@ import (
 type frame struct {
 	locals []value.Value
 	regs   []value.Value
-	// sharedSrc tags registers whose value was loaded from a shared slot;
-	// member calls re-read those cells inside their atomic section.
-	sharedSrc map[int]int
+	// sharedSrc tags registers whose value was loaded from a shared slot
+	// (stored as slot+1; 0 means untagged — a dense slice instead of a map
+	// keeps the per-instruction tag bookkeeping off the heap); member calls
+	// re-read tagged cells inside their atomic section.
+	sharedSrc []int
 }
 
 func newFrame(f *ir.Func) *frame {
 	fr := &frame{
 		locals:    make([]value.Value, len(f.Locals)),
 		regs:      make([]value.Value, f.NumRegs),
-		sharedSrc: map[int]int{},
+		sharedSrc: make([]int, f.NumRegs),
 	}
 	for i := range fr.locals {
 		fr.locals[i] = value.Zero(f.Locals[i].Type)
@@ -37,7 +39,7 @@ func (fr *frame) clone() *frame {
 	nf := &frame{
 		locals:    make([]value.Value, len(fr.locals)),
 		regs:      make([]value.Value, len(fr.regs)),
-		sharedSrc: map[int]int{},
+		sharedSrc: make([]int, len(fr.sharedSrc)),
 	}
 	copy(nf.locals, fr.locals)
 	copy(nf.regs, fr.regs)
@@ -71,6 +73,17 @@ type stepper struct {
 	effects int
 
 	flushed int64 // portion of it.Cost already charged to th
+
+	// invokeFn is the one reusable invoke closure for main-frame calls on
+	// the fast substrate; it reads the call set by execCallArgs in
+	// callIn/callArgs/callMember. Exec-level calls never nest within one
+	// stepper (callee bodies run in the interpreter, which has its own
+	// reusable closure), so a single set of fields suffices, and
+	// interceptor-level retries reuse them unchanged.
+	invokeFn   func() ([]value.Value, error)
+	callIn     *ir.Instr
+	callArgs   []value.Value
+	callMember bool
 }
 
 func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
@@ -81,8 +94,16 @@ func (m *machine) newStepper(th *des.Thread, fr *frame) *stepper {
 		st.it.Tracer = m.cfg.Sanitize
 	}
 	st.it.Interceptor = func(t *interp.Thread, in *ir.Instr, args []value.Value, invoke func() ([]value.Value, error)) ([]value.Value, error) {
-		member := len(m.cfg.Model.SetsOf[in.Name]) > 0
-		builtin := m.env.Prog.Funcs[in.Name] == nil
+		var member, builtin bool
+		if fa := m.fast; fa != nil {
+			// Callee instruction IDs are dense per function, so the
+			// interceptor resolves by name, not by the main tables.
+			ci := fa.resolve(m, in.Name)
+			member, builtin = ci.member, ci.builtin
+		} else {
+			member = len(m.cfg.Model.SetsOf[in.Name]) > 0
+			builtin = m.env.Prog.Funcs[in.Name] == nil
+		}
 		switch {
 		case builtin:
 			// Builtins fail atomically (an injected failure fires before
@@ -187,7 +208,7 @@ func (st *stepper) withMemberSync(name string, args []value.Value, argSlots, out
 // to, acquired in global rank order and released in reverse (Section 4.6).
 func (st *stepper) memberSyncInner(name string, args []value.Value, argSlots, outSlots map[int]int, body func() ([]value.Value, error)) ([]value.Value, error) {
 	m := st.m
-	lockSets := m.cfg.Model.LockSets(name)
+	lockSets := m.lockSetsOf(name)
 	st.flush()
 	if mon := m.cfg.Sanitize; mon != nil {
 		// The member extent opens after synchronization is in place (the
@@ -366,13 +387,24 @@ func (st *stepper) runBlocks(from, until int) error {
 	return nil
 }
 
-// instrSet builds a membership predicate over an instruction list.
-func instrSet(instrs []*ir.Instr) func(*ir.Instr) bool {
-	set := make(map[int]bool, len(instrs))
+// groupSet returns the dense membership set of an instruction group,
+// memoized per backing list: groups (units, condition, post increment) are
+// fixed for the whole run but executed once per iteration, so the set is
+// built once instead of per execution.
+func (m *machine) groupSet(instrs []*ir.Instr) []bool {
+	key := groupKey{first: instrs[0], n: len(instrs)}
+	if set, ok := m.groupSets[key]; ok {
+		return set
+	}
+	set := make([]bool, len(m.instrPos))
 	for _, in := range instrs {
 		set[in.ID] = true
 	}
-	return func(in *ir.Instr) bool { return set[in.ID] }
+	if m.groupSets == nil {
+		m.groupSets = map[groupKey][]bool{}
+	}
+	m.groupSets[key] = set
+	return set
 }
 
 // runGroup executes one instruction group (a unit, the condition, or the
@@ -381,7 +413,8 @@ func (st *stepper) runGroup(instrs []*ir.Instr) (stop, error) {
 	if len(instrs) == 0 {
 		return stop{}, nil
 	}
-	return st.exec(instrs[0], instrSet(instrs))
+	set := st.m.groupSet(instrs)
+	return st.exec(instrs[0], func(in *ir.Instr) bool { return set[in.ID] })
 }
 
 // stepInstr executes one instruction. It returns the branch target block
@@ -391,7 +424,7 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 	fr := st.fr
 	clearTag := func(dst int) {
 		if dst >= 0 {
-			delete(fr.sharedSrc, dst)
+			fr.sharedSrc[dst] = 0
 		}
 	}
 	switch in.Op {
@@ -404,8 +437,8 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 			if mon := st.m.cfg.Sanitize; mon != nil {
 				mon.Cell(st.th.ID, in.Slot, false)
 			}
-			fr.regs[in.Dst] = st.m.cells[in.Slot].v
-			fr.sharedSrc[in.Dst] = in.Slot
+			fr.regs[in.Dst] = st.m.cellAt[in.Slot].v
+			fr.sharedSrc[in.Dst] = in.Slot + 1
 		} else {
 			fr.regs[in.Dst] = fr.locals[in.Slot]
 		}
@@ -415,7 +448,7 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 			if mon := st.m.cfg.Sanitize; mon != nil {
 				mon.Cell(st.th.ID, in.Slot, true)
 			}
-			st.m.cells[in.Slot].v = fr.regs[in.A]
+			st.m.cellAt[in.Slot].v = fr.regs[in.A]
 		} else {
 			fr.locals[in.Slot] = fr.regs[in.A]
 		}
@@ -424,13 +457,21 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 		if mon := st.m.cfg.Sanitize; mon != nil {
 			mon.TraceGlobal(st.th.ID, in.Name, false)
 		}
-		fr.regs[in.Dst] = st.m.env.Globals.Get(in.Name)
+		if fa := st.m.fast; fa != nil && fa.gslot[in.ID] >= 0 {
+			fr.regs[in.Dst] = st.m.env.Globals.GetSlot(int(fa.gslot[in.ID]))
+		} else {
+			fr.regs[in.Dst] = st.m.env.Globals.Get(in.Name)
+		}
 	case ir.OpStoreGlobal:
 		st.it.HeapWrites++
 		if mon := st.m.cfg.Sanitize; mon != nil {
 			mon.TraceGlobal(st.th.ID, in.Name, true)
 		}
-		st.m.env.Globals.Set(in.Name, fr.regs[in.A])
+		if fa := st.m.fast; fa != nil && fa.gslot[in.ID] >= 0 {
+			st.m.env.Globals.SetSlot(int(fa.gslot[in.ID]), fr.regs[in.A])
+		} else {
+			st.m.env.Globals.Set(in.Name, fr.regs[in.A])
+		}
 	case ir.OpBin:
 		clearTag(in.Dst)
 		v, e := interp.EvalBin(in.BinOp, fr.regs[in.A], fr.regs[in.B])
@@ -465,13 +506,34 @@ func (st *stepper) stepInstr(in *ir.Instr) (branchTo int, isRet bool, err error)
 
 // execCall performs a top-level call in the main frame, applying member
 // synchronization, shared-argument refresh, and shared OutSlot writeback.
+// On the fast substrate the argument slice is carved from the interpreter
+// thread's scratch arena (released once the call's results are consumed;
+// see interp.Thread.ScratchSlice).
 func (st *stepper) execCall(in *ir.Instr) error {
+	if st.m.fast == nil {
+		return st.execCallArgs(in, make([]value.Value, len(in.Args)))
+	}
+	mark := st.it.ScratchMark()
+	err := st.execCallArgs(in, st.it.ScratchSlice(len(in.Args)))
+	st.it.ScratchRelease(mark)
+	return err
+}
+
+func (st *stepper) execCallArgs(in *ir.Instr, args []value.Value) error {
 	fr := st.fr
-	args := make([]value.Value, len(in.Args))
 	for i, r := range in.Args {
 		args[i] = fr.regs[r]
 	}
-	member := len(st.m.cfg.Model.SetsOf[in.Name]) > 0
+	var ci *callInfo
+	if fa := st.m.fast; fa != nil {
+		ci = fa.call[in.ID]
+	}
+	member := false
+	if ci != nil {
+		member = ci.member
+	} else {
+		member = len(st.m.cfg.Model.SetsOf[in.Name]) > 0
+	}
 	mon := st.m.cfg.Sanitize
 
 	// The sanitizer's replay needs the shared-cell wiring of a member
@@ -480,11 +542,11 @@ func (st *stepper) execCall(in *ir.Instr) error {
 	var argSlots, outSlots map[int]int
 	if member && st.sharedActive && mon != nil {
 		for i, r := range in.Args {
-			if slot, ok := fr.sharedSrc[r]; ok {
+			if tag := fr.sharedSrc[r]; tag != 0 {
 				if argSlots == nil {
 					argSlots = map[int]int{}
 				}
-				argSlots[i] = slot
+				argSlots[i] = tag - 1
 			}
 		}
 		for i, slot := range in.OutSlots {
@@ -497,41 +559,28 @@ func (st *stepper) execCall(in *ir.Instr) error {
 		}
 	}
 
-	invoke := func() ([]value.Value, error) {
-		if member && st.sharedActive {
-			// Re-read shared-sourced arguments inside the atomic section so
-			// the read-modify-write of shared scalars is not lost.
-			for i, r := range in.Args {
-				if slot, ok := fr.sharedSrc[r]; ok {
-					if mon != nil {
-						mon.Cell(st.th.ID, slot, false)
-					}
-					args[i] = st.m.cells[slot].v
-				}
-			}
+	var invoke func() ([]value.Value, error)
+	if st.m.fast != nil {
+		if st.invokeFn == nil {
+			st.invokeFn = st.invokeCurrent
 		}
-		rets, err := st.it.CallByName(in.Name, args)
-		if err != nil {
-			return nil, err
+		st.callIn, st.callArgs, st.callMember = in, args, member
+		invoke = st.invokeFn
+	} else {
+		invoke = func() ([]value.Value, error) {
+			st.callIn, st.callArgs, st.callMember = in, args, member
+			return st.invokeCurrent()
 		}
-		// Shared OutSlots are written inside the atomic section.
-		if member && st.sharedActive {
-			for i, slot := range in.OutSlots {
-				if st.m.isShared(slot) {
-					st.effects++
-					if mon != nil {
-						mon.Cell(st.th.ID, slot, true)
-					}
-					st.m.cells[slot].v = rets[i]
-				}
-			}
-		}
-		return rets, nil
 	}
 
 	var rets []value.Value
 	var err error
-	builtin := st.m.env.Prog.Funcs[in.Name] == nil
+	builtin := false
+	if ci != nil {
+		builtin = ci.builtin
+	} else {
+		builtin = st.m.env.Prog.Funcs[in.Name] == nil
+	}
 	switch {
 	case builtin:
 		rets, err = st.invokeBuiltin(in.Name, member, args, invoke)
@@ -550,6 +599,52 @@ func (st *stepper) execCall(in *ir.Instr) error {
 		}
 		fr.regs[in.Dst] = rets[0]
 	}
+	return st.finishCall(in, member, mon, rets)
+}
+
+// invokeCurrent performs the call staged in callIn/callArgs/callMember:
+// shared-argument refresh inside the atomic section, the call itself, and
+// shared OutSlot writeback.
+func (st *stepper) invokeCurrent() ([]value.Value, error) {
+	in, args, member := st.callIn, st.callArgs, st.callMember
+	fr := st.fr
+	mon := st.m.cfg.Sanitize
+	if member && st.sharedActive {
+		// Re-read shared-sourced arguments inside the atomic section so
+		// the read-modify-write of shared scalars is not lost.
+		for i, r := range in.Args {
+			if tag := fr.sharedSrc[r]; tag != 0 {
+				slot := tag - 1
+				if mon != nil {
+					mon.Cell(st.th.ID, slot, false)
+				}
+				args[i] = st.m.cellAt[slot].v
+			}
+		}
+	}
+	rets, err := st.it.CallByName(in.Name, args)
+	if err != nil {
+		return nil, err
+	}
+	// Shared OutSlots are written inside the atomic section.
+	if member && st.sharedActive {
+		for i, slot := range in.OutSlots {
+			if st.m.isShared(slot) {
+				st.effects++
+				if mon != nil {
+					mon.Cell(st.th.ID, slot, true)
+				}
+				st.m.cellAt[slot].v = rets[i]
+			}
+		}
+	}
+	return rets, nil
+}
+
+// finishCall writes a call's OutSlot results back to frame locals (shared
+// slots were already written inside the atomic section for member calls).
+func (st *stepper) finishCall(in *ir.Instr, member bool, mon *sanitize.Monitor, rets []value.Value) error {
+	fr := st.fr
 	if len(in.OutSlots) > 0 {
 		if len(rets) != len(in.OutSlots) {
 			return fmt.Errorf("%s: region %s returned %d values, want %d", in.Pos, in.Name, len(rets), len(in.OutSlots))
@@ -561,7 +656,7 @@ func (st *stepper) execCall(in *ir.Instr) error {
 					if mon != nil {
 						mon.Cell(st.th.ID, slot, true)
 					}
-					st.m.cells[slot].v = rets[i]
+					st.m.cellAt[slot].v = rets[i]
 				}
 				// Member writes already landed in the cell under the lock.
 			} else {

@@ -31,32 +31,98 @@ type BuiltinFn func(args []value.Value) (value.Value, int64, error)
 
 // Heap holds global variable storage. The discrete-event scheduler
 // serializes thread execution, so no locking is needed.
+//
+// Storage is a dense slice indexed by slot; slots are assigned in program
+// declaration order (so the compiled fast path can resolve a global name to
+// its slot once, at load time, and index the slice directly). The named
+// Get/Set/Snapshot API is preserved for snapshots, tracing, and tests.
 type Heap struct {
-	g map[string]value.Value
+	vals  []value.Value
+	names []string
+	idx   map[string]int
 }
 
-// NewHeap initializes globals from the program's declarations.
+// NewHeap initializes globals from the program's declarations. Slot i holds
+// prog.Globals[i], which is the contract the compiled fast path relies on.
 func NewHeap(prog *ir.Program) *Heap {
-	h := &Heap{g: map[string]value.Value{}}
-	for _, g := range prog.Globals {
-		h.g[g.Name] = g.Init
+	h := &Heap{
+		vals:  make([]value.Value, len(prog.Globals)),
+		names: make([]string, len(prog.Globals)),
+		idx:   make(map[string]int, len(prog.Globals)),
+	}
+	for i, g := range prog.Globals {
+		h.vals[i] = g.Init
+		h.names[i] = g.Name
+		h.idx[g.Name] = i
 	}
 	return h
 }
 
 // Get reads a global.
-func (h *Heap) Get(name string) value.Value { return h.g[name] }
+func (h *Heap) Get(name string) value.Value {
+	if i, ok := h.idx[name]; ok {
+		return h.vals[i]
+	}
+	return value.Value{}
+}
 
-// Set writes a global.
-func (h *Heap) Set(name string, v value.Value) { h.g[name] = v }
+// Set writes a global, appending a fresh slot for a name the program did
+// not declare (tests do this; compiled code never references such slots).
+func (h *Heap) Set(name string, v value.Value) {
+	if i, ok := h.idx[name]; ok {
+		h.vals[i] = v
+		return
+	}
+	h.idx[name] = len(h.vals)
+	h.names = append(h.names, name)
+	h.vals = append(h.vals, v)
+}
+
+// SlotOf returns the slot index of a declared global, or -1.
+func (h *Heap) SlotOf(name string) int {
+	if i, ok := h.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GetSlot reads the global stored in slot i.
+func (h *Heap) GetSlot(i int) value.Value { return h.vals[i] }
+
+// SetSlot writes the global stored in slot i.
+func (h *Heap) SetSlot(i int, v value.Value) { h.vals[i] = v }
+
+// Len returns the number of global slots.
+func (h *Heap) Len() int { return len(h.vals) }
 
 // Snapshot copies the globals (used by STM validation and tests).
 func (h *Heap) Snapshot() map[string]value.Value {
-	out := make(map[string]value.Value, len(h.g))
-	for k, v := range h.g {
-		out[k] = v
+	out := make(map[string]value.Value, len(h.vals))
+	for i, name := range h.names {
+		out[name] = h.vals[i]
 	}
 	return out
+}
+
+// SnapshotSlots copies the global slots into dst (grown as needed) and
+// returns it. Unlike Snapshot it allocates nothing when dst already has
+// capacity, which is what the high-frequency capture paths (STM
+// validation, sanitizer state capture) want.
+func (h *Heap) SnapshotSlots(dst []value.Value) []value.Value {
+	dst = append(dst[:0], h.vals...)
+	return dst
+}
+
+// RestoreSlots writes a SnapshotSlots image back into the heap.
+func (h *Heap) RestoreSlots(src []value.Value) {
+	copy(h.vals, src)
+}
+
+// Range calls fn for every global in slot order without allocating.
+func (h *Heap) Range(fn func(name string, v value.Value)) {
+	for i, name := range h.names {
+		fn(name, h.vals[i])
+	}
 }
 
 // Env bundles the immutable program with the mutable shared state.
@@ -124,6 +190,48 @@ type Thread struct {
 
 	// depth guards against runaway recursion in user programs.
 	depth int
+
+	// scratch is a stack arena for call-argument and builtin-result slices
+	// on the fast path: execCall carves each call's arguments here (and
+	// CallByName its builtin's single result) and pops them once the
+	// call's results are consumed, so nested calls reuse one growing
+	// backing array instead of allocating per call. Sound because nothing
+	// retains such a slice past the call: builtins read their arguments,
+	// interceptors pass them through, every caller copies results into
+	// registers before its bracket pops, and the sanitizer copies what it
+	// records. brackets counts the active Mark/Release pairs — builtin
+	// results only go to the arena when a bracket is there to pop them.
+	scratch  []value.Value
+	brackets int
+
+	// invokeFn is the one reusable invoke closure handed to the
+	// interceptor on the fast path; it reads the current call from
+	// curIn/curArgs, which execCallArgs saves and restores around nested
+	// calls (so it stays correct across interceptor-level retries too).
+	invokeFn func() ([]value.Value, error)
+	curIn    *ir.Instr
+	curArgs  []value.Value
+}
+
+// ScratchMark opens a fast-path arena bracket and returns the position to
+// pop back to; paired with ScratchRelease by every caller that carves.
+func (t *Thread) ScratchMark() int {
+	t.brackets++
+	return len(t.scratch)
+}
+
+// ScratchRelease closes a fast-path arena bracket, popping back to mark.
+func (t *Thread) ScratchRelease(mark int) {
+	t.brackets--
+	t.scratch = t.scratch[:mark]
+}
+
+// ScratchSlice carves an n-element slice from the fast-path arena,
+// capacity-clamped so callee carves can never alias it.
+func (t *Thread) ScratchSlice(n int) []value.Value {
+	m := len(t.scratch)
+	t.scratch = append(t.scratch, make([]value.Value, n)...)
+	return t.scratch[m : m+n : m+n]
 }
 
 // maxDepth bounds user-program recursion.
@@ -152,6 +260,11 @@ func (t *Thread) CallByName(name string, args []value.Value) ([]value.Value, err
 		if err != nil {
 			return nil, err
 		}
+		if FastEnabled && t.brackets > 0 {
+			m := len(t.scratch)
+			t.scratch = append(t.scratch, v)
+			return t.scratch[m : m+1 : m+1], nil
+		}
 		return []value.Value{v}, nil
 	}
 	return nil, fmt.Errorf("interp: undefined function %s", name)
@@ -159,7 +272,18 @@ func (t *Thread) CallByName(name string, args []value.Value) ([]value.Value, err
 
 // Exec runs function f with the given arguments, returning its results
 // (regions may return several).
+//
+// When the fast path is enabled and the thread is not profiling this
+// function, execution dispatches to the pre-compiled closure chain (see
+// fast.go), which is bit-for-bit cost- and result-identical to the legacy
+// stepper below. Interceptors and tracers run unchanged on both paths (the
+// compiled global ops emit the same trace events in the same order).
 func (t *Thread) Exec(f *ir.Func, args []value.Value) ([]value.Value, error) {
+	if FastEnabled && (t.Profile == nil || t.Profile.Func != f.Name) {
+		if fc := codeFor(t.Env.Prog, f); fc != nil {
+			return t.execFast(fc, args)
+		}
+	}
 	if t.depth >= maxDepth {
 		return nil, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
 	}
@@ -266,17 +390,43 @@ func (t *Thread) step(f *ir.Func, in *ir.Instr, regs, locals []value.Value) (nex
 }
 
 func (t *Thread) execCall(in *ir.Instr, regs, locals []value.Value) error {
-	args := make([]value.Value, len(in.Args))
+	if !FastEnabled {
+		args := make([]value.Value, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = regs[r]
+		}
+		return t.execCallArgs(in, regs, locals, args)
+	}
+	mark := t.ScratchMark()
+	args := t.ScratchSlice(len(in.Args))
 	for i, r := range in.Args {
 		args[i] = regs[r]
 	}
-	invoke := func() ([]value.Value, error) { return t.CallByName(in.Name, args) }
+	err := t.execCallArgs(in, regs, locals, args)
+	t.ScratchRelease(mark)
+	return err
+}
+
+// execCallArgs finishes a call once its argument slice is built; every
+// result is consumed (copied into regs/locals) before it returns, which is
+// what lets execCall pop the argument arena afterwards.
+func (t *Thread) execCallArgs(in *ir.Instr, regs, locals, args []value.Value) error {
 	var rets []value.Value
 	var err error
-	if t.Interceptor != nil {
+	switch {
+	case t.Interceptor == nil:
+		rets, err = t.CallByName(in.Name, args)
+	case FastEnabled:
+		if t.invokeFn == nil {
+			t.invokeFn = func() ([]value.Value, error) { return t.CallByName(t.curIn.Name, t.curArgs) }
+		}
+		savedIn, savedArgs := t.curIn, t.curArgs
+		t.curIn, t.curArgs = in, args
+		rets, err = t.Interceptor(t, in, args, t.invokeFn)
+		t.curIn, t.curArgs = savedIn, savedArgs
+	default:
+		invoke := func() ([]value.Value, error) { return t.CallByName(in.Name, args) }
 		rets, err = t.Interceptor(t, in, args, invoke)
-	} else {
-		rets, err = invoke()
 	}
 	if err != nil {
 		return err

@@ -16,7 +16,7 @@ import (
 )
 
 // compile lowers a source snippet with a sink builtin.
-func compile(t *testing.T, src string) (*lower.Result, *[]int64) {
+func compile(t testing.TB, src string) (*lower.Result, *[]int64) {
 	t.Helper()
 	sink := &[]int64{}
 	sigs := map[string]*types.Sig{
