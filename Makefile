@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt staticcheck race vet-precision bench-schedule bench-faults bench-service bench-sanitize bench-host verify
+.PHONY: all build test vet fmt staticcheck race vet-precision bench-schedule bench-faults bench-service bench-sanitize bench-steal bench-host verify
 
 all: build
 
@@ -68,6 +68,16 @@ bench-service:
 bench-sanitize:
 	$(GO) run ./cmd/commsetbench -sanitize -smoke -novet -sanitize-json BENCH_sanitize.json
 
+# Work-stealing smoke: the CI-sized straggler-resilience campaign (DOALL
+# workloads × straggler/straggler+crash plans × steal off/on), with the
+# machine-readable report written to BENCH_steal.json (the CI artifact).
+# Gates: every cell sequential-equivalent, steal-enabled cells bit-for-bit
+# deterministic, and under a ≥4x whole-loop straggler the steal-enabled
+# run must finish in ≤60% of the steal-disabled virtual time on at least
+# three workloads. -novet: vet-precision already gates the analyzers.
+bench-steal:
+	$(GO) run ./cmd/commsetbench -steal -smoke -novet -steal-json BENCH_steal.json
+
 # Host wall-clock smoke: run the campaign suite once on the legacy
 # stepper and once on the compiled fast substrate (cold caches each
 # pass), gate virtual times bit-for-bit, and write the wall-clock and
@@ -81,6 +91,7 @@ bench-host:
 # The full pre-merge gate: build, vet (plus staticcheck when installed),
 # formatting, the race-enabled test suite, the analyzer precision gate,
 # the schedule-report smoke, the fault-injection (crash/restart) smoke,
-# the open-system service smoke, the dynamic-sanitizer smoke, and the
-# host wall-clock smoke with its vtime bit-for-bit gate.
-verify: build vet staticcheck fmt race vet-precision bench-schedule bench-faults bench-service bench-sanitize bench-host
+# the open-system service smoke, the dynamic-sanitizer smoke, the
+# work-stealing straggler smoke, and the host wall-clock smoke with its
+# vtime bit-for-bit gate.
+verify: build vet staticcheck fmt race vet-precision bench-schedule bench-faults bench-service bench-sanitize bench-steal bench-host

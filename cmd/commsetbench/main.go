@@ -8,6 +8,7 @@
 //	commsetbench -faults            deterministic fault-injection campaign
 //	commsetbench -service           open-system service campaign (arrivals, SLOs, degradation)
 //	commsetbench -sanitize          dynamic sanitizer campaign (races, commute replay, misannotation negatives)
+//	commsetbench -steal             work-stealing straggler campaign (steal on/off under seeded slowdowns)
 //	commsetbench -vetprecision      analyzer precision gate (corpus + workloads)
 //	commsetbench -auto              run figures under the profile-guided auto-scheduler
 //	commsetbench -json FILE         write the schedule/speedup report (BENCH_schedule.json)
@@ -56,6 +57,8 @@ func main() {
 		service  = flag.Bool("service", false, "run the open-system service campaign (arrivals, admission, SLOs, degradation)")
 		sanit    = flag.Bool("sanitize", false, "run the dynamic sanitizer campaign (race detection + commute replay + misannotation negatives)")
 		sanJS    = flag.String("sanitize-json", "BENCH_sanitize.json", "with -sanitize: write the machine-readable campaign report to this file (\"\" disables)")
+		steal    = flag.Bool("steal", false, "run the work-stealing straggler campaign (steal on/off pairs under seeded slowdown plans)")
+		stealJS  = flag.String("steal-json", "BENCH_steal.json", "with -steal: write the machine-readable campaign report to this file (\"\" disables)")
 		smoke    = flag.Bool("smoke", false, "with -faults/-service: run the CI-sized smoke subset")
 		seed     = flag.Uint64("faultseed", 1, "with -faults/-service: fault plan and arrival-trace seed")
 		faultsJS = flag.String("faults-json", "BENCH_faults.json", "with -faults: write the machine-readable campaign report to this file (\"\" disables)")
@@ -107,9 +110,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *service, *vetprec, *sanit = true, true, true, true, true, true, true, true, true, true
+		*table1, *table2, *figure6, *figure3, *claims, *ablation, *faults, *service, *vetprec, *sanit, *steal = true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*service && !*vetprec && !*sanit && !*hostrep && *jsonPath == "" {
+	if !*table1 && !*table2 && !*figure6 && !*figure3 && !*claims && !*ablation && !*faults && !*service && !*vetprec && !*sanit && !*steal && !*hostrep && *jsonPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,7 +126,7 @@ func main() {
 
 	// The vet gate runs before any simulation: a misannotated workload fails
 	// fast with its diagnostics instead of a wrong-output mystery later.
-	if simulating := *table2 || *figure6 || *figure3 || *claims || *ablation || *faults || *service || *jsonPath != ""; simulating && !*novet {
+	if simulating := *table2 || *figure6 || *figure3 || *claims || *ablation || *faults || *service || *steal || *jsonPath != ""; simulating && !*novet {
 		if err := bench.VetWorkloads(os.Stdout, *threads); err != nil {
 			fatal(err)
 		}
@@ -207,6 +210,14 @@ func main() {
 		fmt.Println()
 		if _, err := bench.SanitizeCampaign(os.Stdout, bench.SanitizeOptions{
 			Threads: *threads, Smoke: *smoke, JSONPath: *sanJS,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *steal {
+		fmt.Println()
+		if _, err := bench.StealCampaign(os.Stdout, bench.StealOptions{
+			Threads: *threads, Seed: *seed, Smoke: *smoke, JSONPath: *stealJS,
 		}); err != nil {
 			fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -136,6 +137,38 @@ type FaultCell struct {
 	Restarts       int                  `json:"restarts,omitempty"`
 	Repartitioned  int                  `json:"repartitioned,omitempty"`
 	RestartHistory []exec.RestartRecord `json:"restart_history,omitempty"`
+
+	// MTTR is the cell's worst mean-time-to-repair in virtual time: the
+	// largest RecoveredVTime-VTime gap across the restart history (how long
+	// any crashed role was out of service before its replacement or salvage
+	// crew resumed progress). P99JoinSkew is the loop-completion skew: the
+	// p99 worker-join time minus the earliest join, the straggler tail the
+	// stealing layer exists to flatten.
+	MTTR        int64 `json:"mttr,omitempty"`
+	P99JoinSkew int64 `json:"p99_join_skew,omitempty"`
+}
+
+// mttrOf extracts the worst repair latency from a restart history.
+func mttrOf(hist []exec.RestartRecord) int64 {
+	var worst int64
+	for _, r := range hist {
+		if r.RecoveredVTime > r.VTime && r.RecoveredVTime-r.VTime > worst {
+			worst = r.RecoveredVTime - r.VTime
+		}
+	}
+	return worst
+}
+
+// joinSkew computes p99(join) - min(join) over the virtual times at which
+// the loop's workers delivered their results.
+func joinSkew(joins []int64) int64 {
+	if len(joins) < 2 {
+		return 0
+	}
+	s := append([]int64(nil), joins...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s)-1)*0.99 + 0.5)
+	return s[idx] - s[0]
 }
 
 // FaultReport is the machine-readable campaign result behind
@@ -384,6 +417,8 @@ func runFaulted(cp *Compiled, sched *transform.Schedule, kind transform.Kind, mo
 	cell.Restarts = res.Restarts
 	cell.Repartitioned = res.Repartitioned
 	cell.RestartHistory = res.RestartHistory
+	cell.MTTR = mttrOf(res.RestartHistory)
+	cell.P99JoinSkew = joinSkew(res.WorkerJoins)
 	switch {
 	case res.FellBack || res.Degraded:
 		cell.Outcome = "degraded"

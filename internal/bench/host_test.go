@@ -44,6 +44,9 @@ func TestHostParCampaignsByteIdentical(t *testing.T) {
 		{"sanitize", func(w io.Writer) (any, error) {
 			return SanitizeCampaign(w, SanitizeOptions{Threads: 4, Smoke: true})
 		}},
+		{"steal", func(w io.Writer) (any, error) {
+			return StealCampaign(w, StealOptions{Threads: 8, Seed: 1, Smoke: true})
+		}},
 	}
 	for _, c := range campaigns {
 		render := func(workers int) (text string, rep []byte) {

@@ -141,25 +141,38 @@ type svcCompiled struct {
 	svc      *workloads.Service
 	cp       *Compiled
 	n        int
+	setup    func(w *builtins.World)
 	seqWorld *builtins.World
 	seqCost  int64
 	reqCost  int64
 }
 
 func compileService(svc *workloads.Service, threads, n int) (*svcCompiled, error) {
+	return compileServiceWith(svc, threads, n, func(w *builtins.World) { svc.Setup(w, n) })
+}
+
+// compileServiceHeavy builds the heavy-tailed variant of a service: the same
+// program over a world whose per-request service times follow the seeded
+// bounded-Pareto distribution, with its own sequential reference (the
+// validation oracle must digest the same request sizes).
+func compileServiceHeavy(svc *workloads.Service, threads, n int, seed uint64) (*svcCompiled, error) {
+	return compileServiceWith(svc, threads, n, func(w *builtins.World) { svc.HeavySetup(w, n, seed) })
+}
+
+func compileServiceWith(svc *workloads.Service, threads, n int, setup func(w *builtins.World)) (*svcCompiled, error) {
 	cp, err := Compile(svc.Workload, svc.Variant, threads)
 	if err != nil {
 		return nil, err
 	}
 	w := builtins.NewWorld()
-	svc.Setup(w, n)
+	setup(w)
 	r, err := exec.RunSequential(exec.Config{
 		Prog: cp.C.Low.Prog, Builtins: w.Fns(), Model: cp.C.Model, Cost: des.DefaultCostModel(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: sequential %s reference: %w", svc.Name, err)
 	}
-	sc := &svcCompiled{svc: svc, cp: cp, n: n, seqWorld: w, seqCost: r.VirtualTime}
+	sc := &svcCompiled{svc: svc, cp: cp, n: n, setup: setup, seqWorld: w, seqCost: r.VirtualTime}
 	sc.reqCost = r.VirtualTime / int64(n)
 	if sc.reqCost < 1 {
 		sc.reqCost = 1
@@ -170,7 +183,7 @@ func compileService(svc *workloads.Service, threads, n int) (*svcCompiled, error
 // fresh builds a service-sized substrate world.
 func (sc *svcCompiled) fresh() *builtins.World {
 	w := builtins.NewWorld()
-	sc.svc.Setup(w, sc.n)
+	sc.setup(w)
 	return w
 }
 
@@ -259,8 +272,17 @@ func (sc *svcCompiled) svcConfig(trace string, seed uint64, gap float64, scaler 
 // runOnce executes one service run on a fresh world and returns the result
 // together with the world for validation.
 func (sc *svcCompiled) runOnce(sched *transform.Schedule, mode exec.SyncMode, threads int, svcCfg exec.ServiceConfig, plan *faults.Plan) (*exec.ServiceResult, *builtins.World, error) {
+	return sc.runOnceTuned(sched, mode, threads, svcCfg, plan, transform.Tuning{})
+}
+
+// runOnceTuned is runOnce under an explicit tuning (the heavy-tail cells
+// toggle Tune.Steal to compare the parked-worker steal path against the
+// plain ladder).
+func (sc *svcCompiled) runOnceTuned(sched *transform.Schedule, mode exec.SyncMode, threads int, svcCfg exec.ServiceConfig, plan *faults.Plan, tune transform.Tuning) (*exec.ServiceResult, *builtins.World, error) {
 	w := sc.fresh()
-	res, err := exec.RunService(sc.config(w, plan), svcCfg, sc.cp.LA, sched, mode, threads)
+	cfg := sc.config(w, plan)
+	cfg.Tune = tune
+	res, err := exec.RunService(cfg, svcCfg, sc.cp.LA, sched, mode, threads)
 	return res, w, err
 }
 
@@ -598,6 +620,69 @@ func ServiceCampaign(out io.Writer, opts ServiceOptions) (*ServiceReport, error)
 					cell.Detail = fmt.Sprintf("restarts=%d dead=%d %s", res.Restarts, res.DeadWorkers, resultDetail(res))
 				}
 				record(cell, res, err)
+			}
+		}
+
+		// Heavy-tailed overload pair: the seeded bounded-Pareto trace makes a
+		// deterministic few requests ~64x the mode, so whichever workers draw
+		// them become stragglers while the ladder's scale-down level parks
+		// their peers. The cell runs twice — Tune.Steal off then on — under
+		// the identical trace; with stealing the parked workers drain the
+		// dispatch backlog the stragglers left behind. Both cells must
+		// validate against the heavy sequential reference and reproduce
+		// bit-for-bit.
+		if svc.HeavySetup != nil {
+			hsc, err := compileServiceHeavy(svc, opts.Threads, n, opts.Seed+101)
+			if err != nil {
+				return nil, err
+			}
+			hcap, err := hsc.capacity(doall, primary, opts.Threads)
+			if err != nil {
+				return nil, err
+			}
+			gap := hsc.gap(1.5, hcap)
+			var p99s [2]int64
+			for si, steal := range []bool{false, true} {
+				scaler := &exec.ScalerConfig{
+					Window: 8 * hsc.reqCost, MinWorkers: 2,
+					EscalateAfter: 1, BadAttainment: 0.6, BadPressure: 0.5,
+				}
+				mk := hsc.svcConfig("bursty", opts.Seed+traceSeeds["bursty"], gap, scaler, 32)
+				tune := transform.Tuning{Steal: steal}
+				run := func() (*exec.ServiceResult, *builtins.World, error) {
+					return hsc.runOnceTuned(doall, primary, opts.Threads, mk(), nil, tune)
+				}
+				res, w, err := run()
+				scenario := "heavy-tail"
+				if steal {
+					scenario = "heavy-tail-steal"
+				}
+				cell := ServiceCell{
+					Service: svc.Name, Kind: fmt.Sprintf("%v", transform.DOALL),
+					Sync: fmt.Sprintf("%v", primary), Trace: "bursty", Scenario: scenario,
+					Util: 1.5, Deterministic: true,
+				}
+				if err == nil {
+					err = hsc.validate(w, res)
+				}
+				if err == nil {
+					res2, _, err2 := run()
+					if err2 != nil {
+						err = fmt.Errorf("determinism rerun failed: %w", err2)
+					} else if !sameResult(res, res2) {
+						err = fmt.Errorf("heavy-tail run is not deterministic under seed %d", opts.Seed)
+					}
+				}
+				if err == nil {
+					p99s[si] = res.P99
+					cell.Outcome = "ok"
+					cell.Detail = fmt.Sprintf("steals=%d %s", res.Steals, resultDetail(res))
+				}
+				record(cell, res, err)
+			}
+			if p99s[0] > 0 && p99s[1] > 0 {
+				fmt.Fprintf(out, "  %-14s heavy tail: p99 %d -> %d with stealing (%+.0f%%)\n",
+					svc.Name, p99s[0], p99s[1], 100*float64(p99s[1]-p99s[0])/float64(p99s[0]))
 			}
 		}
 

@@ -50,6 +50,12 @@ const (
 	// by a supervisor restart from the last checkpoint; a crash with
 	// Spec.Permanent set leaves the thread dead and forces degraded mode.
 	Crash
+	// Straggler slows a chosen simulated worker thread by Factor× for a
+	// window of its passes (a thermally throttled core, a co-scheduled
+	// noisy neighbour, a failing disk behind one worker). The worker stays
+	// alive and correct — only its virtual time stretches — so the repair
+	// is load redistribution (work stealing), not restart.
+	Straggler
 )
 
 // String names the fault class.
@@ -67,6 +73,8 @@ func (k Kind) String() string {
 		return "queue-stall"
 	case Crash:
 		return "crash"
+	case Straggler:
+		return "straggler"
 	}
 	return "?"
 }
@@ -88,12 +96,15 @@ type Spec struct {
 	// ("" = every queue).
 	Queue string
 
-	// Thread names the simulated worker role a Crash spec kills (e.g.
-	// "doall.1", "stage2.0"). Crash only; must be non-empty, and — when the
-	// plan is validated against a thread roster — must name a thread the
-	// schedule actually spawns. The event stream is the victim's crash-tick
-	// counter: one tick per iteration pass (DOALL) or per token (stages),
-	// continuous across restarts, so Count > 1 models repeated crashes.
+	// Thread names the simulated worker role a Crash spec kills or a
+	// Straggler spec slows (e.g. "doall.1", "stage2.0"). Crash and
+	// Straggler only; must be non-empty, and — when the plan is validated
+	// against a thread roster — must name a thread the schedule actually
+	// spawns, or a dynamically spawned steal/salvage role
+	// ("salvage.<worker>.<share>") that no static roster can list. The
+	// event stream is the victim's per-role tick counter: one tick per
+	// iteration pass (DOALL) or per token (stages), continuous across
+	// restarts, so Count > 1 models repeated crashes.
 	Thread string
 
 	// Permanent marks a Crash as unrecoverable: the supervisor does not
@@ -119,6 +130,11 @@ type Spec struct {
 	// Aborts is the number of extra conflict aborts charged per affected
 	// TM commit by TMStorm.
 	Aborts int
+
+	// Factor is the Straggler slowdown multiplier (> 1): an affected pass
+	// of the target worker costs Factor× its fault-free virtual time.
+	// Straggler only.
+	Factor float64
 }
 
 // window reports whether a 1-based event index falls in the spec's
@@ -161,6 +177,8 @@ func (s *Spec) describe() string {
 		if s.Permanent {
 			b.WriteString(" permanent")
 		}
+	case Straggler:
+		fmt.Fprintf(&b, " thread=%s factor=%g", s.Thread, s.Factor)
 	default:
 		target := s.Builtin
 		if s.wildcard() {
@@ -208,6 +226,18 @@ func (p *Plan) HasCrash() bool {
 	return false
 }
 
+// HasStraggler reports whether the plan contains any Straggler spec.
+// Harnesses use it to wire the executor's per-pass slowdown hook
+// (Config.Straggle) only for plans that can actually slow a thread.
+func (p *Plan) HasStraggler() bool {
+	for i := range p.Specs {
+		if p.Specs[i].Kind == Straggler {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the plan header and its specs on one line.
 func (p *Plan) String() string {
 	parts := make([]string, len(p.Specs))
@@ -220,12 +250,20 @@ func (p *Plan) String() string {
 // Validate checks the plan's specs for structural errors before a run, so
 // malformed plans fail fast instead of deep inside a simulation. roster, if
 // non-nil, lists the worker-thread roles the target schedule actually
-// spawns; Crash specs must name one of them. Checks:
+// spawns; Crash and Straggler specs must name one of them — or a
+// dynamically spawned steal/salvage role ("salvage.<worker>.<share>"),
+// which the executor creates at join time and no static roster can list.
+// Checks:
 //
 //   - Prob must lie in [0,1]; Delay and Aborts must be non-negative.
 //   - Crash specs must name a target thread, must be able to fire
 //     (After > 0 or Prob > 0), and — with a roster — must name a real role.
-//   - Thread and Permanent apply only to Crash specs.
+//   - Straggler specs must name a target thread, must carry a slowdown
+//     Factor > 1, and must be able to fire (After > 0 or Prob > 0): a
+//     straggler window that can never open repairs nothing and hides a
+//     campaign typo.
+//   - Thread applies only to Crash and Straggler specs; Permanent and
+//     Factor are Crash-only and Straggler-only respectively.
 //   - A permanent crash cannot repeat (Count > 1 conflicts with Permanent:
 //     a dead, never-restarted thread has no further crash ticks).
 //   - Two deterministic Crash specs whose tick windows overlap on the same
@@ -243,27 +281,43 @@ func (p *Plan) Validate(roster []string) error {
 		if s.Aborts < 0 {
 			return fmt.Errorf("plan %s spec %d (%v): negative Aborts %d", p.Name, si, s.Kind, s.Aborts)
 		}
-		if s.Kind != Crash {
+		if s.Kind != Straggler && s.Factor != 0 {
+			return fmt.Errorf("plan %s spec %d (%v): Factor=%g applies only to straggler specs", p.Name, si, s.Kind, s.Factor)
+		}
+		if s.Kind != Crash && s.Permanent {
+			return fmt.Errorf("plan %s spec %d (%v): Permanent applies only to crash specs", p.Name, si, s.Kind)
+		}
+		if s.Kind != Crash && s.Kind != Straggler {
 			if s.Thread != "" {
-				return fmt.Errorf("plan %s spec %d (%v): Thread=%q applies only to crash specs", p.Name, si, s.Kind, s.Thread)
-			}
-			if s.Permanent {
-				return fmt.Errorf("plan %s spec %d (%v): Permanent applies only to crash specs", p.Name, si, s.Kind)
+				return fmt.Errorf("plan %s spec %d (%v): Thread=%q applies only to crash and straggler specs", p.Name, si, s.Kind, s.Thread)
 			}
 			continue
 		}
 		if s.Thread == "" {
-			return fmt.Errorf("plan %s spec %d: crash spec must name a target thread", p.Name, si)
+			return fmt.Errorf("plan %s spec %d: %v spec must name a target thread", p.Name, si, s.Kind)
 		}
-		if s.After <= 0 && s.Prob <= 0 {
-			return fmt.Errorf("plan %s spec %d: crash of %s can never fire (need After or Prob)", p.Name, si, s.Thread)
+		if s.Kind == Straggler {
+			if s.Factor <= 1 {
+				return fmt.Errorf("plan %s spec %d: straggler of %s needs a slowdown Factor > 1 (got %g)", p.Name, si, s.Thread, s.Factor)
+			}
+			if s.After <= 0 && s.Prob <= 0 {
+				return fmt.Errorf("plan %s spec %d: straggler of %s can never fire (need After or Prob)", p.Name, si, s.Thread)
+			}
 		}
-		if s.Permanent && s.Count > 1 {
-			return fmt.Errorf("plan %s spec %d: permanent crash of %s cannot repeat (Count=%d)", p.Name, si, s.Thread, s.Count)
+		if s.Kind == Crash {
+			if s.After <= 0 && s.Prob <= 0 {
+				return fmt.Errorf("plan %s spec %d: crash of %s can never fire (need After or Prob)", p.Name, si, s.Thread)
+			}
+			if s.Permanent && s.Count > 1 {
+				return fmt.Errorf("plan %s spec %d: permanent crash of %s cannot repeat (Count=%d)", p.Name, si, s.Thread, s.Count)
+			}
 		}
-		if roster != nil && !rosterHas(roster, s.Thread) {
-			return fmt.Errorf("plan %s spec %d: crash targets nonexistent thread %q (schedule spawns: %s)",
-				p.Name, si, s.Thread, strings.Join(roster, ", "))
+		if roster != nil && !rosterHas(roster, s.Thread) && !dynamicRole(s.Thread) {
+			return fmt.Errorf("plan %s spec %d: %v targets nonexistent thread %q (schedule spawns: %s)",
+				p.Name, si, s.Kind, s.Thread, strings.Join(roster, ", "))
+		}
+		if s.Kind != Crash {
+			continue
 		}
 		for sj := 0; sj < si; sj++ {
 			o := &p.Specs[sj]
@@ -279,6 +333,34 @@ func (p *Plan) Validate(roster []string) error {
 	return nil
 }
 
+// dynamicRole reports whether the role name matches one the executor
+// spawns dynamically rather than as part of the static schedule: salvage
+// runners ("salvage.<worker>.<share>") created at join time to
+// re-partition a permanently dead DOALL worker's remaining range. Such
+// roles consume crash ticks of their own, so plans may legitimately
+// target them, but no static roster can list them — Validate accepts
+// them by shape instead.
+func dynamicRole(name string) bool {
+	rest, ok := strings.CutPrefix(name, "salvage.")
+	if !ok {
+		return false
+	}
+	a, b, ok := strings.Cut(rest, ".")
+	return ok && isUint(a) && isUint(b)
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // ServiceRoster is the dynamic worker roster of a service-mode run. The
 // degradation ladder may scale Scalable workers away (parked workers consume
 // no crash ticks), so only Always workers — the structurally required set:
@@ -291,10 +373,11 @@ type ServiceRoster struct {
 
 // ValidateService checks the plan against a service-mode roster: the
 // structural checks of Validate over the full dynamic roster, plus the
-// service-specific rule that a Crash spec may not target a Scalable worker.
-// A scaled-away worker is parked — it consumes no crash ticks — so a spec
-// whose target the ladder can scale away for the whole service window might
-// deterministically never fire; campaigns must pin crashes to Always roles.
+// service-specific rule that a Crash or Straggler spec may not target a
+// Scalable worker. A scaled-away worker is parked — it consumes no crash
+// or slow ticks — so a spec whose target the ladder can scale away for
+// the whole service window might deterministically never fire; campaigns
+// must pin crashes and stragglers to Always roles.
 func (p *Plan) ValidateService(r ServiceRoster) error {
 	full := append(append([]string(nil), r.Always...), r.Scalable...)
 	if err := p.Validate(full); err != nil {
@@ -302,12 +385,12 @@ func (p *Plan) ValidateService(r ServiceRoster) error {
 	}
 	for si := range p.Specs {
 		s := &p.Specs[si]
-		if s.Kind != Crash {
+		if s.Kind != Crash && s.Kind != Straggler {
 			continue
 		}
 		if rosterHas(r.Scalable, s.Thread) && !rosterHas(r.Always, s.Thread) {
-			return fmt.Errorf("plan %s spec %d: crash targets scalable worker %q, which the degradation ladder can scale away for the whole service window (always-on: %s; scalable: %s)",
-				p.Name, si, s.Thread, strings.Join(r.Always, ", "), strings.Join(r.Scalable, ", "))
+			return fmt.Errorf("plan %s spec %d: %v targets scalable worker %q, which the degradation ladder can scale away for the whole service window (always-on: %s; scalable: %s)",
+				p.Name, si, s.Kind, s.Thread, strings.Join(r.Always, ", "), strings.Join(r.Scalable, ", "))
 		}
 	}
 	return nil
@@ -371,6 +454,7 @@ type Injector struct {
 	pushes  map[string]int // per-queue push counters
 	commits int            // TM commit counter
 	ticks   map[string]int // per-thread crash-tick counters
+	slows   map[string]int // per-thread straggler-tick counters
 
 	latched []bool // Permanent Prob specs that have fired
 
@@ -388,6 +472,7 @@ func NewInjector(plan Plan) *Injector {
 		calls:   map[string]int{},
 		pushes:  map[string]int{},
 		ticks:   map[string]int{},
+		slows:   map[string]int{},
 		latched: make([]bool, len(plan.Specs)),
 	}
 }
@@ -542,6 +627,36 @@ func (inj *Injector) CrashNow(thread string) (die, permanent bool) {
 // CrashTick reports how many crash ticks the named role has consumed so
 // far (diagnostics only; does not advance the counter).
 func (inj *Injector) CrashTick(thread string) int { return inj.ticks[thread] }
+
+// SlowNow reports the slowdown factor (≥ 1; 1 = full speed) the named
+// worker role suffers on its next pass. Call exactly once per pass: the
+// call advances the role's straggler-tick counter ("slow:"+thread
+// stream), which — like crash ticks — is keyed by role, not by
+// simulated-thread incarnation, so it runs continuously across restarts.
+// When several Straggler specs fire on the same tick the largest Factor
+// wins (a throttled core is as slow as its worst cause).
+func (inj *Injector) SlowNow(thread string) float64 {
+	inj.slows[thread]++
+	idx := inj.slows[thread]
+	f := 1.0
+	for si := range inj.plan.Specs {
+		s := &inj.plan.Specs[si]
+		if s.Kind != Straggler || s.Thread != thread {
+			continue
+		}
+		if inj.fires(si, s, "slow:"+thread, idx) && s.Factor > f {
+			f = s.Factor
+		}
+	}
+	if f > 1 {
+		inj.note("straggler x%g on %s pass %d", f, thread, idx)
+	}
+	return f
+}
+
+// SlowTick reports how many straggler ticks the named role has consumed
+// so far (diagnostics only; does not advance the counter).
+func (inj *Injector) SlowTick(thread string) int { return inj.slows[thread] }
 
 // ExtraAborts reports the synthetic additional conflict aborts to charge
 // for the next TM commit. Call exactly once per commit: the call advances

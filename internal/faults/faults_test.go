@@ -414,3 +414,149 @@ func TestValidateService(t *testing.T) {
 		t.Error("crash on a thread outside the dynamic roster accepted")
 	}
 }
+
+// TestSlowNowDeterministicWindow: a Straggler spec must open exactly its
+// [After, After+Count) tick window on the target role, return the factor
+// inside it and 1.0 outside, leave other roles untouched, and replay
+// bit-identically — the property the steal layer's determinism rests on.
+func TestSlowNowDeterministicWindow(t *testing.T) {
+	plan := Plan{Name: "slow", Seed: 5, Specs: []Spec{
+		{Kind: Straggler, Thread: "doall.1", After: 3, Count: 2, Factor: 4},
+	}}
+	run := func() []float64 {
+		inj := NewInjector(plan)
+		var out []float64
+		for i := 0; i < 6; i++ {
+			out = append(out, inj.SlowNow("doall.1"))
+			if f := inj.SlowNow("doall.2"); f != 1 {
+				t.Fatalf("untargeted role slowed at tick %d: %g", i+1, f)
+			}
+		}
+		if got := inj.SlowTick("doall.1"); got != 6 {
+			t.Fatalf("SlowTick = %d, want 6", got)
+		}
+		return out
+	}
+	want := []float64{1, 1, 4, 4, 1, 1}
+	a := run()
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("tick %d: factor %g, want %g (window [3,5))", i+1, a[i], want[i])
+		}
+	}
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("replay diverged at tick %d: %g vs %g", i+1, a[i], b[i])
+		}
+	}
+
+	// Overlapping specs: the largest firing factor wins.
+	worst := Plan{Name: "worst", Seed: 5, Specs: []Spec{
+		{Kind: Straggler, Thread: "doall.1", After: 1, Count: 4, Factor: 2},
+		{Kind: Straggler, Thread: "doall.1", After: 2, Count: 1, Factor: 8},
+	}}
+	inj := NewInjector(worst)
+	got := []float64{inj.SlowNow("doall.1"), inj.SlowNow("doall.1"), inj.SlowNow("doall.1")}
+	if got[0] != 2 || got[1] != 8 || got[2] != 2 {
+		t.Errorf("overlapping factors = %v, want [2 8 2]", got)
+	}
+}
+
+// TestValidateStragglerRejections: the straggler-specific Validate rules —
+// factor, firing window, target thread, and kind-exclusive fields.
+func TestValidateStragglerRejections(t *testing.T) {
+	roster := []string{"doall.0", "doall.1"}
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the expected error; "" = valid
+	}{
+		{"valid-straggler", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.1", After: 1, Count: 8, Factor: 4},
+		}}, ""},
+		{"valid-probabilistic", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.0", Prob: 0.25, Factor: 2},
+		}}, ""},
+		{"no-thread", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, After: 1, Factor: 4},
+		}}, "must name a target thread"},
+		{"factor-one", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.1", After: 1, Factor: 1},
+		}}, "Factor > 1"},
+		{"factor-missing", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.1", After: 1},
+		}}, "Factor > 1"},
+		{"never-fires", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.1", Factor: 4},
+		}}, "can never fire"},
+		{"factor-on-crash", Plan{Name: "p", Specs: []Spec{
+			{Kind: Crash, Thread: "doall.1", After: 1, Factor: 4},
+		}}, "applies only to straggler"},
+		{"factor-on-latency", Plan{Name: "p", Specs: []Spec{
+			{Kind: Latency, Builtin: "alpha", After: 1, Factor: 2},
+		}}, "applies only to straggler"},
+		{"permanent-straggler", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.1", After: 1, Factor: 4, Permanent: true},
+		}}, "applies only to crash"},
+		{"ghost-thread", Plan{Name: "p", Specs: []Spec{
+			{Kind: Straggler, Thread: "doall.7", After: 1, Factor: 4},
+		}}, "nonexistent thread"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(roster)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDynamicRoleSalvage: salvage runners are spawned at join time, so no
+// static roster lists them; Validate must accept them by shape — and only
+// by that shape.
+func TestDynamicRoleSalvage(t *testing.T) {
+	roster := []string{"doall.0", "doall.1"}
+	ok := Plan{Name: "p", Specs: []Spec{
+		{Kind: Crash, Thread: "salvage.1.0", After: 2},
+		{Kind: Straggler, Thread: "salvage.3.2", After: 1, Factor: 4},
+	}}
+	if err := ok.Validate(roster); err != nil {
+		t.Errorf("salvage roles rejected: %v", err)
+	}
+	for _, bad := range []string{"salvage.1", "salvage.x.0", "salvage.1.", "salvage..2", "scavenge.1.0"} {
+		p := Plan{Name: "p", Specs: []Spec{{Kind: Crash, Thread: bad, After: 2}}}
+		if err := p.Validate(roster); err == nil {
+			t.Errorf("malformed dynamic role %q accepted", bad)
+		}
+	}
+}
+
+// TestValidateServiceStraggler: the roster rule covers stragglers too — a
+// scalable worker can be parked for the whole service window, consuming no
+// slow ticks, so a straggler aimed at one might deterministically never
+// fire.
+func TestValidateServiceStraggler(t *testing.T) {
+	roster := ServiceRoster{
+		Always:   []string{"svc.0", "svc.1"},
+		Scalable: []string{"svc.2"},
+	}
+	ok := Plan{Name: "pinned", Specs: []Spec{
+		{Kind: Straggler, Thread: "svc.1", After: 1, Factor: 4},
+	}}
+	if err := ok.ValidateService(roster); err != nil {
+		t.Errorf("straggler on always-on target rejected: %v", err)
+	}
+	bad := Plan{Name: "drifting", Specs: []Spec{
+		{Kind: Straggler, Thread: "svc.2", After: 1, Factor: 4},
+	}}
+	err := bad.ValidateService(roster)
+	if err == nil || !strings.Contains(err.Error(), "scale away") {
+		t.Errorf("straggler on scalable-only target: err = %v, want scale-away rejection", err)
+	}
+}

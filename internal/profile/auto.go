@@ -11,7 +11,8 @@ import "repro/internal/transform"
 // The set is deliberately small: each candidate costs one calibration
 // slice, and the knobs interact weakly — chunking fights imbalance,
 // privatization fights commutative-update contention, batching fights
-// per-token queue overhead — so a coarse grid finds the knee.
+// per-token queue overhead, stealing fights stragglers and residual
+// skew — so a coarse grid finds the knee.
 func TuneCandidates(kind transform.Kind, threads int) []transform.Tuning {
 	switch kind {
 	case transform.DOALL:
@@ -26,6 +27,8 @@ func TuneCandidates(kind transform.Kind, threads int) []transform.Tuning {
 			{Privatize: true},
 			{Sched: transform.SchedChunked, Chunk: chunk, Privatize: true},
 			{Sched: transform.SchedGuided, Privatize: true},
+			{Steal: true},
+			{Privatize: true, Steal: true},
 		}
 	case transform.DSWP, transform.PSDSWP:
 		return []transform.Tuning{

@@ -51,11 +51,17 @@ type Tuning struct {
 	// set's sync mode — legal because COMMSET declares the interleaving
 	// of member calls irrelevant, so any merge order is a valid one.
 	Privatize bool
+	// Steal lets DOALL workers that finish their share steal un-started
+	// iteration ranges from the most-behind peer (virtual-time-ordered,
+	// deterministic; see exec's steal board), and lets service-mode
+	// workers parked by the degradation ladder drain dispatch backlog.
+	// Ignored by pipeline kinds.
+	Steal bool
 }
 
 // IsZero reports whether the tuning leaves every fixed policy in place.
 func (t Tuning) IsZero() bool {
-	return t.Sched == SchedStatic && t.Batch <= 1 && !t.Privatize
+	return t.Sched == SchedStatic && t.Batch <= 1 && !t.Privatize && !t.Steal
 }
 
 // String renders the non-default knobs, e.g. "chunked(4)+batch(8)+priv".
@@ -72,6 +78,9 @@ func (t Tuning) String() string {
 	}
 	if t.Privatize {
 		parts = append(parts, "priv")
+	}
+	if t.Steal {
+		parts = append(parts, "steal")
 	}
 	if len(parts) == 0 {
 		return "static"

@@ -61,11 +61,17 @@ type CostModel struct {
 	// ThreadSpawn is the one-time cost of starting a worker.
 	ThreadSpawn int64
 
-	// Checkpoint is the cost of snapshotting a worker's resumable state
-	// (frame, cursors, batched-queue residue); Restore is the cost of
-	// rebuilding a fresh thread from the last checkpoint after a crash.
-	Checkpoint int64
-	Restore    int64
+	// Checkpoint is the base cost of snapshotting a worker's resumable
+	// state (frame, cursors, batched-queue residue); Restore is the base
+	// cost of rebuilding a thread from one after a crash or a steal.
+	// CheckpointWord/RestoreWord are the marginal per-word costs of the
+	// delta/run-length-compressed frame encoding, so a frame that barely
+	// diverged from the loop-entry snapshot checkpoints almost for free
+	// while a heavily mutated one pays for every literal it carries.
+	Checkpoint     int64
+	Restore        int64
+	CheckpointWord int64
+	RestoreWord    int64
 }
 
 // DefaultCostModel returns parameters calibrated to reproduce the relative
@@ -79,7 +85,8 @@ func DefaultCostModel() CostModel {
 		QueuePushPer: 8, QueuePopPer: 8,
 		TMCommit: 60, TMAbortPenalty: 150,
 		ThreadSpawn: 1000,
-		Checkpoint:  80, Restore: 400,
+		Checkpoint:  24, CheckpointWord: 2,
+		Restore: 120, RestoreWord: 4,
 	}
 }
 

@@ -79,6 +79,13 @@ type RestartRecord struct {
 	// Permanent marks deaths that were not restarted (permanent crash
 	// spec, or transient crash after the restart budget was exhausted).
 	Permanent bool `json:"permanent"`
+	// RecoveredVTime is the virtual time at which the role resumed making
+	// progress: the replacement thread's clock right after its checkpoint
+	// restore, or — for permanent deaths — the start of the join-time
+	// salvage runners that re-partition the remainder. 0 when the run
+	// failed before any recovery. MTTR per record is
+	// RecoveredVTime - VTime.
+	RecoveredVTime int64 `json:"recovered_vtime,omitempty"`
 }
 
 // String renders one history entry.
@@ -89,6 +96,19 @@ func (r RestartRecord) String() string {
 	}
 	return fmt.Sprintf("%s crashed @t=%d event=%d ckpt-age=%d replayed=%d (%s)",
 		r.Thread, r.VTime, r.Event, r.CkptAge, r.Replayed, kind)
+}
+
+// markRecovered stamps the recovery time on the newest unrecovered
+// permanent restart record of the role (used when the join-time salvage
+// runners for a dead worker are spawned).
+func (m *machine) markRecovered(role string, vtime int64) {
+	for i := len(m.restarts) - 1; i >= 0; i-- {
+		r := &m.restarts[i]
+		if r.Thread == role && r.Permanent && r.RecoveredVTime == 0 {
+			r.RecoveredVTime = vtime
+			return
+		}
+	}
 }
 
 // crashAt consumes one crash tick for the role and reports whether the

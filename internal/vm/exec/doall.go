@@ -21,42 +21,63 @@ func (m *machine) runCond(st *stepper) (bool, error) {
 	return !m.la.Loop.Contains(s.nextBlk), nil
 }
 
-// doallDone is the join message of one DOALL worker (or salvage runner).
-// A crashed join is the death certificate of a permanently dead worker:
-// it carries the worker's last checkpoint so the main thread can
+// sweepResult is the outcome of one completed sweep — a worker's own
+// initial range or an adopted stolen one. ctrl marks sweeps that ran loop
+// control to its exit (or the MaxIters calibration cap), whose frames
+// therefore hold the final control state.
+type sweepResult struct {
+	fr       *frame
+	lastIter int64 // last owned iteration whose body ran in this sweep
+	ctrl     bool
+}
+
+// doallDone is the join message of one DOALL worker chain (or salvage
+// runner). A crashed join is the death certificate of a permanently dead
+// worker: it carries the worker's last checkpoint so the main thread can
 // re-partition the remaining owned iterations across the survivors.
 type doallDone struct {
-	worker   int
-	fr       *frame
-	lastIter int64
+	worker int
+	sweeps []sweepResult
+	vtime  int64 // join virtual time (loop-completion skew accounting)
 
 	crashed   bool
 	deathIter int64      // pass at which the crash tick hit
 	ck        *doallCkpt // last checkpoint of the dead worker
 }
 
-// doallCkpt is one DOALL worker's resumable state: the completed-pass
-// watermark (iter is the next pass to execute), an exact frame snapshot,
-// the last owned iteration executed, and the privatized shadow state. The
-// externalized-effect baselines that gate safe re-execution live beside it
-// in doallState (ckEff/ckWrites): the output-commit discipline refreshes
-// the checkpoint right after any externalizing pass, so the window between
-// checkpoint and crash is always replay-safe.
+// doallCkpt is one DOALL worker's resumable state: the current sweep's
+// assignment, the completed-pass watermark (iter is the next pass to
+// execute), a compressed frame snapshot, the last owned iteration
+// executed, the privatized shadow state, and the sweeps already completed
+// by this chain (immutable once recorded, carried so a restart loses no
+// finished work). The externalized-effect baselines that gate safe
+// re-execution live beside it in doallState (ckEff/ckWrites): the
+// output-commit discipline refreshes the checkpoint right after any
+// externalizing pass, so the window between checkpoint and crash is always
+// replay-safe.
 type doallCkpt struct {
+	asg      assignment
 	iter     int64
-	fr       *frame
+	cfr      *ckFrame
 	lastIter int64
 	priv     map[*types.Set]int
+	done     []sweepResult
 }
 
-// doallState is the live, restartable state of one DOALL worker role
-// across its simulated-thread incarnations.
+// doallState is the live, restartable state of one DOALL worker chain
+// across its simulated-thread incarnations and its sequence of sweeps.
 type doallState struct {
 	w    int
 	role string
 
-	iter     int64 // next pass to execute
-	lastIter int64 // last owned iteration whose body ran
+	asg      assignment // current sweep's range and ownership identity
+	iter     int64      // next pass to execute
+	lastIter int64      // last owned iteration whose body ran (this sweep)
+
+	lastTop int64 // virtual time of the previous pass top (-1 = none yet)
+	ranBody bool  // the pass since lastTop ran an owned body
+
+	done []sweepResult // completed sweeps of this chain
 
 	ck       doallCkpt
 	ckEff    int // stepper effects counter at the last checkpoint
@@ -67,14 +88,17 @@ type doallState struct {
 }
 
 // takeDoallCkpt refreshes the worker's checkpoint from its live state,
-// charging the snapshot cost in virtual time.
+// charging the snapshot by its compressed size in virtual time.
 func (m *machine) takeDoallCkpt(th *des.Thread, st *stepper, ws *doallState) {
-	th.Charge(m.cfg.Cost.Checkpoint)
+	cfr := encodeFrame(st.fr, m.ckRef)
+	th.Charge(m.checkpointCost(cfr))
 	ws.ck = doallCkpt{
+		asg:      ws.asg,
 		iter:     ws.iter,
-		fr:       snapshotFrame(st.fr),
+		cfr:      cfr,
 		lastIter: ws.lastIter,
 		priv:     copyPriv(st.privCommits),
+		done:     ws.done,
 	}
 	ws.ckEff = st.effects
 	ws.ckWrites = st.it.HeapWrites
@@ -119,14 +143,44 @@ func (m *machine) runIterBody(st *stepper, fr *frame) error {
 	}
 }
 
-// doallRun is the worker loop, shared by the original incarnation of each
-// worker role and by any checkpoint-restored replacement. Each pass is one
-// crash tick; the checkpoint refreshes at the end of any pass that
-// externalized an effect (output-commit) and otherwise every
-// Recovery.CheckpointEvery passes, so a crash window never holds
-// externalized work.
-func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *iterSched, join *des.Queue) error {
-	fr := st.fr
+// doallRun drives one worker chain: the initial sweep, then — with
+// stealing enabled — any adopted stolen sweeps, merging the privatized
+// shadow exactly once and pushing exactly one join message at retirement.
+// Shared by the original incarnation of each worker role and by any
+// checkpoint-restored replacement.
+func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *iterSched, board *stealBoard, join *des.Queue) error {
+	for {
+		res, alive, err := m.doallSweep(th, st, ws, sched, board, join)
+		if err != nil {
+			return err // legacy mode: abort the whole simulation
+		}
+		if !alive {
+			return nil // crashed: restart or death certificate handled it
+		}
+		ws.done = append(ws.done, res)
+		if board == nil {
+			break
+		}
+		board.retire(ws.w)
+		g := m.doallSteal(th, ws, board)
+		if g == nil {
+			break
+		}
+		m.doallAdopt(th, st, ws, board, g)
+	}
+	st.mergePrivatized()
+	th.Push(join, doallDone{worker: ws.w, sweeps: ws.done, vtime: th.VTime})
+	return nil
+}
+
+// doallSweep executes the current assignment to its end. Each pass is one
+// crash tick and one straggler tick; the checkpoint refreshes at the end
+// of any pass that externalized an effect (output-commit) and otherwise
+// every Recovery.CheckpointEvery passes, so a crash window never holds
+// externalized work. With a steal board, the pass top also publishes the
+// watermark and answers any pending steal request. Returns alive=false
+// when the worker crashed (the crash path owns the hand-off).
+func (m *machine) doallSweep(th *des.Thread, st *stepper, ws *doallState, sched *iterSched, board *stealBoard, join *des.Queue) (sweepResult, bool, error) {
 	// bail handles a worker-fatal error: legacy mode aborts the whole
 	// simulation; resilient mode records the diagnosis and shuts the
 	// worker down in an orderly fashion (join message still sent).
@@ -137,42 +191,75 @@ func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *i
 		m.fail(ws.role, err)
 		return false, nil
 	}
+	ctrl := false
 	for {
 		iter := ws.iter
 		if m.resilient() && m.failed() {
 			break // a sibling hit an unrecoverable fault; stop early
 		}
 		if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
-			break // calibration slice: stop after the sampled prefix
+			ctrl = true // calibration slice: stop after the sampled prefix
+			if board != nil {
+				board.close(m.cfg.MaxIters)
+			}
+			break
+		}
+		if ws.asg.hi >= 0 && iter >= ws.asg.hi {
+			break // bounded sweep: range exhausted (a thief owns the rest)
 		}
 		if die, perm := m.crashAt(ws.role); die {
-			return m.doallCrash(th, ws, sched, join, perm)
+			return sweepResult{}, false, m.doallCrash(th, ws, sched, board, join, perm)
 		}
+		if board != nil {
+			e := &board.entries[ws.w]
+			// Publish pace: the pass-top-to-pass-top delta covers the whole
+			// previous pass, including any straggler surcharge (charged at
+			// the pass end). Only owned-body passes count — control-only and
+			// replay passes would deflate the average.
+			if ws.lastTop >= 0 && ws.ranBody {
+				e.busy += th.VTime - ws.lastTop
+				e.passes++
+			}
+			ws.lastTop = th.VTime
+			ws.ranBody = false
+			e.cur = iter
+			if e.reqFrom >= 0 {
+				m.serveSteal(th, st, ws, board)
+			}
+		}
+		slow := m.straggleAt(ws.role)
+		passStart := th.VTime
 		exit, err := m.runCond(st)
 		if err != nil {
 			if abort, fatal := bail(err); abort {
-				return fatal
+				return sweepResult{}, false, fatal
 			}
 			break
 		}
 		if exit {
+			ctrl = true
+			if board != nil {
+				board.close(iter)
+			}
 			break
 		}
-		if sched.owns(ws.w, iter, th.Sleep) {
-			if err := m.runIterBody(st, fr); err != nil {
+		if iter >= ws.asg.lo && sched.owns(ws.asg.src, iter, th.Sleep) {
+			if err := m.runIterBody(st, st.fr); err != nil {
 				if abort, fatal := bail(err); abort {
-					return fatal
+					return sweepResult{}, false, fatal
 				}
 				break
 			}
 			ws.lastIter = iter
+			ws.ranBody = true
 		}
 		if _, err := st.runGroup(m.la.Units.Post); err != nil {
 			if abort, fatal := bail(err); abort {
-				return fatal
+				return sweepResult{}, false, fatal
 			}
 			break
 		}
+		straggleCharge(th, slow, th.VTime-passStart)
 		ws.iter = iter + 1
 		if m.checkpointing() {
 			externalized := st.effects != ws.ckEff || st.it.HeapWrites != ws.ckWrites
@@ -181,9 +268,7 @@ func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *i
 			}
 		}
 	}
-	st.mergePrivatized()
-	th.Push(join, doallDone{worker: ws.w, fr: fr, lastIter: ws.lastIter})
-	return nil
+	return sweepResult{fr: st.fr, lastIter: ws.lastIter, ctrl: ctrl}, true, nil
 }
 
 // doallCrash handles the death of a DOALL worker at a crash tick. The
@@ -193,8 +278,10 @@ func (m *machine) doallRun(th *des.Thread, st *stepper, ws *doallState, sched *i
 // restores the checkpoint and replays the un-externalized window; a
 // permanent death — or a transient one past the restart budget — instead
 // posts a death certificate on the join queue so the main thread can
-// re-partition the remaining owned iterations across the survivors.
-func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, join *des.Queue, perm bool) error {
+// re-partition the remaining owned iterations across the survivors. Either
+// way any pending steal request gets its answer: a transiently crashed
+// victim keeps it pending for the replacement, a permanent death denies it.
+func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, board *stealBoard, join *des.Queue, perm bool) error {
 	reason := "injected crash"
 	if perm {
 		reason = "injected permanent crash"
@@ -218,11 +305,15 @@ func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, j
 		rec.Replayed = rec.CkptAge
 	}
 	m.restarts = append(m.restarts, rec)
+	ri := len(m.restarts) - 1
 	m.sim.RecordDeath(ws.role, th.VTime, reason)
 	if perm {
+		if board != nil {
+			board.markDead(ws.w)
+		}
 		ck := ws.ck
 		th.Push(join, doallDone{
-			worker: ws.w, fr: ck.fr, lastIter: ck.lastIter,
+			worker: ws.w, sweeps: ws.done, vtime: th.VTime,
 			crashed: true, deathIter: ws.iter, ck: &ck,
 		})
 		return nil
@@ -233,22 +324,26 @@ func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, j
 	nextLeft := ws.restartsLeft - 1
 	n := ws.restartN + 1
 	m.sim.Spawn(fmt.Sprintf("%s#r%d", ws.role, n), th.VTime+r.restartDelay(), func(th2 *des.Thread) error {
-		th2.Charge(m.cfg.Cost.Restore)
-		st2 := m.newStepper(th2, snapshotFrame(ck.fr))
+		th2.Charge(m.restoreCost(ck.cfr))
+		m.restarts[ri].RecoveredVTime = th2.VTime
+		st2 := m.newStepper(th2, ck.cfr.decode())
 		st2.sharedActive = true
 		st2.privatized = m.cfg.Tune.Privatize
 		st2.privCommits = copyPriv(ck.priv)
 		ws2 := &doallState{
 			w: ws.w, role: ws.role,
-			iter: ck.iter, lastIter: ck.lastIter,
+			asg: ck.asg, iter: ck.iter, lastIter: ck.lastIter,
+			lastTop: -1,
+			done:    ck.done,
 			ck: doallCkpt{
-				iter: ck.iter, fr: snapshotFrame(ck.fr),
+				asg: ck.asg, iter: ck.iter, cfr: ck.cfr,
 				lastIter: ck.lastIter, priv: copyPriv(ck.priv),
+				done: ck.done,
 			},
 			restartsLeft: nextLeft,
 			restartN:     n,
 		}
-		return m.doallRun(th2, st2, ws2, sched, join)
+		return m.doallRun(th2, st2, ws2, sched, board, join)
 	})
 	return nil
 }
@@ -256,40 +351,58 @@ func (m *machine) doallCrash(th *des.Thread, ws *doallState, sched *iterSched, j
 // doallSalvage re-executes a permanently dead worker's share of the loop
 // on behalf of one survivor: it restores the dead worker's checkpoint onto
 // a fresh frame, replays the loop-control machinery from the checkpointed
-// pass, and executes every `nshares`-th owned iteration (share k of a
-// deterministic round-robin split). The window between the checkpoint and
-// the death externalized nothing (output-commit), and passes at or beyond
-// the death never ran, so re-executing both duplicates no visible update.
-// Share 0 also adopts the dead worker's unmerged privatized shadow, so
-// each shadow is still merged exactly once.
+// pass, and executes every `nshares`-th owned iteration of the
+// checkpointed assignment (share k of a deterministic round-robin split).
+// The window between the checkpoint and the death externalized nothing
+// (output-commit), and passes at or beyond the death never ran, so
+// re-executing both duplicates no visible update. The assignment bounds
+// matter: a dead thief is salvaged only over its stolen range, and a
+// robbed victim only up to its truncated hi — iterations that migrated
+// stay exactly-once. Share 0 also adopts the dead worker's unmerged
+// privatized shadow, so each shadow is still merged exactly once.
 func (m *machine) doallSalvage(th *des.Thread, d doallDone, share, nshares int, sched *iterSched, join *des.Queue) error {
-	th.Charge(m.cfg.Cost.Restore)
-	fr := snapshotFrame(d.ck.fr)
+	ck := d.ck
+	th.Charge(m.restoreCost(ck.cfr))
+	fr := ck.cfr.decode()
 	st := m.newStepper(th, fr)
 	st.sharedActive = true
 	st.privatized = m.cfg.Tune.Privatize
 	if share == 0 {
-		st.privCommits = copyPriv(d.ck.priv)
+		st.privCommits = copyPriv(ck.priv)
 	}
 	role := fmt.Sprintf("salvage.%d.%d", d.worker, share)
 	lastIter := int64(-1)
 	ordinal := 0
-	for iter := d.ck.iter; ; iter++ {
+	ctrl := false
+	for iter := ck.iter; ; iter++ {
 		if m.failed() {
 			break
 		}
 		if m.cfg.MaxIters > 0 && iter >= m.cfg.MaxIters {
+			ctrl = true
 			break
 		}
+		if ck.asg.hi >= 0 && iter >= ck.asg.hi {
+			break
+		}
+		if die, perm := m.crashAt(role); die {
+			// A salvage runner has no checkpoint chain of its own; its
+			// death (transient or not) just fails the salvage attempt.
+			m.fail(role, &CrashError{Thread: role, VTime: th.VTime, Perm: perm, Reason: "injected crash during salvage"})
+			break
+		}
+		slow := m.straggleAt(role)
+		passStart := th.VTime
 		exit, err := m.runCond(st)
 		if err != nil {
 			m.fail(role, err)
 			break
 		}
 		if exit {
+			ctrl = true
 			break
 		}
-		if sched.owns(d.worker, iter, th.Sleep) {
+		if iter >= ck.asg.lo && sched.owns(ck.asg.src, iter, th.Sleep) {
 			mine := ordinal%nshares == share
 			ordinal++
 			if mine {
@@ -304,37 +417,58 @@ func (m *machine) doallSalvage(th *des.Thread, d doallDone, share, nshares int, 
 			m.fail(role, err)
 			break
 		}
+		straggleCharge(th, slow, th.VTime-passStart)
 	}
 	st.mergePrivatized()
-	th.Push(join, doallDone{worker: d.worker, fr: fr, lastIter: lastIter})
+	th.Push(join, doallDone{
+		worker: d.worker, vtime: th.VTime,
+		sweeps: []sweepResult{{fr: fr, lastIter: lastIter, ctrl: ctrl}},
+	})
 	return nil
 }
 
 // runDOALL executes the loop with iterations scheduled over `threads`
 // workers (the calling thread acts as worker 0) according to the tuning's
 // iteration schedule — static round-robin, chunked, or guided with a
-// work-stealing claim board (see iterSched). Every worker privately
-// executes the loop-control machinery — the canonical
-// privatized-induction-variable DOALL codegen — and runs the body units
-// only for its own iterations. With Tune.Privatize, commutative member
-// updates run against per-thread shadow state and each worker publishes
-// one synchronized merge per touched set before joining.
+// claim board (see iterSched). Every worker privately executes the
+// loop-control machinery — the canonical privatized-induction-variable
+// DOALL codegen — and runs the body units only for its own iterations.
+// With Tune.Privatize, commutative member updates run against per-thread
+// shadow state and each worker publishes one synchronized merge per
+// touched set before joining.
 //
-// With a crash plan armed, each worker checkpoints (see doallRun), dying
-// workers are restarted from their checkpoints, and permanently dead
-// workers have their remaining iterations re-partitioned across the
-// survivors at join time (degraded mode).
+// With Tune.Steal, workers that finish do not retire: they adopt half of
+// the most-behind peer's un-started range over the deterministic steal
+// board (see steal.go), repairing stragglers and skewed schedules while
+// the loop runs. With a crash plan armed, each worker checkpoints (see
+// doallSweep), dying workers are restarted from their checkpoints, and
+// permanently dead workers have their remaining assignment re-partitioned
+// across the survivors at join time (degraded mode).
 func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error {
 	join := m.sim.NewQueue("doall.join", threads)
 	// One claim-board round trip costs an uncontended spin acquire+release
 	// (an atomic fetch-and-add on the shared chunk counter).
 	sched := newIterSched(m.cfg.Tune, threads, m.cfg.Cost.SpinAcquire+m.cfg.Cost.SpinRelease)
+	var board *stealBoard
+	if m.cfg.Tune.Steal && threads > 1 {
+		board = newStealBoard(threads)
+	}
+	if m.checkpointing() || board != nil {
+		// The immutable compression reference every checkpoint of this
+		// loop deltas against: the frame each worker starts from.
+		m.ckRef = mainFr.clone()
+	}
 
 	worker := func(th *des.Thread, w int) error {
 		st := m.newStepper(th, mainFr.clone())
 		st.sharedActive = true
 		st.privatized = m.cfg.Tune.Privatize
-		ws := &doallState{w: w, role: fmt.Sprintf("doall.%d", w), lastIter: -1}
+		ws := &doallState{
+			w: w, role: fmt.Sprintf("doall.%d", w),
+			asg:      assignment{src: w, lo: 0, hi: -1},
+			lastIter: -1,
+			lastTop:  -1,
+		}
 		ws.ck.lastIter = -1
 		if r := m.cfg.Recovery; r != nil {
 			ws.restartsLeft = r.maxRestarts()
@@ -342,7 +476,7 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 		if m.checkpointing() {
 			m.takeDoallCkpt(th, st, ws) // initial checkpoint at pass 0
 		}
-		return m.doallRun(th, st, ws, sched, join)
+		return m.doallRun(th, st, ws, sched, board, join)
 	}
 
 	start := mainTh.VTime
@@ -357,36 +491,44 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 	}
 
 	// Collect workers and merge live-outs. Control state comes from any
-	// completed (non-crashed) frame — every completed worker and salvage
-	// runner executed the full control loop, so they agree; body-written
-	// slots take their value from the frame that executed the globally
-	// last iteration (a dead worker's checkpoint frame competes too: its
-	// pre-checkpoint iterations were real).
+	// sweep that ran loop control to its exit — every chain's unbounded
+	// sweep did, and they agree; body-written slots take their value from
+	// the sweep that executed the globally last iteration (a dead worker's
+	// checkpoint frame competes too: its pre-checkpoint iterations were
+	// real).
 	var ctrlFr, lastFr *frame
 	lastIter := int64(-1)
 	var crashed []doallDone
 	consider := func(d doallDone) {
-		if d.fr == nil {
-			return
+		for _, s := range d.sweeps {
+			if s.fr == nil {
+				continue
+			}
+			if s.ctrl && ctrlFr == nil {
+				ctrlFr = s.fr
+			}
+			if s.lastIter > lastIter {
+				lastIter = s.lastIter
+				lastFr = s.fr
+			}
 		}
-		if !d.crashed && ctrlFr == nil {
-			ctrlFr = d.fr
-		}
-		if d.lastIter > lastIter {
-			lastIter = d.lastIter
-			lastFr = d.fr
+		if d.crashed && d.ck != nil && d.ck.cfr != nil && d.ck.lastIter > lastIter {
+			lastIter = d.ck.lastIter
+			lastFr = d.ck.cfr.decode()
 		}
 	}
 	for i := 0; i < threads; i++ {
 		d := mainTh.Pop(join).(doallDone)
 		if d.crashed {
 			crashed = append(crashed, d)
+		} else {
+			m.workerJoins = append(m.workerJoins, d.vtime)
 		}
 		consider(d)
 	}
 
 	// Degraded mode: re-partition each permanently dead worker's remaining
-	// iterations across the survivors, one salvage runner per survivor.
+	// assignment across the survivors, one salvage runner per survivor.
 	if len(crashed) > 0 && !m.failed() {
 		survivors := threads - len(crashed)
 		if survivors <= 0 {
@@ -399,6 +541,7 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 			start := mainTh.VTime + m.cfg.Recovery.restartDelay()
 			for _, d := range crashed {
 				m.stats.repartitioned++
+				m.markRecovered(fmt.Sprintf("doall.%d", d.worker), start)
 				d := d
 				for k := 0; k < survivors; k++ {
 					k := k
@@ -408,7 +551,9 @@ func (m *machine) runDOALL(mainTh *des.Thread, mainFr *frame, threads int) error
 				}
 			}
 			for i := 0; i < len(crashed)*survivors; i++ {
-				consider(mainTh.Pop(join).(doallDone))
+				d := mainTh.Pop(join).(doallDone)
+				m.workerJoins = append(m.workerJoins, d.vtime)
+				consider(d)
 			}
 		}
 	}

@@ -122,6 +122,15 @@ type Config struct {
 	// see crash.go for the recovery model.
 	CrashCheck func(role string) (die, permanent bool)
 
+	// Straggle, when set, arms the straggler subsystem: it is called
+	// exactly once per pass of each DOALL worker role (and per served
+	// request of each service worker) and returns the slowdown factor of
+	// that pass (1 = full speed; wired to a fault injector's SlowNow). The
+	// pass's virtual cost is stretched by the factor at its end. Steal
+	// tuning (Tune.Steal) is the repair: idle workers adopt the slowed
+	// worker's un-started range.
+	Straggle func(role string) float64
+
 	// Sanitize, when set, attaches the dynamic sanitizer: the monitor
 	// receives happens-before edges from the scheduler, memory accesses
 	// from the interpreter, and member-extent boundaries from the
@@ -165,6 +174,14 @@ type Result struct {
 	// PrivMerges counts privatized-shadow bulk merges published (exactly
 	// one per worker incarnation chain that touched a set, crash or not).
 	PrivMerges int
+	// Steals counts iteration ranges adopted over the DOALL steal board
+	// plus backlog requests served by parked service workers (zero unless
+	// Tune.Steal).
+	Steals int
+	// WorkerJoins lists the virtual times at which DOALL worker chains
+	// (and salvage runners) retired, in join order — the raw material of
+	// loop-completion-skew metrics. Empty for non-DOALL schedules.
+	WorkerJoins []int64
 }
 
 // RunSequential executes the program sequentially and returns its virtual
@@ -314,6 +331,8 @@ func Run(cfg Config, la *pipeline.LoopAnalysis, sched *transform.Schedule, mode 
 		Degraded:       m.stats.repartitioned > 0,
 		RestartHistory: m.restarts,
 		PrivMerges:     m.stats.privMerges,
+		Steals:         m.stats.steals,
+		WorkerJoins:    m.workerJoins,
 		Recovered:      m.stats.callRetries > 0 || m.stats.iterRetries > 0 || m.stats.restarts > 0,
 	}, nil
 }
@@ -380,12 +399,18 @@ type machine struct {
 	failDiag *FailureDiag
 	// restarts is the crash/restart history, in death order.
 	restarts []RestartRecord
-	stats    struct {
+	// ckRef is the immutable loop-entry frame every compressed checkpoint
+	// of the current DOALL loop deltas against (see ckframe.go).
+	ckRef *frame
+	// workerJoins records DOALL worker-chain retirement times, join order.
+	workerJoins []int64
+	stats       struct {
 		callRetries   int
 		iterRetries   int
 		restarts      int
 		repartitioned int
 		privMerges    int
+		steals        int
 	}
 }
 

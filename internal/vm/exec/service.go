@@ -158,6 +158,9 @@ type svcState struct {
 	goodRun     int
 	scaleEvents []ScaleEvent
 	deadWorkers int
+
+	// steals counts backlog requests served by parked workers (Tune.Steal).
+	steals int
 }
 
 func newSvcState(cfg *ServiceConfig, threads int, pool bool) *svcState {
@@ -295,6 +298,18 @@ func (sv *svcState) parkQuantum() int64 {
 	return 10000
 }
 
+// stealBacklog is the dispatch-queue depth at which a parked worker steals
+// a request instead of sleeping: once every active worker has at least one
+// request queued, head-of-line blocking behind a heavy request is certain,
+// so idle capacity drains it. A pure function of the pool size, keeping
+// the decision deterministic.
+func (sv *svcState) stealBacklog() int {
+	if sv.threads > 2 {
+		return sv.threads
+	}
+	return 2
+}
+
 // admissionState renders the controller state for stall diagnostics
 // (Scheduler.DiagNote): a stalled service run names its ladder level, pool
 // target, and bucket fills alongside the saturated queue.
@@ -365,6 +380,9 @@ type ServiceResult struct {
 	Restarts       int             `json:"restarts,omitempty"`
 	DeadWorkers    int             `json:"dead_workers,omitempty"`
 	RestartHistory []RestartRecord `json:"restart_history,omitempty"`
+	// Steals counts backlog requests served by parked (scaled-down)
+	// workers under Tune.Steal — the anti-head-of-line-blocking path.
+	Steals int `json:"steals,omitempty"`
 
 	Attempts int           `json:"attempts,omitempty"`
 	FellBack bool          `json:"fell_back,omitempty"`
@@ -430,6 +448,7 @@ func (sv *svcState) result(m *machine, sched *transform.Schedule, mode SyncMode,
 		Restarts:       m.stats.restarts,
 		DeadWorkers:    sv.deadWorkers,
 		RestartHistory: m.restarts,
+		Steals:         sv.steals,
 	}
 	lat := append([]int64(nil), sv.lat...)
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -768,10 +787,42 @@ func (m *machine) svcDOALL(th *des.Thread, st *stepper, mainFr *frame, threads i
 func (m *machine) svcServe(th *des.Thread, st *stepper, ws *svcWorkerState, mainFr *frame, dispatch, join *des.Queue) error {
 	sv := m.svc
 	fr := st.fr
+	serve := func(wk svcWork) {
+		sv.steals++
+		for i, v := range wk.locals {
+			fr.locals[i] = v
+		}
+		slow := m.straggleAt(ws.role)
+		start := th.VTime
+		err := m.runIterBody(st, fr)
+		straggleCharge(th, slow, th.VTime-start)
+		if err != nil {
+			sv.failed++
+			return
+		}
+		ws.lastIter = wk.iter
+		sv.complete(wk.arrival, th.VTime, th.VTime-start)
+	}
 	for {
 		if !sv.mayServe(ws.w) {
 			if sv.draining {
 				break // active workers drain the backlog; parked ones retire
+			}
+			if m.cfg.Tune.Steal && dispatch.Len() >= sv.stealBacklog() {
+				// Steal routing: the backlog says every active worker is
+				// busy (likely head-of-line blocked behind a heavy
+				// request), so a parked worker drains one request instead
+				// of sleeping through the spike. Steal passes consume no
+				// crash ticks — those belong to the active serve loop.
+				wk := th.Pop(dispatch).(svcWork)
+				if wk.stop {
+					th.Push(dispatch, wk)
+				} else if m.failed() {
+					sv.rejected++
+				} else {
+					serve(wk)
+				}
+				continue
 			}
 			th.Sleep(sv.parkQuantum())
 			continue
@@ -792,13 +843,16 @@ func (m *machine) svcServe(th *des.Thread, st *stepper, ws *svcWorkerState, main
 		for i, v := range wk.locals {
 			fr.locals[i] = v
 		}
+		slow := m.straggleAt(ws.role)
 		start := th.VTime
 		if err := m.runIterBody(st, fr); err != nil {
 			// Request isolation: the failure is charged to this request
 			// alone; the worker stays up for the rest of the trace.
+			straggleCharge(th, slow, th.VTime-start)
 			sv.failed++
 			continue
 		}
+		straggleCharge(th, slow, th.VTime-start)
 		ws.lastIter = wk.iter
 		sv.complete(wk.arrival, th.VTime, th.VTime-start)
 		if m.checkpointing() {
@@ -830,6 +884,7 @@ func (m *machine) svcCrash(th *des.Thread, ws *svcWorkerState, mainFr *frame, di
 	m.restarts = append(m.restarts, RestartRecord{
 		Thread: ws.role, VTime: th.VTime, Event: ws.served, Permanent: perm,
 	})
+	ri := len(m.restarts) - 1
 	m.sim.RecordDeath(ws.role, th.VTime, reason)
 	if perm {
 		sv.markDead(m, ws.w, th.VTime)
@@ -845,6 +900,7 @@ func (m *machine) svcCrash(th *des.Thread, ws *svcWorkerState, mainFr *frame, di
 	}
 	m.sim.Spawn(fmt.Sprintf("%s#r%d", ws.role, n), th.VTime+r.restartDelay(), func(th2 *des.Thread) error {
 		th2.Charge(m.cfg.Cost.Restore)
+		m.restarts[ri].RecoveredVTime = th2.VTime
 		st2 := m.newStepper(th2, mainFr.clone())
 		st2.sharedActive = true
 		return m.svcServe(th2, st2, ws2, mainFr, dispatch, join)

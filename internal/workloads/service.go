@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/builtins"
 )
@@ -30,6 +31,14 @@ type Service struct {
 
 	// Setup populates a fresh substrate world for an n-request trace.
 	Setup func(w *builtins.World, n int)
+
+	// HeavySetup, when non-nil, populates a world whose per-request service
+	// times are heavy-tailed (bounded Pareto, seeded): most requests stay
+	// cheap but a deterministic few are one to two orders of magnitude
+	// larger. Overload cells use it to manufacture stragglers — a worker
+	// that draws a tail request falls behind by design — so the campaign
+	// can measure how much of the tail the stealing layer reclaims.
+	HeavySetup func(w *builtins.World, n int, seed uint64)
 
 	// Validate checks a service run's world against the sequential
 	// reference world (same trace size), given how many requests the
@@ -100,6 +109,11 @@ func md5sumService() *Service {
 				w.AddFile(fmt.Sprintf("req%04d.dat", i), fileSize)
 			}
 		},
+		HeavySetup: func(w *builtins.World, n int, seed uint64) {
+			for i := 0; i < n; i++ {
+				w.AddFile(fmt.Sprintf("req%04d.dat", i), paretoSize(seed, i))
+			}
+		},
 		Validate: func(seq, par *builtins.World, completed int) error {
 			if got := len(par.Console); got != completed {
 				return fmt.Errorf("md5sum-service: %d digests printed, want one per completed request (%d)", got, completed)
@@ -107,6 +121,42 @@ func md5sumService() *Service {
 			return cmpSubset("md5sum-service console", seq.Console, par.Console)
 		},
 	}
+}
+
+// Bounded-Pareto request sizing for the heavy-tailed service option: shape
+// alpha 1.1 (infinite-variance territory, the classic web-object regime),
+// bounded in [1 KiB, 64 KiB] so a single tail request costs ~64x the mode
+// without starving the rest of the trace. Sizes come from the inverse CDF
+//
+//	x = L * (1 - U*(1-(L/H)^alpha))^(-1/alpha)
+//
+// with U drawn from a splitmix64 stream keyed by (seed, request index), so
+// the trace is a pure function of the seed: every rerun, thread count, and
+// host replays byte-identical request sizes.
+const (
+	paretoAlpha = 1.1
+	paretoLo    = 1024
+	paretoHi    = 64 * 1024
+)
+
+func paretoSize(seed uint64, i int) int {
+	u := splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+	// Map to (0,1): never exactly 0 or 1, keeping the inverse CDF finite.
+	uf := (float64(u>>11) + 0.5) / (1 << 53)
+	ratio := math.Pow(paretoLo/float64(paretoHi), paretoAlpha)
+	x := paretoLo * math.Pow(1-uf*(1-ratio), -1/paretoAlpha)
+	if x > paretoHi {
+		x = paretoHi
+	}
+	return int(x)
+}
+
+// splitmix64 is the standard 64-bit finalizer-based generator step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // cmpSubset checks that par is a multiset subset of seq.
